@@ -1,0 +1,127 @@
+// Command phpgen generates the synthetic SourceForge-style evaluation
+// corpus (the §5 substitute; see DESIGN.md) and reports its aggregate
+// shape.
+//
+//	phpgen -stats [-scale F]          print the corpus aggregate numbers
+//	phpgen -project NAME -o DIR       write one project's PHP sources
+//	phpgen -figure10 -o DIR           write all 38 Figure 10 projects
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"webssari/internal/corpus"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("phpgen", flag.ContinueOnError)
+	var (
+		stats   = fs.Bool("stats", false, "print aggregate corpus statistics")
+		project = fs.String("project", "", "generate one named Figure 10 project")
+		fig10   = fs.Bool("figure10", false, "generate all Figure 10 projects")
+		outDir  = fs.String("o", "corpus-out", "output directory")
+		scale   = fs.Float64("scale", 1.0, "statement/file scale factor")
+		seed    = fs.Uint64("seed", 2004, "generation seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	switch {
+	case *stats:
+		profiles := corpus.FullCorpus(*scale)
+		var files, stmts, vuln, ts, bmc int
+		for _, p := range profiles {
+			files += p.Files
+			stmts += p.Statements
+			ts += p.TS
+			bmc += p.BMC
+			if p.Vulnerable() {
+				vuln++
+			}
+		}
+		fmt.Printf("projects:            %d (paper: %d)\n", len(profiles), corpus.PaperProjects)
+		fmt.Printf("files:               %d (paper: %d, scale %.2f)\n", files, corpus.PaperFiles, *scale)
+		fmt.Printf("statements:          %d (paper: %d, scale %.2f)\n", stmts, corpus.PaperStatements, *scale)
+		fmt.Printf("vulnerable projects: %d (paper: %d)\n", vuln, corpus.PaperVulnerableProjects)
+		fmt.Printf("acknowledged:        %d (paper: %d)\n", corpus.PaperAcknowledged, corpus.PaperAcknowledged)
+		fmt.Printf("seeded TS errors:    %d\n", ts)
+		fmt.Printf("seeded BMC groups:   %d\n", bmc)
+		return 0
+
+	case *project != "":
+		for _, prof := range corpus.Figure10() {
+			if !strings.EqualFold(prof.Name, *project) {
+				continue
+			}
+			prof.Files = maxInt(2, prof.TS)
+			prof.Statements = maxInt(prof.TS*4+40, int(*scale*4000))
+			if err := writeProject(prof, *seed, *outDir); err != nil {
+				fmt.Fprintf(os.Stderr, "phpgen: %v\n", err)
+				return 2
+			}
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "phpgen: unknown project %q (see Figure 10)\n", *project)
+		return 2
+
+	case *fig10:
+		for _, prof := range corpus.Figure10() {
+			prof.Files = maxInt(2, prof.TS)
+			prof.Statements = maxInt(prof.TS*4+40, int(*scale*4000))
+			if err := writeProject(prof, *seed, *outDir); err != nil {
+				fmt.Fprintf(os.Stderr, "phpgen: %v\n", err)
+				return 2
+			}
+		}
+		return 0
+
+	default:
+		fs.Usage()
+		return 2
+	}
+}
+
+func writeProject(prof corpus.Profile, seed uint64, outDir string) error {
+	proj := corpus.Generate(prof, seed)
+	dir := filepath.Join(outDir, sanitizeName(prof.Name))
+	for _, name := range proj.FileNames() {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, proj.Sources[name], 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%-40s %3d files %6d statements (TS=%d BMC=%d) -> %s\n",
+		prof.Name, len(proj.Sources), proj.Statements, prof.TS, prof.BMC, dir)
+	return nil
+}
+
+func sanitizeName(name string) string {
+	out := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+	return strings.Trim(out, "_")
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

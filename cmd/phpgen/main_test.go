@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"webssari/internal/php/parser"
+)
+
+func TestStats(t *testing.T) {
+	if code := run([]string{"-stats", "-scale", "0.1"}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestGenerateSingleProject(t *testing.T) {
+	out := t.TempDir()
+	if code := run([]string{"-project", "GBook MX", "-o", out, "-scale", "0.01"}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	dir := filepath.Join(out, "GBook_MX")
+	entries, err := os.ReadDir(filepath.Join(dir, "src"))
+	if err != nil {
+		t.Fatalf("no generated sources: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatalf("no files generated")
+	}
+	// Every generated file parses.
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, "src", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := parser.Parse(e.Name(), data)
+		if len(res.Errs) > 0 {
+			t.Fatalf("%s: %v", e.Name(), res.Errs[0])
+		}
+	}
+}
+
+func TestUnknownProject(t *testing.T) {
+	if code := run([]string{"-project", "No Such App", "-o", t.TempDir()}); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestNoModeSelected(t *testing.T) {
+	if code := run(nil); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestFigure10Generation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("writes 38 projects")
+	}
+	out := t.TempDir()
+	if code := run([]string{"-figure10", "-o", out, "-scale", "0.002"}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	entries, err := os.ReadDir(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 38 {
+		t.Fatalf("projects = %d, want 38", len(entries))
+	}
+}

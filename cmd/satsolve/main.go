@@ -1,0 +1,120 @@
+// Command satsolve is a standalone DIMACS CNF solver built on the
+// repository's CDCL engine (the ZChaff substitute). It reads a DIMACS file
+// (or stdin) and prints a SAT-competition-style result:
+//
+//	satsolve [-stats] [-enumerate N] [file.cnf]
+//
+// Exit status: 10 = satisfiable, 20 = unsatisfiable, 2 = error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"webssari/internal/sat"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout))
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) int {
+	fs := flag.NewFlagSet("satsolve", flag.ContinueOnError)
+	var (
+		stats     = fs.Bool("stats", false, "print search statistics")
+		enumerate = fs.Int("enumerate", 0, "enumerate up to N models via blocking clauses")
+		noVSIDS   = fs.Bool("no-vsids", false, "disable the VSIDS decision heuristic")
+		noLearn   = fs.Bool("no-learning", false, "disable clause learning")
+		noRestart = fs.Bool("no-restarts", false, "disable Luby restarts")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var r io.Reader = stdin
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "satsolve: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		r = f
+	} else if fs.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "satsolve: at most one input file")
+		return 2
+	}
+
+	formula, err := sat.ParseDIMACS(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "satsolve: %v\n", err)
+		return 2
+	}
+
+	opts := sat.Options{
+		DisableVSIDS:    *noVSIDS,
+		DisableLearning: *noLearn,
+		DisableRestarts: *noRestart,
+	}
+
+	if *enumerate > 0 {
+		project := make([]int, formula.NumVars)
+		for v := 1; v <= formula.NumVars; v++ {
+			project[v-1] = v
+		}
+		models := sat.EnumerateModels(formula, project, *enumerate)
+		fmt.Fprintf(stdout, "c %d model(s) found (limit %d)\n", len(models), *enumerate)
+		for _, m := range models {
+			fmt.Fprintln(stdout, "v "+modelLine(m, 1))
+		}
+		if len(models) == 0 {
+			fmt.Fprintln(stdout, "s UNSATISFIABLE")
+			return 20
+		}
+		fmt.Fprintln(stdout, "s SATISFIABLE")
+		return 10
+	}
+
+	solver := sat.NewWith(opts)
+	if !formula.LoadInto(solver) {
+		if *stats {
+			fmt.Fprintf(stdout, "c %s\n", solver.Stats())
+		}
+		fmt.Fprintln(stdout, "s UNSATISFIABLE")
+		return 20
+	}
+	res := solver.Solve()
+	if *stats {
+		fmt.Fprintf(stdout, "c %s\n", solver.Stats())
+	}
+	switch res {
+	case sat.Sat:
+		fmt.Fprintln(stdout, "s SATISFIABLE")
+		model := solver.Model()
+		fmt.Fprintln(stdout, "v "+modelLine(model[1:], 1)+" 0")
+		return 10
+	case sat.Unsat:
+		fmt.Fprintln(stdout, "s UNSATISFIABLE")
+		return 20
+	default:
+		fmt.Fprintln(stdout, "s UNKNOWN")
+		return 2
+	}
+}
+
+// modelLine renders assignments as signed variable indices.
+func modelLine(assign []bool, firstVar int) string {
+	parts := make([]string, len(assign))
+	for i, v := range assign {
+		idx := firstVar + i
+		if v {
+			parts[i] = fmt.Sprint(idx)
+		} else {
+			parts[i] = fmt.Sprint(-idx)
+		}
+	}
+	return strings.Join(parts, " ")
+}

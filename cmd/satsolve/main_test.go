@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSatInstance(t *testing.T) {
+	var out bytes.Buffer
+	code := run(nil, strings.NewReader("p cnf 2 2\n1 2 0\n-1 2 0\n"), &out)
+	if code != 10 {
+		t.Fatalf("exit = %d, want 10", code)
+	}
+	if !strings.Contains(out.String(), "s SATISFIABLE") {
+		t.Fatalf("output = %q", out.String())
+	}
+	if !strings.Contains(out.String(), "v ") {
+		t.Fatalf("missing model line: %q", out.String())
+	}
+}
+
+func TestUnsatInstance(t *testing.T) {
+	var out bytes.Buffer
+	code := run([]string{"-stats"}, strings.NewReader("p cnf 1 2\n1 0\n-1 0\n"), &out)
+	if code != 20 {
+		t.Fatalf("exit = %d, want 20", code)
+	}
+	if !strings.Contains(out.String(), "s UNSATISFIABLE") {
+		t.Fatalf("output = %q", out.String())
+	}
+	if !strings.Contains(out.String(), "c decisions=") {
+		t.Fatalf("missing stats: %q", out.String())
+	}
+}
+
+func TestFileInput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.cnf")
+	if err := os.WriteFile(path, []byte("p cnf 2 1\n1 -2 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if code := run([]string{path}, strings.NewReader(""), &out); code != 10 {
+		t.Fatalf("exit = %d, want 10", code)
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"/nonexistent/file.cnf"}, strings.NewReader(""), &out); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestBadDIMACS(t *testing.T) {
+	var out bytes.Buffer
+	if code := run(nil, strings.NewReader("not dimacs at all"), &out); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestEnumerate(t *testing.T) {
+	var out bytes.Buffer
+	code := run([]string{"-enumerate", "10"}, strings.NewReader("p cnf 2 1\n1 2 0\n"), &out)
+	if code != 10 {
+		t.Fatalf("exit = %d, want 10", code)
+	}
+	if !strings.Contains(out.String(), "c 3 model(s) found") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+func TestEnumerateUnsat(t *testing.T) {
+	var out bytes.Buffer
+	code := run([]string{"-enumerate", "10"}, strings.NewReader("p cnf 1 2\n1 0\n-1 0\n"), &out)
+	if code != 20 {
+		t.Fatalf("exit = %d, want 20", code)
+	}
+}
+
+func TestFeatureFlags(t *testing.T) {
+	for _, flag := range []string{"-no-vsids", "-no-learning", "-no-restarts"} {
+		var out bytes.Buffer
+		code := run([]string{flag}, strings.NewReader("p cnf 2 2\n1 2 0\n-1 2 0\n"), &out)
+		if code != 10 {
+			t.Fatalf("%s: exit = %d, want 10", flag, code)
+		}
+	}
+}
+
+func TestTooManyArgs(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"a.cnf", "b.cnf"}, strings.NewReader(""), &out); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

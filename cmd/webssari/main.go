@@ -1,0 +1,247 @@
+// Command webssari verifies PHP web applications against taint-style
+// vulnerabilities with bounded model checking and optionally patches them
+// with sanitization runtime guards — the end-to-end WebSSARI tool of the
+// paper (Figure 8).
+//
+// Usage:
+//
+//	webssari [flags] file.php...     verify (and with -patch, secure) files
+//	webssari -figure10 [flags]       regenerate the paper's Figure 10 table
+//
+// Flags:
+//
+//	-patch            write secured copies next to the inputs (.secured.php)
+//	-json             emit machine-readable reports
+//	-prelude FILE     merge an extra prelude file (sinks/sources/sanitizers)
+//	-sink NAME[:n,m]  register an extra sensitive function
+//	-unroll N         loop deconstruction factor (default 1, the paper's)
+//	-paper            use the paper's exact enumeration (§3.3.2)
+//	-figure10         run TS and BMC over the synthetic Figure 10 corpus
+//	-scale F          corpus statement-scale for -figure10 (default 0.02)
+//	-seed N           corpus generation seed
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"webssari"
+	"webssari/internal/core"
+	"webssari/internal/corpus"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("webssari", flag.ContinueOnError)
+	var (
+		patch    = fs.Bool("patch", false, "write secured copies of vulnerable files")
+		jsonOut  = fs.Bool("json", false, "emit JSON reports")
+		htmlOut  = fs.String("html", "", "write a cross-referenced HTML report to this file")
+		preludeF = fs.String("prelude", "", "extra prelude file to merge")
+		sinks    multiFlag
+		unroll   = fs.Int("unroll", 1, "loop deconstruction factor")
+		paper    = fs.Bool("paper", false, "paper-exact counterexample enumeration")
+		fig10    = fs.Bool("figure10", false, "regenerate the Figure 10 table")
+		scale    = fs.Float64("scale", 0.02, "corpus statement scale for -figure10")
+		seed     = fs.Uint64("seed", 2004, "corpus generation seed")
+	)
+	fs.Var(&sinks, "sink", "extra sink, NAME or NAME:argpos[,argpos...] (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *fig10 {
+		return runFigure10(*scale, *seed)
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "webssari: no input files (try -figure10 or pass .php files)")
+		return 2
+	}
+
+	opts := []webssari.Option{webssari.WithLoopUnroll(*unroll)}
+	if *paper {
+		opts = append(opts, webssari.WithPaperEnumeration())
+	}
+	if *preludeF != "" {
+		text, err := os.ReadFile(*preludeF)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "webssari: %v\n", err)
+			return 2
+		}
+		opts = append(opts, webssari.WithExtraPrelude(string(text)))
+	}
+	for _, s := range sinks {
+		name, argSpec, _ := strings.Cut(s, ":")
+		var argPos []int
+		if argSpec != "" {
+			for _, part := range strings.Split(argSpec, ",") {
+				n, err := strconv.Atoi(part)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "webssari: bad -sink %q: %v\n", s, err)
+					return 2
+				}
+				argPos = append(argPos, n)
+			}
+		}
+		opts = append(opts, webssari.WithSink(name, argPos...))
+	}
+
+	exit := 0
+	for _, file := range fs.Args() {
+		if info, err := os.Stat(file); err == nil && info.IsDir() {
+			// Whole-project verification: one report per PHP file plus the
+			// Figure 10-style project totals.
+			pr, err := webssari.VerifyDir(file, opts...)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "webssari: %v\n", err)
+				exit = 2
+				continue
+			}
+			for _, rep := range pr.Files {
+				if !rep.Safe {
+					printReport(rep, *jsonOut)
+				}
+			}
+			fmt.Printf("project %s: %d file(s), %d vulnerable; TS symptoms %d, BMC groups %d\n",
+				file, len(pr.Files), pr.VulnerableFiles, pr.Symptoms, pr.Groups)
+			if !pr.Safe() {
+				exit = 1
+			}
+			continue
+		}
+
+		src, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "webssari: %v\n", err)
+			exit = 2
+			continue
+		}
+		fileOpts := append([]webssari.Option{webssari.WithDir(dirOf(file))}, opts...)
+
+		if *patch {
+			patched, rep, err := webssari.Patch(src, file, fileOpts...)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "webssari: %s: %v\n", file, err)
+				exit = 2
+				continue
+			}
+			printReport(rep, *jsonOut)
+			if !rep.Safe {
+				out := strings.TrimSuffix(file, ".php") + ".secured.php"
+				if err := os.WriteFile(out, patched, 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "webssari: %v\n", err)
+					exit = 2
+					continue
+				}
+				fmt.Printf("secured copy written to %s (%d runtime guard(s))\n", out, rep.Groups)
+				exit = 1
+			}
+			continue
+		}
+
+		if *htmlOut != "" {
+			f, err := os.Create(*htmlOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "webssari: %v\n", err)
+				return 2
+			}
+			rep, err := webssari.VerifyToHTML(src, file, f, fileOpts...)
+			closeErr := f.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "webssari: %s: %v\n", file, err)
+				exit = 2
+				continue
+			}
+			if closeErr != nil {
+				fmt.Fprintf(os.Stderr, "webssari: %v\n", closeErr)
+				exit = 2
+				continue
+			}
+			fmt.Printf("HTML report written to %s\n", *htmlOut)
+			if !rep.Safe {
+				exit = 1
+			}
+			continue
+		}
+
+		rep, err := webssari.Verify(src, file, fileOpts...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "webssari: %s: %v\n", file, err)
+			exit = 2
+			continue
+		}
+		printReport(rep, *jsonOut)
+		if !rep.Safe {
+			exit = 1
+		}
+	}
+	return exit
+}
+
+func dirOf(file string) string {
+	if i := strings.LastIndexByte(file, '/'); i >= 0 {
+		return file[:i]
+	}
+	return "."
+}
+
+func printReport(rep *webssari.Report, asJSON bool) {
+	if asJSON {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			fmt.Println(string(data))
+		}
+		return
+	}
+	fmt.Print(rep.Text)
+}
+
+// runFigure10 regenerates the paper's Figure 10: per-project TS- and
+// BMC-reported error counts over the synthetic corpus.
+func runFigure10(scale float64, seed uint64) int {
+	fmt.Println("Figure 10: TS- and BMC-reported errors of the 38 acknowledged projects")
+	fmt.Printf("%-40s %3s %6s %6s %6s\n", "Project", "A", "TS", "BMC", "paper")
+	var totals corpus.Totals
+	for _, prof := range corpus.Figure10() {
+		prof.Files = maxInt(2, int(float64(prof.TS)*0.8))
+		prof.Statements = maxInt(prof.TS*4+40, int(scale*4000))
+		proj := corpus.Generate(prof, seed)
+		stats, err := corpus.Run(proj, nil, core.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "webssari: %s: %v\n", prof.Name, err)
+			return 2
+		}
+		totals.Accumulate(stats)
+		fmt.Printf("%-40s %3d %6d %6d %3d/%d\n",
+			prof.Name, prof.Activity, stats.TS, stats.BMC, prof.TS, prof.BMC)
+	}
+	fmt.Printf("%-40s %3s %6d %6d (paper: 980/578)\n", "Total", "", totals.TS, totals.BMC)
+	fmt.Printf("instrumentation reduction: %.1f%% (paper: 41.0%%)\n", totals.Reduction()*100)
+	return 0
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// multiFlag collects repeatable string flags.
+type multiFlag []string
+
+// String implements flag.Value.
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+// Set implements flag.Value.
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestVerifyVulnerableExitCode(t *testing.T) {
+	path := writeTemp(t, "v.php", `<?php echo $_GET['x']; ?>`)
+	if code := run([]string{path}); code != 1 {
+		t.Fatalf("exit = %d, want 1 (vulnerable)", code)
+	}
+}
+
+func TestVerifySafeExitCode(t *testing.T) {
+	path := writeTemp(t, "s.php", `<?php echo htmlspecialchars($_GET['x']); ?>`)
+	if code := run([]string{path}); code != 0 {
+		t.Fatalf("exit = %d, want 0 (safe)", code)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	path := writeTemp(t, "v.php", `<?php echo $_GET['x']; ?>`)
+	if code := run([]string{"-json", path}); code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestPatchWritesSecuredFile(t *testing.T) {
+	path := writeTemp(t, "v.php", `<?php $q = $_GET['x']; mysql_query($q); ?>`)
+	if code := run([]string{"-patch", path}); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	secured := strings.TrimSuffix(path, ".php") + ".secured.php"
+	data, err := os.ReadFile(secured)
+	if err != nil {
+		t.Fatalf("secured copy missing: %v", err)
+	}
+	if !strings.Contains(string(data), "websafe(") {
+		t.Fatalf("secured copy lacks guards:\n%s", data)
+	}
+	// The secured copy itself must verify clean.
+	if code := run([]string{secured}); code != 0 {
+		t.Fatalf("secured copy exit = %d, want 0", code)
+	}
+}
+
+func TestSinkFlag(t *testing.T) {
+	path := writeTemp(t, "v.php", `<?php DoSQL("X" . $_GET['x']); ?>`)
+	if code := run([]string{path}); code != 0 {
+		t.Fatalf("without sink flag: exit = %d, want 0", code)
+	}
+	if code := run([]string{"-sink", "DoSQL:1", path}); code != 1 {
+		t.Fatalf("with sink flag: exit = %d, want 1", code)
+	}
+	if code := run([]string{"-sink", "DoSQL", path}); code != 1 {
+		t.Fatalf("all-args sink flag: exit = %d, want 1", code)
+	}
+	if code := run([]string{"-sink", "DoSQL:x", path}); code != 2 {
+		t.Fatalf("malformed sink flag: exit = %d, want 2", code)
+	}
+}
+
+func TestPreludeFlag(t *testing.T) {
+	pre := writeTemp(t, "extra.prelude", "sink DoSQL tainted 1\n")
+	php := writeTemp(t, "v.php", `<?php DoSQL("X" . $_POST['y']); ?>`)
+	if code := run([]string{"-prelude", pre, php}); code != 1 {
+		t.Fatalf("prelude flag: exit = %d, want 1", code)
+	}
+	if code := run([]string{"-prelude", "/nonexistent", php}); code != 2 {
+		t.Fatalf("missing prelude: exit = %d, want 2", code)
+	}
+}
+
+func TestIncludesResolvedRelativeToFile(t *testing.T) {
+	dir := t.TempDir()
+	lib := filepath.Join(dir, "lib.php")
+	main := filepath.Join(dir, "main.php")
+	if err := os.WriteFile(lib, []byte(`<?php function show($m) { echo $m; }`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(main, []byte(`<?php include 'lib.php'; show($_GET['m']);`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{main}); code != 1 {
+		t.Fatalf("cross-file taint: exit = %d, want 1", code)
+	}
+}
+
+func TestNoInputs(t *testing.T) {
+	if code := run(nil); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestMissingInput(t *testing.T) {
+	if code := run([]string{"/no/such/file.php"}); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestFigure10Flag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure10 run is slow")
+	}
+	if code := run([]string{"-figure10", "-scale", "0.002"}); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+}
+
+func TestPaperAndUnrollFlags(t *testing.T) {
+	path := writeTemp(t, "v.php", "<?php\n$x = $_GET['q'];\necho $x;\necho $x;")
+	if code := run([]string{"-paper", "-unroll", "2", path}); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+}
+
+func TestHTMLFlag(t *testing.T) {
+	php := writeTemp(t, "v.php", `<?php echo $_GET['x']; ?>`)
+	out := filepath.Join(t.TempDir(), "report.html")
+	if code := run([]string{"-html", out, php}); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("HTML report missing: %v", err)
+	}
+	if !strings.Contains(string(data), "<!DOCTYPE html>") {
+		t.Fatalf("not an HTML report")
+	}
+}
+
+func TestDirectoryArgument(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.php"), []byte(`<?php echo $_GET['x'];`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "b.php"), []byte(`<?php echo 'safe';`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{dir}); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	clean := t.TempDir()
+	if err := os.WriteFile(filepath.Join(clean, "c.php"), []byte(`<?php echo 'ok';`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{clean}); code != 0 {
+		t.Fatalf("clean project exit = %d, want 0", code)
+	}
+}

@@ -1,0 +1,154 @@
+// Command xbmc exposes the bounded model checker's pipeline stages for one
+// PHP file — the Figure 6 translation chain:
+//
+//	xbmc -stage ai file.php          print AI(F(p))
+//	xbmc -stage renamed file.php     print the single-assignment form ρ
+//	xbmc -stage constraints file.php print the Figure 5 constraint system
+//	xbmc -stage cnf file.php         print per-assertion CNF sizes (DIMACS to -o)
+//	xbmc file.php                    verify and print per-assertion results
+//
+// The -naive flag switches to the xBMC0.1 location-variable encoding
+// (§3.3.1) so its blow-up can be inspected directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"webssari/internal/cnf"
+	"webssari/internal/constraint"
+	"webssari/internal/core"
+	"webssari/internal/flow"
+	"webssari/internal/prelude"
+	"webssari/internal/rename"
+	"webssari/internal/sat"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("xbmc", flag.ContinueOnError)
+	var (
+		stage  = fs.String("stage", "", "dump a pipeline stage: ai | renamed | constraints | cnf")
+		naive  = fs.Bool("naive", false, "use the xBMC0.1 location-variable encoding")
+		unroll = fs.Int("unroll", 1, "loop deconstruction factor")
+		outDir = fs.String("o", "", "directory for DIMACS dumps (with -stage cnf)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "xbmc: exactly one PHP file expected")
+		return 2
+	}
+	file := fs.Arg(0)
+	src, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
+		return 2
+	}
+
+	fopts := flow.Options{
+		Prelude:    prelude.Default(),
+		LoopUnroll: *unroll,
+		Loader:     os.ReadFile,
+	}
+	prog, errs := flow.BuildSource(file, src, fopts)
+	for _, err := range errs {
+		fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
+	}
+	if prog == nil {
+		return 2
+	}
+
+	switch *stage {
+	case "ai":
+		fmt.Print(prog.String())
+		fmt.Printf("diameter=%d size=%d branches=%d asserts=%d\n",
+			prog.Diameter(), prog.Size(), prog.Branches, len(prog.Asserts()))
+		return 0
+	case "renamed":
+		fmt.Print(rename.Rename(prog).String())
+		return 0
+	case "constraints":
+		fmt.Print(constraint.Build(rename.Rename(prog)).String())
+		return 0
+	case "cnf":
+		sys := constraint.Build(rename.Rename(prog))
+		for i := range sys.Checks {
+			enc, err := cnf.EncodeCheck(sys, i, cnf.Options{})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
+				return 2
+			}
+			fmt.Printf("assert_%d: %d vars, %d clauses, %d branch vars\n",
+				i, enc.F.NumVars, len(enc.F.Clauses), len(enc.BranchVars))
+			if *outDir != "" {
+				path := fmt.Sprintf("%s/assert_%d.cnf", *outDir, i)
+				f, err := os.Create(path)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
+					return 2
+				}
+				if err := enc.F.WriteDIMACS(f); err != nil {
+					fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
+					return 2
+				}
+				if err := f.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
+					return 2
+				}
+			}
+		}
+		return 0
+	case "":
+		// fall through to verification
+	default:
+		fmt.Fprintf(os.Stderr, "xbmc: unknown stage %q\n", *stage)
+		return 2
+	}
+
+	if *naive {
+		exit := 0
+		for i, a := range prog.Asserts() {
+			violated, enc, err := core.VerifyAssertNaive(prog, a, sat.Options{})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
+				return 2
+			}
+			verdict := "HOLDS (unsat)"
+			if violated {
+				verdict = "VIOLATED"
+				exit = 1
+			}
+			fmt.Printf("assert_%d %s at %s: %s  [xBMC0.1: %d vars, %d clauses, %d steps, %d state vars]\n",
+				i, a.Fn, a.Site.Pos, verdict,
+				enc.F.NumVars, len(enc.F.Clauses), enc.Steps, enc.StateVars)
+		}
+		return exit
+	}
+	res, err := core.VerifyAI(prog, core.Options{Flow: fopts})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
+		return 2
+	}
+	unsafeCount := 0
+	for i, ar := range res.PerAssert {
+		verdict := "HOLDS (unsat)"
+		if n := len(ar.Counterexamples); n > 0 {
+			verdict = fmt.Sprintf("VIOLATED: %d counterexample trace(s)", n)
+			unsafeCount++
+		}
+		fmt.Printf("assert_%d %s at %s: %s  [%d vars, %d clauses; %s]\n",
+			i, ar.Assert.Origin.Fn, ar.Assert.Origin.Site.Pos, verdict,
+			ar.EncodedVars, ar.EncodedClauses, ar.SolverStats)
+	}
+	if unsafeCount == 0 {
+		fmt.Println("VERIFIED: program is safe")
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writePHP(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.php")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const vulnSrc = `<?php
+if ($c) { $x = $_GET['a']; } else { $x = 'ok'; }
+echo $x;
+?>`
+
+func TestStages(t *testing.T) {
+	path := writePHP(t, vulnSrc)
+	for _, stage := range []string{"ai", "renamed", "constraints", "cnf"} {
+		if code := run([]string{"-stage", stage, path}); code != 0 {
+			t.Fatalf("stage %s: exit = %d", stage, code)
+		}
+	}
+}
+
+func TestCNFDump(t *testing.T) {
+	path := writePHP(t, vulnSrc)
+	out := t.TempDir()
+	if code := run([]string{"-stage", "cnf", "-o", out, path}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	data, err := os.ReadFile(filepath.Join(out, "assert_0.cnf"))
+	if err != nil {
+		t.Fatalf("missing DIMACS dump: %v", err)
+	}
+	if len(data) == 0 {
+		t.Fatalf("empty DIMACS dump")
+	}
+}
+
+func TestVerifyDefaultStage(t *testing.T) {
+	if code := run([]string{writePHP(t, vulnSrc)}); code != 1 {
+		t.Fatalf("vulnerable: exit = %d, want 1", code)
+	}
+	if code := run([]string{writePHP(t, `<?php echo 'ok';`)}); code != 0 {
+		t.Fatalf("safe: exit = %d, want 0", code)
+	}
+}
+
+func TestNaiveMode(t *testing.T) {
+	if code := run([]string{"-naive", writePHP(t, vulnSrc)}); code != 1 {
+		t.Fatalf("naive vulnerable: exit = %d, want 1", code)
+	}
+	if code := run([]string{"-naive", writePHP(t, `<?php $x = 'safe'; echo $x;`)}); code != 0 {
+		t.Fatalf("naive safe: exit = %d, want 0", code)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code := run(nil); code != 2 {
+		t.Fatalf("no args: exit = %d", code)
+	}
+	if code := run([]string{"/no/such.php"}); code != 2 {
+		t.Fatalf("missing file: exit = %d", code)
+	}
+	if code := run([]string{"-stage", "bogus", writePHP(t, vulnSrc)}); code != 2 {
+		t.Fatalf("bad stage: exit = %d", code)
+	}
+}

@@ -1,0 +1,124 @@
+package webssari_test
+
+// End-to-end property tests over randomly generated projects: for every
+// vulnerable file the corpus generator emits, patching the minimal fixing
+// set must (a) re-verify safe — the static guarantee — and (b) stop all
+// tainted data from reaching sinks when the patched file is *executed*
+// with attacker-controlled inputs — the dynamic guarantee the paper's
+// runtime guards provide.
+
+import (
+	"fmt"
+	"testing"
+
+	"webssari"
+	"webssari/internal/corpus"
+	"webssari/internal/runtime"
+)
+
+// seedAttack fills every request superglobal the generator may read with
+// attacker payloads.
+func seedAttack(in *runtime.Interp) {
+	payload := `'"><script>alert(1)</script>; DROP TABLE users --`
+	for i := 0; i < 128; i++ {
+		key := fmt.Sprintf("p%d", i)
+		in.Globals["_GET"].Set(key, runtime.Tainted(payload))
+		in.Globals["_POST"].Set(key, runtime.Tainted(payload))
+		in.Globals["_COOKIE"].Set(key, runtime.Tainted(payload))
+		in.Globals["_REQUEST"].Set(key, runtime.Tainted(payload))
+	}
+}
+
+func TestGeneratedProjectsPatchEndToEnd(t *testing.T) {
+	profiles := []corpus.Profile{
+		{Name: "e2e-tiny", TS: 2, BMC: 1, Files: 1, Statements: 30},
+		{Name: "e2e-spread", TS: 9, BMC: 3, Files: 3, Statements: 120},
+		{Name: "e2e-dense", TS: 12, BMC: 12, Files: 2, Statements: 90},
+		{Name: "e2e-grouped", TS: 20, BMC: 2, Files: 4, Statements: 160},
+	}
+	for _, prof := range profiles {
+		for seed := uint64(1); seed <= 3; seed++ {
+			proj := corpus.Generate(prof, seed)
+			for _, name := range proj.FileNames() {
+				src := proj.Sources[name]
+
+				rep, err := webssari.Verify(src, name)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", prof.Name, name, err)
+				}
+				if rep.Safe {
+					continue // clean padding file
+				}
+
+				// (a) Static: patch then re-verify.
+				patched, _, err := webssari.Patch(src, name)
+				if err != nil {
+					t.Fatalf("%s/%s patch: %v", prof.Name, name, err)
+				}
+				rep2, err := webssari.Verify(patched, name)
+				if err != nil {
+					t.Fatalf("%s/%s re-verify: %v", prof.Name, name, err)
+				}
+				if !rep2.Safe {
+					t.Fatalf("%s/%s (seed %d): patched file still unsafe\n%s",
+						prof.Name, name, seed, patched)
+				}
+
+				// (b) Dynamic: the original leaks under attack, the patched
+				// version does not.
+				orig := runtime.New()
+				seedAttack(orig)
+				if err := orig.RunSource(name, src); err != nil {
+					t.Fatalf("%s/%s run original: %v", prof.Name, name, err)
+				}
+				if len(orig.TaintedEvents()) == 0 {
+					t.Fatalf("%s/%s: statically unsafe file leaked nothing at runtime",
+						prof.Name, name)
+				}
+
+				fixed := runtime.New()
+				seedAttack(fixed)
+				if err := fixed.RunSource(name, patched); err != nil {
+					t.Fatalf("%s/%s run patched: %v\n%s", prof.Name, name, err, patched)
+				}
+				if evs := fixed.TaintedEvents(); len(evs) != 0 {
+					t.Fatalf("%s/%s (seed %d): patched file leaks at runtime: %v\n%s",
+						prof.Name, name, seed, evs, patched)
+				}
+			}
+		}
+	}
+}
+
+// TestPatchedOutputCountsGuards checks the instrumentation-count claim on
+// generated projects: the number of inserted guards equals the project's
+// BMC group count, not its TS symptom count.
+func TestPatchedOutputCountsGuards(t *testing.T) {
+	prof := corpus.Profile{Name: "count", TS: 18, BMC: 3, Files: 1, Statements: 80}
+	proj := corpus.Generate(prof, 5)
+	totalGuards := 0
+	for _, name := range proj.FileNames() {
+		patched, rep, err := webssari.Patch(proj.Sources[name], name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.Safe {
+			continue
+		}
+		totalGuards += countOccurrences(string(patched), "websafe(")
+	}
+	if totalGuards != prof.BMC {
+		t.Fatalf("guards = %d, want %d (BMC groups, not %d TS symptoms)",
+			totalGuards, prof.BMC, prof.TS)
+	}
+}
+
+func countOccurrences(s, sub string) int {
+	n := 0
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			n++
+		}
+	}
+	return n
+}

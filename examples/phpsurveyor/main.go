@@ -1,0 +1,70 @@
+// PHP Surveyor (the paper's Figure 7): sixteen vulnerable program
+// locations all caused by one tainted variable, $sid. The TS baseline
+// would insert sixteen sanitization guards — the BMC counterexample
+// analysis identifies the single root cause and patches it once per
+// introduction.
+//
+//	go run ./examples/phpsurveyor
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"webssari"
+)
+
+func surveyorSource() string {
+	var b strings.Builder
+	b.WriteString(`<?php
+$sid = $_GET['sid'];
+if (!$sid) { $sid = $_POST['sid']; }
+`)
+	// The paper's Figure 7 shows three of the sixteen sink sites; the
+	// original file had sixteen queries rooted in the same $sid.
+	tables := []string{
+		"groups", "ans", "questions", "surveys", "users", "answers",
+		"labels", "conditions", "assessments", "quota", "tokens",
+		"attributes", "sessions", "stats", "backup", "defaults",
+	}
+	for i, tbl := range tables {
+		fmt.Fprintf(&b, "$q%d = \"SELECT * FROM %s WHERE sid=$sid\";\nDoSQL($q%d);\n", i, tbl, i)
+	}
+	b.WriteString("?>")
+	return b.String()
+}
+
+func main() {
+	src := surveyorSource()
+	opts := []webssari.Option{webssari.WithSink("DoSQL", 1)}
+
+	rep, err := webssari.Verify([]byte(src), "surveyor.php", opts...)
+	if err != nil {
+		log.Fatalf("verify: %v", err)
+	}
+
+	fmt.Printf("vulnerable statements (TS symptoms): %d\n", rep.Symptoms)
+	fmt.Printf("error introductions (BMC groups):    %d\n", rep.Groups)
+	fmt.Println()
+	for _, p := range rep.Patches {
+		fmt.Printf("patch: %-45s repairs %2d traces\n", p.Description, p.Findings)
+	}
+
+	patched, _, err := webssari.Patch([]byte(src), "surveyor.php", opts...)
+	if err != nil {
+		log.Fatalf("patch: %v", err)
+	}
+	guards := strings.Count(string(patched), "websafe(")
+	fmt.Printf("\nruntime guards inserted: %d (the paper's TS-based WebSSARI inserted 16)\n", guards)
+
+	rep2, err := webssari.Verify(patched, "surveyor.php", opts...)
+	if err != nil {
+		log.Fatalf("re-verify: %v", err)
+	}
+	fmt.Printf("patched file verifies safe: %v\n", rep2.Safe)
+	fmt.Println("\n--- first lines of the secured file ---")
+	for _, line := range strings.SplitN(string(patched), "\n", 6)[:5] {
+		fmt.Println(line)
+	}
+}

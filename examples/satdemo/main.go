@@ -1,0 +1,135 @@
+// satdemo drives the CDCL SAT solver (the reproduction's ZChaff
+// substitute) directly: it encodes an N-queens instance, solves it,
+// enumerates solutions with blocking clauses — the same incremental loop
+// the bounded model checker uses to collect all counterexamples — and
+// shows an unsatisfiable pigeonhole instance with its search statistics.
+//
+//	go run ./examples/satdemo
+package main
+
+import (
+	"fmt"
+
+	"webssari/internal/sat"
+)
+
+func main() {
+	const n = 6
+	f, queenVar := queens(n)
+
+	s := sat.New()
+	f.LoadInto(s)
+	if s.Solve() != sat.Sat {
+		fmt.Println("unexpected: no solution")
+		return
+	}
+	fmt.Printf("%d-queens solved (%s):\n", n, s.Stats())
+	printBoard(n, queenVar, s)
+
+	// Enumerate all solutions via blocking clauses.
+	project := make([]int, 0, n*n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			project = append(project, queenVar(r, c))
+		}
+	}
+	models := sat.EnumerateModels(f, project, 0)
+	fmt.Printf("\ntotal %d-queens solutions: %d (expected 4)\n", n, len(models))
+
+	// Pigeonhole: provably unsatisfiable, heavy on clause learning.
+	php := pigeonhole(8, 7)
+	ps := sat.New()
+	php.LoadInto(ps)
+	res := ps.Solve()
+	fmt.Printf("\npigeonhole PHP(8,7): %v (%s)\n", verdict(res), ps.Stats())
+}
+
+func verdict(r sat.Result) string {
+	switch r {
+	case sat.Sat:
+		return "SATISFIABLE"
+	case sat.Unsat:
+		return "UNSATISFIABLE"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// queens builds the n-queens CNF: one queen per row, no attacks.
+func queens(n int) (*sat.CNF, func(r, c int) int) {
+	f := &sat.CNF{}
+	grid := make([][]int, n)
+	for r := range grid {
+		grid[r] = make([]int, n)
+		for c := range grid[r] {
+			grid[r][c] = f.NewVar()
+		}
+	}
+	at := func(r, c int) int { return grid[r][c] }
+
+	for r := 0; r < n; r++ {
+		row := make([]sat.Lit, n)
+		for c := 0; c < n; c++ {
+			row[c] = sat.Lit(at(r, c))
+		}
+		f.AddClause(row...)
+	}
+	conflict := func(r1, c1, r2, c2 int) {
+		f.AddClause(sat.Lit(-at(r1, c1)), sat.Lit(-at(r2, c2)))
+	}
+	for r1 := 0; r1 < n; r1++ {
+		for c1 := 0; c1 < n; c1++ {
+			for r2 := r1; r2 < n; r2++ {
+				for c2 := 0; c2 < n; c2++ {
+					if r1 == r2 && c2 <= c1 {
+						continue
+					}
+					sameCol := c1 == c2
+					sameRow := r1 == r2
+					sameDiag := r2-r1 == c2-c1 || r2-r1 == c1-c2
+					if sameRow || sameCol || sameDiag {
+						conflict(r1, c1, r2, c2)
+					}
+				}
+			}
+		}
+	}
+	return f, at
+}
+
+func printBoard(n int, at func(r, c int) int, s *sat.Solver) {
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			if s.Value(at(r, c)) {
+				fmt.Print(" Q")
+			} else {
+				fmt.Print(" .")
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func pigeonhole(pigeons, holes int) *sat.CNF {
+	f := &sat.CNF{}
+	at := make([][]int, pigeons)
+	for p := range at {
+		at[p] = make([]int, holes)
+		for h := range at[p] {
+			at[p][h] = f.NewVar()
+		}
+		cl := make([]sat.Lit, holes)
+		for h := range at[p] {
+			cl[h] = sat.Lit(at[p][h])
+		}
+		f.AddClause(cl...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				f.AddClause(sat.Lit(-at[p1][h]), sat.Lit(-at[p2][h]))
+			}
+		}
+	}
+	return f
+}

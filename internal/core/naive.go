@@ -1,0 +1,309 @@
+package core
+
+import (
+	"fmt"
+
+	"webssari/internal/ai"
+	"webssari/internal/lattice"
+	"webssari/internal/sat"
+)
+
+// This file implements xBMC0.1, the paper's first encoding (§3.3.1): an
+// auxiliary location variable l records the current statement, the
+// transition relation T(s, s') of the control-flow graph CFG(X, p) is
+// unrolled for k steps (k = the longest path), and the unrolled relation
+// is conjoined with the initial condition I(s0) and the risk condition
+// R(si..sk):
+//
+//	B(X, k) = I(s0) ∧ T(s0,s1) ∧ … ∧ T(sk−1,sk) ∧ R(si..sk)
+//
+// Every step must carry a copy of *every* variable, with frame axioms
+// keeping untouched variables equal across the step — the "inefficiently
+// encoding each assignment using 2|X| variables" that caused xBMC0.1's
+// "frequent system breakdowns" and motivated the renaming-based xBMC1.0.
+// It is retained as the encoding-ablation baseline (BenchmarkEncodingAblation).
+
+// naiveInstr is one linearized CFG node.
+type naiveInstr struct {
+	kind naiveKind
+	set  *ai.Set
+	chk  *ai.Assert
+	// branchID and elseTarget apply to branch instructions: the successor
+	// is pc+1 when the branch variable is true, elseTarget otherwise.
+	branchID   int
+	elseTarget int
+	// jumpTarget applies to jump instructions (end of a then-arm).
+	jumpTarget int
+}
+
+type naiveKind int
+
+const (
+	nSet naiveKind = iota + 1
+	nAssert
+	nBranch
+	nJump
+	nStop
+	nEnd
+)
+
+// NaiveEncoding is the xBMC0.1 formula for one assertion, with the size
+// statistics the ablation reports.
+type NaiveEncoding struct {
+	F *sat.CNF
+	// BranchVars maps branch IDs to SAT variables.
+	BranchVars map[int]int
+	// Steps is the unrolling depth k.
+	Steps int
+	// StateVars is the number of state variables (|X|+1 per step).
+	StateVars int
+}
+
+// linearize flattens the AI command tree into a jump-threaded instruction
+// list.
+func linearize(cmds []ai.Cmd) []naiveInstr {
+	var prog []naiveInstr
+	var emit func(cmds []ai.Cmd)
+	emit = func(cmds []ai.Cmd) {
+		for _, c := range cmds {
+			switch c := c.(type) {
+			case *ai.Set:
+				prog = append(prog, naiveInstr{kind: nSet, set: c})
+			case *ai.Assert:
+				prog = append(prog, naiveInstr{kind: nAssert, chk: c})
+			case *ai.If:
+				bIdx := len(prog)
+				prog = append(prog, naiveInstr{kind: nBranch, branchID: c.ID})
+				emit(c.Then)
+				jIdx := len(prog)
+				prog = append(prog, naiveInstr{kind: nJump})
+				prog[bIdx].elseTarget = len(prog)
+				emit(c.Else)
+				prog[jIdx].jumpTarget = len(prog)
+			case *ai.Stop:
+				prog = append(prog, naiveInstr{kind: nStop})
+			}
+		}
+	}
+	emit(cmds)
+	prog = append(prog, naiveInstr{kind: nEnd})
+	return prog
+}
+
+// EncodeNaive builds the xBMC0.1 formula B(X, k) whose satisfiability
+// means the target assertion (identified by pointer) can be violated.
+func EncodeNaive(prog *ai.Program, target *ai.Assert) (*NaiveEncoding, error) {
+	instrs := linearize(prog.Cmds)
+	vars := prog.Vars()
+	lat := prog.Lat
+	n := lat.Size()
+	k := len(instrs) // every path visits at most k locations
+
+	f := &sat.CNF{}
+
+	// One-hot helpers.
+	newOneHot := func(size int) []int {
+		group := make([]int, size)
+		alo := make([]sat.Lit, size)
+		for i := range group {
+			group[i] = f.NewVar()
+			alo[i] = sat.Lit(group[i])
+		}
+		f.AddClause(alo...)
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				f.AddClause(sat.Lit(-group[i]), sat.Lit(-group[j]))
+			}
+		}
+		return group
+	}
+
+	// State: loc[t] one-hot over instructions; typ[t][v] one-hot over
+	// lattice elements, for every variable at every step.
+	loc := make([][]int, k+1)
+	typ := make([][][]int, k+1)
+	for t := 0; t <= k; t++ {
+		loc[t] = newOneHot(len(instrs))
+		typ[t] = make([][]int, len(vars))
+		for vi := range vars {
+			typ[t][vi] = newOneHot(n)
+		}
+	}
+	varIdx := make(map[string]int, len(vars))
+	for i, v := range vars {
+		varIdx[v] = i
+	}
+	branchVars := make(map[int]int)
+	branchVar := func(id int) int {
+		if v, ok := branchVars[id]; ok {
+			return v
+		}
+		v := f.NewVar()
+		branchVars[id] = v
+		return v
+	}
+
+	// I(s0): initial location 0, initial types.
+	f.AddClause(sat.Lit(loc[0][0]))
+	for vi, name := range vars {
+		init := prog.InitialType(name)
+		f.AddClause(sat.Lit(typ[0][vi][init]))
+	}
+
+	// typeImplies encodes: cond ∧ (expr evaluates to a at step t) ⇒ out_a,
+	// by expanding the expression over the step-t type variables.
+	// It returns, for each lattice element, the list of "support" clauses.
+	var encodeExprEq func(t int, e ai.Expr, cond []sat.Lit, out []int)
+	encodeExprEq = func(t int, e ai.Expr, cond []sat.Lit, out []int) {
+		switch e := e.(type) {
+		case nil:
+			f.AddClause(append(negAll(cond), sat.Lit(out[lat.Bottom()]))...)
+		case ai.Const:
+			f.AddClause(append(negAll(cond), sat.Lit(out[e.Type]))...)
+		case ai.Var:
+			src := typ[t][varIdx[e.Name]]
+			for a := 0; a < n; a++ {
+				cl := append(negAll(cond), sat.Lit(-src[a]), sat.Lit(out[a]))
+				f.AddClause(cl...)
+			}
+		case ai.Join:
+			// Chain joins through intermediate one-hot groups.
+			if len(e.Parts) == 0 {
+				f.AddClause(append(negAll(cond), sat.Lit(out[lat.Bottom()]))...)
+				return
+			}
+			acc := newOneHot(n)
+			encodeExprEq(t, e.Parts[0], cond, acc)
+			for _, part := range e.Parts[1:] {
+				next := newOneHot(n)
+				encodeExprEq(t, part, cond, next)
+				joined := newOneHot(n)
+				for a := 0; a < n; a++ {
+					for b := 0; b < n; b++ {
+						j := lat.Join(lattice.Elem(a), lattice.Elem(b))
+						cl := append(negAll(cond),
+							sat.Lit(-acc[a]), sat.Lit(-next[b]), sat.Lit(joined[j]))
+						f.AddClause(cl...)
+					}
+				}
+				acc = joined
+			}
+			for a := 0; a < n; a++ {
+				cl := append(negAll(cond), sat.Lit(-acc[a]), sat.Lit(out[a]))
+				f.AddClause(cl...)
+			}
+		}
+	}
+
+	// T(s_t, s_{t+1}) for each step: case split on the current location.
+	for t := 0; t < k; t++ {
+		for pc, ins := range instrs {
+			at := sat.Lit(loc[t][pc]) // literal "location = pc at time t"
+			cond := []sat.Lit{at}
+
+			// frame axioms: variables not written keep their value —
+			// this is where each assignment costs 2·|X| variables.
+			frame := func(except int) {
+				for vi := range vars {
+					if vi == except {
+						continue
+					}
+					for a := 0; a < n; a++ {
+						f.AddClause(at.Not(), sat.Lit(-typ[t][vi][a]), sat.Lit(typ[t+1][vi][a]))
+					}
+				}
+			}
+
+			switch ins.kind {
+			case nSet:
+				vi := varIdx[ins.set.Var]
+				encodeExprEq(t, ins.set.RHS, cond, typ[t+1][vi])
+				frame(vi)
+				f.AddClause(at.Not(), sat.Lit(loc[t+1][pc+1]))
+			case nAssert:
+				frame(-1)
+				f.AddClause(at.Not(), sat.Lit(loc[t+1][pc+1]))
+			case nBranch:
+				frame(-1)
+				b := branchVar(ins.branchID)
+				f.AddClause(at.Not(), sat.Lit(-b), sat.Lit(loc[t+1][pc+1]))
+				f.AddClause(at.Not(), sat.Lit(b), sat.Lit(loc[t+1][ins.elseTarget]))
+			case nJump:
+				frame(-1)
+				f.AddClause(at.Not(), sat.Lit(loc[t+1][ins.jumpTarget]))
+			case nStop, nEnd:
+				frame(-1)
+				f.AddClause(at.Not(), sat.Lit(loc[t+1][pc])) // self-loop
+			}
+		}
+	}
+
+	// R: the risk condition — at some step the target assertion's location
+	// is active and a checked argument's type is not below the bound.
+	targetPC := -1
+	for pc, ins := range instrs {
+		if ins.kind == nAssert && ins.chk == target {
+			targetPC = pc
+		}
+	}
+	if targetPC < 0 {
+		return nil, fmt.Errorf("core: assertion not found in program")
+	}
+	bad := make(map[lattice.Elem]bool)
+	good := lat.DownStrict(target.Bound)
+	goodSet := make(map[lattice.Elem]bool, len(good))
+	for _, g := range good {
+		goodSet[g] = true
+	}
+	for _, el := range lat.Elems() {
+		if !goodSet[el] {
+			bad[el] = true
+		}
+	}
+
+	var risk []sat.Lit
+	for t := 0; t <= k; t++ {
+		// riskVar_t ↔ loc[t] = targetPC ∧ violation at t.
+		for _, arg := range target.Args {
+			val := newOneHot(n)
+			encodeExprEq(t, arg.Expr, []sat.Lit{sat.Lit(loc[t][targetPC])}, val)
+			for el := range bad {
+				rv := f.NewVar()
+				// rv → loc=target ∧ val=el
+				f.AddClause(sat.Lit(-rv), sat.Lit(loc[t][targetPC]))
+				f.AddClause(sat.Lit(-rv), sat.Lit(val[el]))
+				risk = append(risk, sat.Lit(rv))
+			}
+		}
+	}
+	f.AddClause(risk...)
+
+	return &NaiveEncoding{
+		F:          f,
+		BranchVars: branchVars,
+		Steps:      k,
+		StateVars:  (k + 1) * (len(vars) + 1),
+	}, nil
+}
+
+func negAll(lits []sat.Lit) []sat.Lit {
+	out := make([]sat.Lit, len(lits))
+	for i, l := range lits {
+		out[i] = l.Not()
+	}
+	return out
+}
+
+// VerifyAssertNaive decides one assertion with the xBMC0.1 encoding,
+// returning whether a violation exists plus the encoding for inspection.
+func VerifyAssertNaive(prog *ai.Program, target *ai.Assert, solverOpts sat.Options) (bool, *NaiveEncoding, error) {
+	enc, err := EncodeNaive(prog, target)
+	if err != nil {
+		return false, nil, err
+	}
+	s := sat.NewWith(solverOpts)
+	if !enc.F.LoadInto(s) {
+		return false, enc, nil
+	}
+	return s.Solve() == sat.Sat, enc, nil
+}

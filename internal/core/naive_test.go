@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"webssari/internal/flow"
+	"webssari/internal/prelude"
+	"webssari/internal/sat"
+)
+
+// TestNaiveAgreesWithRenamed checks that the xBMC0.1 location-variable
+// encoding and the xBMC1.0 renaming encoding decide every assertion the
+// same way.
+func TestNaiveAgreesWithRenamed(t *testing.T) {
+	sources := []string{
+		`<?php echo $_GET['x'];`,
+		`<?php $x = 'safe'; echo $x;`,
+		`<?php if ($a) { $x = $_GET['q']; } else { $x = 'ok'; } echo $x;`,
+		`<?php
+$x = $_COOKIE['c'];
+if ($a) { $x = htmlspecialchars($x); }
+echo $x;
+mysql_query($x);`,
+		`<?php
+$x = $_GET['a'];
+if ($s) { exit; }
+echo $x;`,
+		`<?php
+if ($a) { if ($b) { $y = $_POST['p']; } }
+echo $y;`,
+	}
+	for i, src := range sources {
+		prog, errs := flow.BuildSource("t.php", []byte(src), flow.Options{Prelude: prelude.Default()})
+		if len(errs) != 0 {
+			t.Fatalf("source %d: %v", i, errs)
+		}
+		res, err := VerifyAI(prog, Options{})
+		if err != nil {
+			t.Fatalf("source %d verify: %v", i, err)
+		}
+		asserts := prog.Asserts()
+		if len(asserts) != len(res.PerAssert) {
+			t.Fatalf("source %d: assert count mismatch", i)
+		}
+		for j, a := range asserts {
+			wantViolated := len(res.PerAssert[j].Counterexamples) > 0
+			gotViolated, enc, err := VerifyAssertNaive(prog, a, sat.Options{})
+			if err != nil {
+				t.Fatalf("source %d assert %d: %v", i, j, err)
+			}
+			if gotViolated != wantViolated {
+				t.Errorf("source %d assert %d: naive=%v renamed=%v", i, j, gotViolated, wantViolated)
+			}
+			if enc.StateVars == 0 || enc.Steps == 0 {
+				t.Errorf("source %d assert %d: missing size stats", i, j)
+			}
+		}
+	}
+}
+
+func TestNaiveAgreesOnRandomPrograms(t *testing.T) {
+	r := rand.New(rand.NewSource(321))
+	for i := 0; i < 25; i++ {
+		src := randomProgram(r)
+		prog, errs := flow.BuildSource("t.php", []byte(src), flow.Options{Prelude: prelude.Default()})
+		if len(errs) != 0 {
+			t.Fatalf("iter %d: %v", i, errs)
+		}
+		if prog.Size() > 40 {
+			continue // keep the quadratic naive encoding cheap in tests
+		}
+		res, err := VerifyAI(prog, Options{})
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		for j, a := range prog.Asserts() {
+			wantViolated := len(res.PerAssert[j].Counterexamples) > 0
+			gotViolated, _, err := VerifyAssertNaive(prog, a, sat.Options{})
+			if err != nil {
+				t.Fatalf("iter %d assert %d: %v", i, j, err)
+			}
+			if gotViolated != wantViolated {
+				t.Fatalf("iter %d assert %d: naive=%v renamed=%v\nsrc:\n%s",
+					i, j, gotViolated, wantViolated, src)
+			}
+		}
+	}
+}
+
+// TestNaiveEncodingExplodes demonstrates §3.3.1: the location-variable
+// encoding grows quadratically (per-step variable copies) where the
+// renaming encoding grows linearly.
+func TestNaiveEncodingExplodes(t *testing.T) {
+	small := taintChain(4)
+	large := taintChain(16)
+
+	sizeOf := func(src string) (naiveVars, renamedVars int) {
+		prog, errs := flow.BuildSource("t.php", []byte(src), flow.Options{Prelude: prelude.Default()})
+		if len(errs) != 0 {
+			t.Fatalf("build: %v", errs)
+		}
+		asserts := prog.Asserts()
+		_, enc, err := VerifyAssertNaive(prog, asserts[len(asserts)-1], sat.Options{})
+		if err != nil {
+			t.Fatalf("naive: %v", err)
+		}
+		res, err := VerifyAI(prog, Options{})
+		if err != nil {
+			t.Fatalf("renamed: %v", err)
+		}
+		return enc.F.NumVars, res.PerAssert[len(res.PerAssert)-1].EncodedVars
+	}
+
+	nv1, rv1 := sizeOf(small)
+	nv2, rv2 := sizeOf(large)
+	naiveGrowth := float64(nv2) / float64(nv1)
+	renamedGrowth := float64(rv2) / float64(max(rv1, 1))
+	if naiveGrowth < 2*renamedGrowth {
+		t.Fatalf("expected naive encoding to grow much faster: naive %d→%d (×%.1f), renamed %d→%d (×%.1f)",
+			nv1, nv2, naiveGrowth, rv1, rv2, renamedGrowth)
+	}
+}
+
+// taintChain builds a program with n variables each copied from the
+// previous, ending in a sink — the |X| growth driver.
+func taintChain(n int) string {
+	src := "<?php\n$v0 = $_GET['x'];\n"
+	for i := 1; i < n; i++ {
+		src += "$v" + itoa(i) + " = $v" + itoa(i-1) + ";\n"
+	}
+	src += "echo $v" + itoa(n-1) + ";\n"
+	return src
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"webssari/internal/ai"
+	"webssari/internal/cnf"
+	"webssari/internal/constraint"
+	"webssari/internal/rename"
+	"webssari/internal/sat"
+)
+
+// This file implements the shared-solver verification mode: one
+// incremental CDCL solver holds the whole program's encoding, and each
+// assertion is checked by solving under its selector assumption (see
+// internal/cnf/shared.go). An extension beyond the paper's per-assertion
+// rebuild loop, measured in BenchmarkSharedSolver.
+
+// VerifyAIShared verifies every assertion with a single incremental
+// solver. It produces the same counterexample sets as VerifyAI in its
+// default configuration; AssumePriorAsserts is not supported in this mode.
+func VerifyAIShared(prog *ai.Program, opts Options) (*Result, error) {
+	if opts.AssumePriorAsserts {
+		return nil, fmt.Errorf("core: shared-solver mode does not support AssumePriorAsserts")
+	}
+	if opts.MaxCounterexamples <= 0 {
+		opts.MaxCounterexamples = DefaultMaxCEX
+	}
+	ren := rename.Rename(prog)
+	sys := constraint.Build(ren)
+	res := &Result{
+		AI:       prog,
+		Renamed:  ren,
+		System:   sys,
+		Warnings: prog.Warnings,
+	}
+
+	encoded := cnf.EncodeAllChecks(sys)
+	solver := sat.NewWith(opts.Solver)
+	loaded := encoded.F.LoadInto(solver)
+
+	for i := range sys.Checks {
+		ar := &AssertResult{
+			Assert:         sys.Checks[i].Origin,
+			EncodedVars:    encoded.F.NumVars,
+			EncodedClauses: len(encoded.F.Clauses),
+		}
+		res.PerAssert = append(res.PerAssert, ar)
+		if encoded.TrivialUnsat[i] || !loaded {
+			continue
+		}
+		if err := enumerateShared(sys, encoded, solver, i, opts, ar); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+func enumerateShared(
+	sys *constraint.System,
+	encoded *cnf.EncodedAll,
+	solver *sat.Solver,
+	idx int,
+	opts Options,
+	ar *AssertResult,
+) error {
+	target := sys.Checks[idx].Origin
+	assumptions := []sat.Lit{encoded.Selectors[idx]}
+	seen := make(map[string]bool)
+	for {
+		verdict := solver.SolveAssuming(assumptions)
+		ar.SolverStats = solver.Stats()
+		if verdict == sat.Unsat {
+			return nil
+		}
+		if verdict != sat.Sat {
+			ar.Truncated = true
+			return nil
+		}
+		model := solver.Model()
+		branches := encoded.DecodeBranches(idx, model)
+
+		cex := replayTrace(sys.Renamed, target, branches)
+		if cex != nil && !seen[cex.Key()] {
+			seen[cex.Key()] = true
+			ar.Counterexamples = append(ar.Counterexamples, cex)
+			if len(ar.Counterexamples) >= opts.MaxCounterexamples {
+				ar.Truncated = true
+				return nil
+			}
+		}
+
+		var blocking []sat.Lit
+		if opts.BlockAllBN || cex == nil {
+			blocking = encoded.BlockingClause(idx, model, nil)
+		} else {
+			blocking = encoded.BlockingClause(idx, model, cex.Branches)
+		}
+		if blocking == nil {
+			return nil // single trace class exhausted
+		}
+		if !solver.AddClause(blocking...) {
+			return nil
+		}
+	}
+}

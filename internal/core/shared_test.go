@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"webssari/internal/flow"
+	"webssari/internal/prelude"
+)
+
+func verifyShared(t *testing.T, src string) *Result {
+	t.Helper()
+	prog, errs := flow.BuildSource("test.php", []byte(src), flow.Options{Prelude: prelude.Default()})
+	if len(errs) != 0 {
+		t.Fatalf("build: %v", errs)
+	}
+	res, err := VerifyAIShared(prog, Options{})
+	if err != nil {
+		t.Fatalf("shared verify: %v", err)
+	}
+	return res
+}
+
+func TestSharedSolverMatchesPerAssert(t *testing.T) {
+	sources := []string{
+		`<?php echo $_GET['x'];`,
+		`<?php $x = 'safe'; echo $x;`,
+		`<?php if ($a) { $x = $_GET['q']; } else { $x = 'ok'; } echo $x; mysql_query($x);`,
+		`<?php
+$x = $_COOKIE['c'];
+if ($a) { $x = htmlspecialchars($x); }
+echo $x;
+echo 'const';`,
+		`<?php
+$x = $_GET['a'];
+if ($s) { exit; }
+echo $x;`,
+		`<?php
+switch ($m) { case 1: $v = $_GET['x']; break; default: $v = 'ok'; }
+mysql_query($v);`,
+	}
+	for i, src := range sources {
+		shared := verifyShared(t, src)
+		baseline := verify(t, src)
+		got := cexKeys(shared)
+		want := cexKeys(baseline)
+		if strings.Join(got, "\n") != strings.Join(want, "\n") {
+			t.Errorf("source %d:\nshared:   %v\nbaseline: %v", i, got, want)
+		}
+	}
+}
+
+func TestSharedSolverMatchesOnRandomPrograms(t *testing.T) {
+	r := rand.New(rand.NewSource(515))
+	for i := 0; i < 80; i++ {
+		src := randomProgram(r)
+		prog, errs := flow.BuildSource("test.php", []byte(src), flow.Options{Prelude: prelude.Default()})
+		if len(errs) != 0 {
+			t.Fatalf("iter %d: %v", i, errs)
+		}
+		if prog.Branches > 12 {
+			continue
+		}
+		shared, err := VerifyAIShared(prog, Options{})
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		baseline, err := VerifyAI(prog, Options{})
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		got := cexKeys(shared)
+		want := cexKeys(baseline)
+		if strings.Join(got, "\n") != strings.Join(want, "\n") {
+			t.Fatalf("iter %d mismatch:\nsrc:\n%s\nshared:   %v\nbaseline: %v",
+				i, src, got, want)
+		}
+	}
+}
+
+func TestSharedSolverRejectsAssumePrior(t *testing.T) {
+	prog, errs := flow.BuildSource("t.php", []byte(`<?php echo 1;`),
+		flow.Options{Prelude: prelude.Default()})
+	if len(errs) != 0 {
+		t.Fatalf("build: %v", errs)
+	}
+	if _, err := VerifyAIShared(prog, Options{AssumePriorAsserts: true}); err == nil {
+		t.Fatalf("shared mode must reject AssumePriorAsserts")
+	}
+}
+
+func TestSharedSolverBlockingIsolation(t *testing.T) {
+	// Two assertions over the same branch structure: blocking clauses from
+	// enumerating assert 0 must not hide assert 1's counterexamples.
+	res := verifyShared(t, `<?php
+if ($a) { $x = $_GET['p']; } else { $x = $_POST['q']; }
+echo $x;
+mysql_query($x);`)
+	if len(res.PerAssert) != 2 {
+		t.Fatalf("asserts = %d", len(res.PerAssert))
+	}
+	for i, ar := range res.PerAssert {
+		if len(ar.Counterexamples) != 2 {
+			t.Fatalf("assert %d: %d counterexamples, want 2 (selector gating broken)",
+				i, len(ar.Counterexamples))
+		}
+	}
+}

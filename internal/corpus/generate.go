@@ -1,0 +1,201 @@
+package corpus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Project is a generated synthetic project: PHP sources plus bookkeeping.
+type Project struct {
+	Profile Profile
+	// Sources maps file name → PHP source.
+	Sources map[string][]byte
+	// VulnerableFiles lists files containing seeded flaws.
+	VulnerableFiles []string
+	// Statements counts generated PHP statements.
+	Statements int
+}
+
+// FileNames returns all file names in deterministic order.
+func (p *Project) FileNames() []string {
+	names := make([]string, 0, len(p.Sources))
+	for n := range p.Sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Generate synthesizes a project's sources from its profile. Generation is
+// deterministic in (profile, seed).
+//
+// Vulnerability structure: the profile's TS symptoms are partitioned among
+// BMC roots (every root gets at least one sink). Each root is one
+// untrusted input read ($_GET/$_POST/$_COOKIE); each of its sinks receives
+// the root's data through a fresh single-variable propagation chain, so
+//
+//   - the TS algorithm reports exactly one error per sink statement, and
+//   - the BMC counterexample analysis groups each root's sinks into one
+//     error introduction, making the minimal fixing set exactly BMC-sized.
+//
+// The remaining statement budget is filled with taint-free application
+// code (markup, arithmetic, sanitized output, helper functions) spread
+// over the profile's file count.
+func Generate(profile Profile, seed uint64) *Project {
+	g := &generator{
+		rng:     newSplitMix(seed ^ hashName(profile.Name)),
+		profile: profile,
+		proj: &Project{
+			Profile: profile,
+			Sources: make(map[string][]byte),
+		},
+	}
+	g.build()
+	return g.proj
+}
+
+func hashName(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+type generator struct {
+	rng     *splitMix
+	profile Profile
+	proj    *Project
+}
+
+func (g *generator) build() {
+	files := maxInt(1, g.profile.Files)
+	stmtBudget := maxInt(g.profile.Statements, g.profile.TS*3+5)
+
+	// Partition sinks among roots.
+	roots := g.profile.BMC
+	var sinksPerRoot []int
+	if roots > 0 {
+		base := g.profile.TS / roots
+		rem := g.profile.TS % roots
+		for j := 0; j < roots; j++ {
+			k := base
+			if j < rem {
+				k++
+			}
+			sinksPerRoot = append(sinksPerRoot, k)
+		}
+	}
+
+	// Spread roots over vulnerable files.
+	vulnFiles := 0
+	if roots > 0 {
+		vulnFiles = minInt(roots, maxInt(1, files/6))
+	}
+	rootsOfFile := make([][]int, vulnFiles)
+	for j := 0; j < roots; j++ {
+		fi := j % vulnFiles
+		rootsOfFile[fi] = append(rootsOfFile[fi], j)
+	}
+
+	perFile := stmtBudget / files
+	for fi := 0; fi < files; fi++ {
+		name := fmt.Sprintf("src/page%03d.php", fi)
+		var b strings.Builder
+		b.WriteString("<?php\n")
+		stmts := 0
+		if fi < vulnFiles {
+			for _, rootID := range rootsOfFile[fi] {
+				stmts += g.emitVulnerability(&b, rootID, sinksPerRoot[rootID])
+			}
+			g.proj.VulnerableFiles = append(g.proj.VulnerableFiles, name)
+		}
+		for stmts < perFile {
+			stmts += g.emitSafeBlock(&b, fi, stmts)
+		}
+		b.WriteString("?>\n")
+		g.proj.Sources[name] = []byte(b.String())
+		g.proj.Statements += stmts
+	}
+}
+
+// emitVulnerability writes one root and its sink chain; returns the number
+// of statements emitted.
+func (g *generator) emitVulnerability(b *strings.Builder, rootID, sinks int) int {
+	stmts := 0
+	root := fmt.Sprintf("in%d", rootID)
+	source := []string{"_GET", "_POST", "_COOKIE", "_REQUEST"}[g.rng.next()%4]
+	fmt.Fprintf(b, "$%s = $%s['p%d'];\n", root, source, rootID)
+	stmts++
+
+	for i := 0; i < sinks; i++ {
+		chainVar := fmt.Sprintf("q%d_%d", rootID, i)
+		// Occasionally interpose one extra single-variable hop: the
+		// replacement-set walk must cross it.
+		src := "$" + root
+		if g.rng.next()%3 == 0 {
+			mid := fmt.Sprintf("m%d_%d", rootID, i)
+			fmt.Fprintf(b, "$%s = %s;\n", mid, src)
+			stmts++
+			src = "$" + mid
+		}
+		switch g.rng.next() % 3 {
+		case 0:
+			fmt.Fprintf(b, "$%s = \"SELECT * FROM t%d WHERE k=\" . %s;\n", chainVar, i, src)
+			stmts++
+			fmt.Fprintf(b, "mysql_query($%s);\n", chainVar)
+			stmts++
+		case 1:
+			fmt.Fprintf(b, "$%s = \"<div>\" . %s . \"</div>\";\n", chainVar, src)
+			stmts++
+			fmt.Fprintf(b, "echo $%s;\n", chainVar)
+			stmts++
+		default:
+			fmt.Fprintf(b, "$%s = \"UPDATE t SET v=\" . %s;\n", chainVar, src)
+			stmts++
+			fmt.Fprintf(b, "mysql_query($%s);\n", chainVar)
+			stmts++
+		}
+	}
+	return stmts
+}
+
+// emitSafeBlock writes a small block of taint-free application code and
+// returns the statement count.
+func (g *generator) emitSafeBlock(b *strings.Builder, fileID, serial int) int {
+	id := fmt.Sprintf("%d_%d", fileID, serial)
+	switch g.rng.next() % 6 {
+	case 0:
+		fmt.Fprintf(b, "$title%s = 'Page %s';\n$count%s = 0;\necho '<h1>' . $title%s . '</h1>';\n",
+			id, id, id, id)
+		return 3
+	case 1:
+		fmt.Fprintf(b, "for ($i%s = 0; $i%s < 10; $i%s++) {\n    $sum%s = $i%s * 2;\n}\n",
+			id, id, id, id, id)
+		return 2
+	case 2:
+		fmt.Fprintf(b, "echo htmlspecialchars($_GET['view%s']);\n", id)
+		return 1
+	case 3:
+		fmt.Fprintf(b, "function helper%s($x) {\n    return $x . ' ok';\n}\necho helper%s('static');\n",
+			id, id)
+		return 3
+	case 4:
+		fmt.Fprintf(b, "if ($mode%s == 'a') {\n    $v%s = 1;\n} else {\n    $v%s = 2;\n}\necho $v%s;\n",
+			id, id, id, id)
+		return 4
+	default:
+		fmt.Fprintf(b, "$cfg%s = array('a' => 1, 'b' => 2);\n$x%s = $cfg%s['a'] + 5;\n",
+			id, id, id)
+		return 2
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

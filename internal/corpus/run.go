@@ -1,0 +1,109 @@
+package corpus
+
+import (
+	"fmt"
+	"time"
+
+	"webssari/internal/core"
+	"webssari/internal/fixing"
+	"webssari/internal/flow"
+	"webssari/internal/prelude"
+	"webssari/internal/typestate"
+)
+
+// RunStats is the measured outcome of analyzing one project — one row of
+// the regenerated Figure 10.
+type RunStats struct {
+	Project string
+	// TS is the measured TS-reported error count (symptoms).
+	TS int
+	// BMC is the measured BMC-reported error count: the size of the
+	// project-wide minimal fixing set (error introductions).
+	BMC int
+	// Naive is the size of the naive fixing set V_R^n (one guard per
+	// violating variable) — the instrumentation count a TS-guided patcher
+	// needs.
+	Naive int
+	// Counterexamples is the total number of BMC error traces.
+	Counterexamples int
+	Files           int
+	VulnerableFiles int
+	Statements      int
+	Duration        time.Duration
+}
+
+// Run analyzes every file of a generated project with both algorithms and
+// aggregates the per-project counts. pre may be nil (default prelude).
+func Run(proj *Project, pre *prelude.Prelude, engine core.Options) (*RunStats, error) {
+	if pre == nil {
+		pre = prelude.Default()
+	}
+	engine.Flow.Prelude = pre
+
+	stats := &RunStats{
+		Project:    proj.Profile.Name,
+		Files:      len(proj.Sources),
+		Statements: proj.Statements,
+	}
+	start := time.Now()
+	for _, name := range proj.FileNames() {
+		src := proj.Sources[name]
+		prog, errs := flow.BuildSource(name, src, engine.Flow)
+		if len(errs) > 0 {
+			return nil, fmt.Errorf("corpus: %s/%s: %w", proj.Profile.Name, name, errs[0])
+		}
+
+		stats.TS += typestate.Count(prog)
+
+		res, err := core.VerifyAI(prog, engine)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: %s/%s: %w", proj.Profile.Name, name, err)
+		}
+		if !res.Safe() {
+			stats.VulnerableFiles++
+		}
+		stats.Counterexamples += len(res.Counterexamples())
+		analysis := fixing.Analyze(res)
+		stats.BMC += len(analysis.GreedyMinimalFix())
+		stats.Naive += len(analysis.NaiveFix())
+	}
+	stats.Duration = time.Since(start)
+	return stats, nil
+}
+
+// Totals aggregates a slice of per-project stats.
+type Totals struct {
+	Projects           int
+	VulnerableProjects int
+	Files              int
+	VulnerableFiles    int
+	Statements         int
+	TS                 int
+	BMC                int
+	Naive              int
+	Duration           time.Duration
+}
+
+// Reduction returns the headline instrumentation reduction 1 − BMC/TS
+// (the paper reports 41.0%).
+func (t Totals) Reduction() float64 {
+	if t.TS == 0 {
+		return 0
+	}
+	return 1 - float64(t.BMC)/float64(t.TS)
+}
+
+// Accumulate folds one project's stats into the totals.
+func (t *Totals) Accumulate(s *RunStats) {
+	t.Projects++
+	if s.TS > 0 {
+		t.VulnerableProjects++
+	}
+	t.Files += s.Files
+	t.VulnerableFiles += s.VulnerableFiles
+	t.Statements += s.Statements
+	t.TS += s.TS
+	t.BMC += s.BMC
+	t.Naive += s.Naive
+	t.Duration += s.Duration
+}

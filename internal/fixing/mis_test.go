@@ -1,0 +1,146 @@
+package fixing_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"webssari/internal/fixing"
+)
+
+func TestGreedyMISSimple(t *testing.T) {
+	inst := fixing.MIS{
+		Universe: 4,
+		Sets:     [][]int{{0, 1}, {1, 2}, {1, 3}},
+	}
+	m := fixing.GreedyMIS(inst)
+	if len(m) != 1 || m[0] != 1 {
+		t.Fatalf("greedy = %v, want [1]", m)
+	}
+	if !fixing.Intersects(inst, m) {
+		t.Fatalf("greedy result does not intersect all sets")
+	}
+}
+
+func TestExactMISOptimal(t *testing.T) {
+	// Greedy can be fooled; exact cannot. Classic trap: one big element
+	// covering k sets vs two elements covering k+1.
+	inst := fixing.MIS{
+		Universe: 5,
+		// Sets: {0,3},{1,3},{2,4},{0,4} — element 3 covers 2, element 4
+		// covers 2; optimum {3,4} (2) vs any single element (insufficient).
+		Sets: [][]int{{0, 3}, {1, 3}, {2, 4}, {0, 4}},
+	}
+	exact := fixing.ExactMIS(inst)
+	if len(exact) != 2 {
+		t.Fatalf("exact = %v, want size 2", exact)
+	}
+	if !fixing.Intersects(inst, exact) {
+		t.Fatalf("exact result invalid")
+	}
+}
+
+func TestMISEmptyAndDegenerate(t *testing.T) {
+	inst := fixing.MIS{Universe: 3, Sets: nil}
+	if m := fixing.GreedyMIS(inst); len(m) != 0 {
+		t.Fatalf("empty instance: %v", m)
+	}
+	inst = fixing.MIS{Universe: 3, Sets: [][]int{{}, {1}}}
+	m := fixing.GreedyMIS(inst)
+	// The empty set is vacuously skipped; {1} needs element 1.
+	if len(m) != 1 || m[0] != 1 {
+		t.Fatalf("degenerate: %v", m)
+	}
+	if !fixing.Intersects(inst, m) {
+		t.Fatalf("must intersect the non-empty sets")
+	}
+}
+
+func TestMISQuickProperties(t *testing.T) {
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		universe := 3 + r.Intn(8)
+		nSets := 1 + r.Intn(8)
+		inst := fixing.MIS{Universe: universe}
+		for i := 0; i < nSets; i++ {
+			size := 1 + r.Intn(3)
+			set := make([]int, size)
+			for j := range set {
+				set[j] = r.Intn(universe)
+			}
+			inst.Sets = append(inst.Sets, set)
+		}
+		greedy := fixing.GreedyMIS(inst)
+		exact := fixing.ExactMIS(inst)
+		// Both valid.
+		if !fixing.Intersects(inst, greedy) || !fixing.Intersects(inst, exact) {
+			return false
+		}
+		// Exact is optimal, greedy within the Chvátal bound 1+ln(n).
+		if len(exact) > len(greedy) {
+			return false
+		}
+		bound := float64(len(exact)) * (1 + math.Log(float64(len(inst.Sets))))
+		return float64(len(greedy)) <= bound+1e-9
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVertexCoverReduction(t *testing.T) {
+	// Triangle: minimum vertex cover = 2.
+	triangle := fixing.Graph{Vertices: 3, Edges: [][2]int{{0, 1}, {1, 2}, {2, 0}}}
+	if got := fixing.MinVertexCoverSize(triangle); got != 2 {
+		t.Fatalf("triangle cover = %d, want 2", got)
+	}
+	// Star K1,4: center covers everything.
+	star := fixing.Graph{Vertices: 5, Edges: [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}}}
+	if got := fixing.MinVertexCoverSize(star); got != 1 {
+		t.Fatalf("star cover = %d, want 1", got)
+	}
+	// Path of 5 vertices: cover = 2 (vertices 1 and 3).
+	path := fixing.Graph{Vertices: 5, Edges: [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}}}
+	if got := fixing.MinVertexCoverSize(path); got != 2 {
+		t.Fatalf("path cover = %d, want 2", got)
+	}
+}
+
+func TestVertexCoverReductionQuick(t *testing.T) {
+	// On random graphs, the MIS solution of the reduction is always a
+	// vertex cover, and no smaller cover exists (checked by brute force).
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(5)
+		g := fixing.Graph{Vertices: n}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Intn(2) == 0 {
+					g.Edges = append(g.Edges, [2]int{i, j})
+				}
+			}
+		}
+		inst := fixing.VertexCoverToMIS(g)
+		cover := fixing.ExactMIS(inst)
+		if !fixing.IsVertexCover(g, cover) {
+			return false
+		}
+		// Brute-force check minimality.
+		for mask := 0; mask < 1<<uint(n); mask++ {
+			var cand []int
+			for v := 0; v < n; v++ {
+				if mask&(1<<uint(v)) != 0 {
+					cand = append(cand, v)
+				}
+			}
+			if len(cand) < len(cover) && fixing.IsVertexCover(g, cand) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,492 @@
+package flow
+
+import (
+	"fmt"
+
+	"webssari/internal/ai"
+	"webssari/internal/php/ast"
+)
+
+// trExpr translates a PHP expression into a safety-type expression,
+// emitting hoisted commands (nested assignments, unfolded calls, sink
+// assertions) for its side effects in evaluation order.
+func (b *builder) trExpr(e ast.Expr) ai.Expr {
+	bottom := ai.Const{Type: b.lat.Bottom(), Lat: b.lat}
+	switch e := e.(type) {
+	case nil:
+		return bottom
+
+	case *ast.IntLit, *ast.FloatLit, *ast.StringLit, *ast.BoolLit, *ast.NullLit, *ast.ConstFetch:
+		// Literals and constants carry the safest type (t_n = ⊥).
+		return bottom
+
+	case *ast.Var:
+		return ai.Var{Name: b.resolveVar(e.Name)}
+
+	case *ast.VarVar:
+		// A variable variable could read any variable; its type is
+		// conservatively ⊤ (§: documented approximation).
+		b.trExpr(e.Inner)
+		b.warnf(e.Pos(), "variable variable read approximated as ⊤")
+		return ai.Const{Type: b.lat.Top(), Lat: b.lat, Label: "$$"}
+
+	case *ast.Index:
+		if name, ok := globalsIndex(e); ok {
+			return ai.Var{Name: name}
+		}
+		b.trExpr(e.Key)
+		return b.trExpr(e.Arr)
+
+	case *ast.Prop:
+		// Object properties are folded into the object variable's type.
+		return b.trExpr(e.Obj)
+
+	case *ast.Interp:
+		parts := make([]ai.Expr, 0, len(e.Parts))
+		for _, part := range e.Parts {
+			parts = append(parts, b.trExpr(part))
+		}
+		return b.joinOf(parts)
+
+	case *ast.ArrayLit:
+		parts := make([]ai.Expr, 0, len(e.Items))
+		for _, it := range e.Items {
+			if it.Key != nil {
+				b.trExpr(it.Key)
+			}
+			parts = append(parts, b.trExpr(it.Val))
+		}
+		return b.joinOf(parts)
+
+	case *ast.Cast:
+		inner := b.trExpr(e.X)
+		if e.Sanitizing() {
+			// Numeric/boolean casts cannot carry string payloads: the
+			// common "(int)$_GET['id']" idiom is a sanitizer.
+			return ai.Const{Type: b.lat.Bottom(), Lat: b.lat, Label: "(" + e.To + ")"}
+		}
+		return inner
+
+	case *ast.Unary:
+		return b.trExpr(e.X)
+
+	case *ast.Binary:
+		l := b.trExpr(e.L)
+		r := b.trExpr(e.R)
+		return b.joinOf([]ai.Expr{l, r})
+
+	case *ast.Assign:
+		return b.trAssign(e)
+
+	case *ast.Ternary:
+		b.trExpr(e.Cond)
+		var parts []ai.Expr
+		if e.Then != nil {
+			parts = append(parts, b.trExpr(e.Then))
+		} else {
+			// Short form cond ?: else yields the condition's value.
+			parts = append(parts, b.trExpr(e.Cond))
+		}
+		parts = append(parts, b.trExpr(e.Else))
+		return b.joinOf(parts)
+
+	case *ast.Call:
+		return b.trCall(e)
+
+	case *ast.MethodCall:
+		return b.trMethodCall(e)
+
+	case *ast.StaticCall:
+		if fd, ok := b.lookupMethod(e.Class, e.Name); ok {
+			args, argASTs := b.trArgs(e.Args)
+			return b.inlineCall(fd, e.Class+"::"+e.Name, args, argASTs, nil, e)
+		}
+		return b.trNamedCall(e.Class+"::"+e.Name, e.Name, e.Args, e)
+
+	case *ast.New:
+		// Constructors are not unfolded; the object's type joins the
+		// constructor arguments (data stored in the object stays visible).
+		args, _ := b.trArgs(e.Args)
+		return b.joinOf(args)
+
+	case *ast.IncludeExpr:
+		return b.handleInclude(e)
+
+	case *ast.IssetExpr:
+		// isset does not read values, only existence: boolean result.
+		return bottom
+
+	case *ast.EmptyExpr:
+		return bottom
+
+	case *ast.ListExpr:
+		// Bare list() outside an assignment has no effect.
+		return bottom
+
+	case *ast.ExitExpr:
+		// exit/die in expression position (e.g. "... or die(...)"): the
+		// argument is emitted to the client, so the sink assertion applies,
+		// but execution only conditionally stops — conservatively treated
+		// as continuing (over-approximation keeps later errors visible).
+		b.trExitExpr(e)
+		return bottom
+
+	default:
+		b.warnf(e.Pos(), "unhandled expression %T approximated as ⊥", e)
+		return bottom
+	}
+}
+
+// joinOf folds expression parts with ⊔, treating the empty set as ⊥.
+func (b *builder) joinOf(parts []ai.Expr) ai.Expr {
+	j := ai.NewJoin(parts...)
+	if j == nil {
+		return ai.Const{Type: b.lat.Bottom(), Lat: b.lat}
+	}
+	return j
+}
+
+// globalsIndex recognizes $GLOBALS['name'] and returns the global name.
+func globalsIndex(e *ast.Index) (string, bool) {
+	v, ok := e.Arr.(*ast.Var)
+	if !ok || v.Name != "GLOBALS" {
+		return "", false
+	}
+	key, ok := e.Key.(*ast.StringLit)
+	if !ok {
+		return "", false
+	}
+	return key.Value, true
+}
+
+// trExitExpr emits the sink assertion for exit/die arguments.
+func (b *builder) trExitExpr(e *ast.ExitExpr) {
+	if e.Arg == nil {
+		return
+	}
+	arg := b.trExpr(e.Arg)
+	if sink, ok := b.pre.SinkFor("die"); ok {
+		b.emit(&ai.Assert{
+			Fn:    sink.Name,
+			Args:  []ai.Arg{{Expr: arg, ArgPos: 1, Pos: e.Arg.Pos(), End: e.Arg.End()}},
+			Bound: sink.Bound,
+			Site:  b.site(e),
+		})
+	}
+}
+
+// rootVar resolves the variable that ultimately receives a write through an
+// lvalue expression ($a, $a['k'], $a['k'][0], $o->p, $GLOBALS['g']).
+func (b *builder) rootVar(e ast.Expr) (name string, exact bool, ok bool) {
+	switch e := e.(type) {
+	case *ast.Var:
+		return b.resolveVar(e.Name), true, true
+	case *ast.Index:
+		if name, isGlobals := globalsIndex(e); isGlobals {
+			return name, true, true
+		}
+		if e.Key != nil {
+			b.trExpr(e.Key)
+		}
+		name, _, ok := b.rootVar(e.Arr)
+		// Writing one element is a weak update of the whole array.
+		return name, false, ok
+	case *ast.Prop:
+		name, _, ok := b.rootVar(e.Obj)
+		return name, false, ok
+	default:
+		return "", false, false
+	}
+}
+
+// srcRootName returns the source-level (unprefixed) name of the variable
+// an lvalue ultimately writes.
+func srcRootName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Var:
+		return e.Name
+	case *ast.Index:
+		if name, ok := globalsIndex(e); ok {
+			return name
+		}
+		return srcRootName(e.Arr)
+	case *ast.Prop:
+		return srcRootName(e.Obj)
+	default:
+		return ""
+	}
+}
+
+// trAssign lowers an assignment expression and returns the assigned
+// value's type expression.
+func (b *builder) trAssign(e *ast.Assign) ai.Expr {
+	// list($a, $b) = rhs distributes the right-hand side's type.
+	if lst, ok := e.LHS.(*ast.ListExpr); ok {
+		rhs := b.trExpr(e.RHS)
+		for _, tgt := range lst.Targets {
+			if tgt != nil {
+				b.assignTo(tgt, rhs, e.RHS, e)
+			}
+		}
+		return rhs
+	}
+
+	rhs := b.trExpr(e.RHS)
+	if e.Op.String() != "=" {
+		// Compound assignment ($x .= e and friends) joins old and new.
+		if name, _, ok := b.rootVar(e.LHS); ok {
+			rhs = ai.NewJoin(ai.Var{Name: name}, rhs)
+		}
+	}
+	b.assignTo(e.LHS, rhs, e.RHS, e)
+	return rhs
+}
+
+// assignTo emits the type assignment for a write of rhs through lvalue.
+// rhsNode, when non-nil, is the source expression whose span a runtime
+// guard can wrap to sanitize the assignment.
+func (b *builder) assignTo(lvalue ast.Expr, rhs ai.Expr, rhsNode ast.Expr, site ast.Node) {
+	name, exact, ok := b.rootVar(lvalue)
+	if !ok {
+		if vv, isVV := lvalue.(*ast.VarVar); isVV {
+			b.trExpr(vv.Inner)
+			b.warnf(lvalue.Pos(), "write through variable variable ignored")
+			return
+		}
+		b.warnf(lvalue.Pos(), "unsupported assignment target %T ignored", lvalue)
+		return
+	}
+	if !exact {
+		// Weak update: other elements/properties keep their taint.
+		rhs = ai.NewJoin(ai.Var{Name: name}, rhs)
+	}
+	set := &ai.Set{Var: name, RHS: rhs, Site: b.site(site), SrcVar: srcRootName(lvalue)}
+	if rhsNode != nil {
+		set.RHSPos = rhsNode.Pos()
+		set.RHSEnd = rhsNode.End()
+	} else {
+		set.Synthetic = true
+	}
+	b.emit(set)
+}
+
+// trArgs translates call arguments, returning both the type expressions
+// and the original ASTs (needed for by-reference copy-back).
+func (b *builder) trArgs(args []ast.Expr) ([]ai.Expr, []ast.Expr) {
+	out := make([]ai.Expr, len(args))
+	for i, a := range args {
+		out[i] = b.trExpr(a)
+	}
+	return out, args
+}
+
+// trCall lowers a function call.
+func (b *builder) trCall(e *ast.Call) ai.Expr {
+	name := e.FuncName()
+	if name == "" {
+		// Variable function $f(...): unresolvable statically.
+		b.trExpr(e.Func)
+		args, _ := b.trArgs(e.Args)
+		b.warnf(e.Pos(), "dynamic call target; result approximated as join of arguments")
+		return b.joinOf(args)
+	}
+	if name == "extract" {
+		return b.handleExtract(e)
+	}
+	if fd, ok := b.funcs[name]; ok {
+		args, argASTs := b.trArgs(e.Args)
+		return b.inlineCall(fd, name, args, argASTs, nil, e)
+	}
+	return b.trNamedCall(name, name, e.Args, e)
+}
+
+// trNamedCall handles calls resolved only by name against the prelude:
+// sanitizers, sources, sinks, and unknown builtins.
+func (b *builder) trNamedCall(display, name string, argASTs []ast.Expr, site ast.Node) ai.Expr {
+	if san, ok := b.pre.SanitizerFor(name); ok {
+		for _, a := range argASTs {
+			b.trExpr(a)
+		}
+		return ai.Const{Type: san.Type, Lat: b.lat, Label: san.Name}
+	}
+	if src, ok := b.pre.SourceFor(name); ok {
+		for _, a := range argASTs {
+			b.trExpr(a)
+		}
+		return ai.Const{Type: src.Type, Lat: b.lat, Label: src.Name}
+	}
+	if _, ok := b.pre.SinkFor(name); ok {
+		b.emitSinkCall(name, argASTs, site)
+		return ai.Const{Type: b.lat.Bottom(), Lat: b.lat}
+	}
+	// Unknown builtin: its result joins its arguments, the right default
+	// for the string functions that dominate real code (trim, substr,
+	// str_replace, sprintf, …) — taint flows through.
+	args, _ := b.trArgs(argASTs)
+	_ = display
+	return b.joinOf(args)
+}
+
+// trMethodCall lowers $obj->name(args): unfold when the method body is
+// statically resolvable, otherwise fall back to prelude/name resolution
+// (so $db->query($sql) still hits the mysql_query-style sink if the
+// prelude registers "query").
+func (b *builder) trMethodCall(e *ast.MethodCall) ai.Expr {
+	objExpr := b.trExpr(e.Obj)
+	if fd, ok := b.lookupMethod("", e.Name); ok {
+		args, argASTs := b.trArgs(e.Args)
+		thisRoot := ""
+		if name, _, okRoot := b.rootVar(e.Obj); okRoot {
+			thisRoot = name
+		}
+		result := b.inlineCall(fd, e.Name, args, argASTs, &methodReceiver{
+			expr: objExpr, rootVar: thisRoot,
+		}, e)
+		return result
+	}
+	if _, isSink := b.pre.SinkFor(e.Name); isSink {
+		b.emitSinkCall(e.Name, e.Args, e)
+		return ai.Const{Type: b.lat.Bottom(), Lat: b.lat}
+	}
+	if san, ok := b.pre.SanitizerFor(e.Name); ok {
+		b.trArgs(e.Args)
+		return ai.Const{Type: san.Type, Lat: b.lat, Label: san.Name}
+	}
+	if src, ok := b.pre.SourceFor(e.Name); ok {
+		b.trArgs(e.Args)
+		return ai.Const{Type: src.Type, Lat: b.lat, Label: src.Name}
+	}
+	args, _ := b.trArgs(e.Args)
+	return b.joinOf(append(args, objExpr))
+}
+
+type methodReceiver struct {
+	expr    ai.Expr
+	rootVar string
+}
+
+// inlineCall unfolds a user-defined function body at the call site,
+// implementing the filter's requirement that F(p) "unfolds function calls".
+// Locals are α-renamed with a per-instance prefix; by-reference parameters
+// copy back into the caller's variables.
+func (b *builder) inlineCall(
+	fd *ast.FunctionDecl,
+	name string,
+	args []ai.Expr,
+	argASTs []ast.Expr,
+	recv *methodReceiver,
+	site ast.Node,
+) ai.Expr {
+	key := ast.LowerName(name)
+	if b.inlineDepth[key] >= b.opts.MaxInlineDepth {
+		b.warnf(site.Pos(), "recursion cutoff unfolding %s; result approximated as join of arguments", name)
+		return b.joinOf(args)
+	}
+	b.inlineDepth[key]++
+	defer func() { b.inlineDepth[key]-- }()
+
+	b.instID++
+	prefix := fmt.Sprintf("%s#%d$", key, b.instID)
+	inner := &scope{
+		prefix:  prefix,
+		globals: make(map[string]bool),
+		retVar:  prefix + "return",
+	}
+
+	bottom := ai.Const{Type: b.lat.Bottom(), Lat: b.lat}
+
+	// Bind parameters in the caller's scope (defaults are evaluated in the
+	// callee, but they are constant in practice).
+	type refParam struct {
+		local  string
+		caller string
+	}
+	var refs []refParam
+	paramVals := make([]ai.Expr, len(fd.Params))
+	for i, p := range fd.Params {
+		switch {
+		case i < len(args):
+			paramVals[i] = args[i]
+		case p.Default != nil:
+			paramVals[i] = b.trExpr(p.Default)
+		default:
+			paramVals[i] = bottom
+		}
+		if p.ByRef && i < len(argASTs) {
+			if callerVar, _, ok := b.rootVar(argASTs[i]); ok {
+				refs = append(refs, refParam{local: prefix + p.Name, caller: callerVar})
+			}
+		}
+	}
+
+	outer := b.scope
+	b.scope = inner
+	b.emit(&ai.Set{Var: inner.retVar, RHS: bottom, Site: b.site(site), Synthetic: true})
+	for i, p := range fd.Params {
+		set := &ai.Set{Var: prefix + p.Name, RHS: paramVals[i], Site: b.site(site), Synthetic: true}
+		if i < len(argASTs) {
+			// The argument expression is a real patch point: wrapping it
+			// sanitizes the parameter at the call site.
+			set.SrcVar = srcRootName(argASTs[i])
+			set.RHSPos = argASTs[i].Pos()
+			set.RHSEnd = argASTs[i].End()
+			set.Synthetic = false
+		}
+		b.emit(set)
+	}
+	if recv != nil {
+		b.emit(&ai.Set{Var: prefix + "this", RHS: recv.expr, Site: b.site(site), Synthetic: true})
+	}
+	for _, st := range fd.Body {
+		b.buildStmt(st)
+	}
+	b.scope = outer
+
+	// Copy-back for by-reference parameters and the method receiver (weak
+	// updates: the callee may or may not have written).
+	for _, r := range refs {
+		b.emit(&ai.Set{
+			Var:       r.caller,
+			RHS:       ai.NewJoin(ai.Var{Name: r.caller}, ai.Var{Name: r.local}),
+			Site:      b.site(site),
+			Synthetic: true,
+		})
+	}
+	if recv != nil && recv.rootVar != "" {
+		b.emit(&ai.Set{
+			Var:       recv.rootVar,
+			RHS:       ai.NewJoin(ai.Var{Name: recv.rootVar}, ai.Var{Name: prefix + "this"}),
+			Site:      b.site(site),
+			Synthetic: true,
+		})
+	}
+	return ai.Var{Name: inner.retVar}
+}
+
+// handleExtract models PHP's extract($arr), which creates one variable per
+// array key. The statically unknowable key set is over-approximated by the
+// unit's read-but-never-assigned variable names: exactly the variables
+// whose only possible origin is an extract (or similar) call. Each receives
+// the array's type — reproducing the paper's PHP Support Tickets example,
+// where extract($row) hands tainted database fields to an echo.
+func (b *builder) handleExtract(e *ast.Call) ai.Expr {
+	bottom := ai.Const{Type: b.lat.Bottom(), Lat: b.lat}
+	if len(e.Args) == 0 {
+		return bottom
+	}
+	subj := b.trExpr(e.Args[0])
+	for _, a := range e.Args[1:] {
+		b.trExpr(a)
+	}
+	for _, name := range b.extractTargets {
+		b.emit(&ai.Set{
+			Var:    b.resolveVar(name),
+			RHS:    subj,
+			Site:   b.site(e),
+			SrcVar: name,
+			RHSPos: e.Args[0].Pos(),
+			RHSEnd: e.Args[0].End(),
+		})
+	}
+	return bottom
+}

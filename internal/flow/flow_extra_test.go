@@ -1,0 +1,358 @@
+package flow
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"webssari/internal/prelude"
+)
+
+func TestStaticMethodInlining(t *testing.T) {
+	p := build(t, `<?php
+class DB {
+    function quote($s) { return addslashes($s); }
+    function raw($s) { return $s; }
+}
+mysql_query(DB::quote($_GET['a']));
+mysql_query(DB::raw($_GET['b']));`)
+	vs := violations(p)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1 (only the raw path)\n%s", len(vs), p)
+	}
+}
+
+func TestAmbiguousMethodNameFallsBack(t *testing.T) {
+	// Two classes define render(); resolution by bare name is ambiguous,
+	// so the call degrades to join-of-args — taint still flows to echo.
+	p := build(t, `<?php
+class A { function render($x) { return $x; } }
+class B { function render($x) { return 'safe'; } }
+$obj = unknown_factory();
+echo $obj->render($_GET['q']);`)
+	if vs := violations(p); len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1 (conservative join)\n%s", len(vs), p)
+	}
+}
+
+func TestMethodPreludeFallback(t *testing.T) {
+	// $db->query(...) with no resolvable body hits the prelude's "query"
+	// sink if registered.
+	pre := prelude.Default()
+	pre.AddSink("query", pre.Lattice().Top(), 1)
+	prog, errs := BuildSource("t.php", []byte(`<?php
+$db = new Conn();
+$db->query("SELECT " . $_GET['c']);`), Options{Prelude: pre})
+	if len(errs) != 0 {
+		t.Fatalf("errs: %v", errs)
+	}
+	if vs := violations(prog); len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1\n%s", len(vs), prog)
+	}
+}
+
+func TestMethodSanitizerAndSourceFallback(t *testing.T) {
+	pre := prelude.Default()
+	pre.AddSanitizer("clean", pre.Lattice().Bottom())
+	pre.AddSource("fetch_user_input", pre.Lattice().Top())
+	prog, errs := BuildSource("t.php", []byte(`<?php
+echo $obj->clean($_GET['a']);
+echo $obj->fetch_user_input();`), Options{Prelude: pre})
+	if len(errs) != 0 {
+		t.Fatalf("errs: %v", errs)
+	}
+	vs := violations(prog)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1 (source only)\n%s", len(vs), prog)
+	}
+}
+
+func TestMethodWritesReceiverState(t *testing.T) {
+	p := build(t, `<?php
+class Holder {
+    function put($v) { $this->data = $v; }
+}
+$h = new Holder();
+$h->put($_POST['payload']);
+echo $h->data;`)
+	if vs := violations(p); len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1 (receiver taint must copy back)\n%s", len(vs), p)
+	}
+}
+
+func TestDynamicCallJoinsArgs(t *testing.T) {
+	p := build(t, `<?php
+$fn = $_GET['callback'];
+echo $fn($_POST['arg']);`)
+	if vs := violations(p); len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1\n%s", len(vs), p)
+	}
+	warned := false
+	for _, w := range p.Warnings {
+		if strings.Contains(w, "dynamic call") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Fatalf("missing dynamic-call warning: %v", p.Warnings)
+	}
+}
+
+func TestNewJoinsConstructorArgs(t *testing.T) {
+	p := build(t, `<?php
+$msg = new Message($_GET['body']);
+echo $msg;`)
+	if vs := violations(p); len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1\n%s", len(vs), p)
+	}
+}
+
+func TestListAssignDistributes(t *testing.T) {
+	p := build(t, `<?php
+list($a, $b) = explode(",", $_COOKIE['pair']);
+echo $a;
+echo $b;`)
+	if vs := violations(p); len(vs) != 2 {
+		t.Fatalf("violations = %d, want 2\n%s", len(vs), p)
+	}
+}
+
+func TestVarVarWriteIgnoredWithWarning(t *testing.T) {
+	p := build(t, `<?php
+$n = 'target';
+$$n = $_GET['a'];
+echo $safe;`)
+	if vs := violations(p); len(vs) != 0 {
+		t.Fatalf("violations = %d, want 0\n%s", len(vs), p)
+	}
+	warned := false
+	for _, w := range p.Warnings {
+		if strings.Contains(w, "variable variable") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Fatalf("missing varvar warning: %v", p.Warnings)
+	}
+}
+
+func TestAlternativeLoopSyntax(t *testing.T) {
+	p := build(t, `<?php
+while ($x): echo $_GET['a']; endwhile;
+for ($i = 0; $i < 2; $i++): $y = 1; endfor;
+foreach ($rows as $r): echo $r; endforeach;`)
+	if vs := violations(p); len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1\n%s", len(vs), p)
+	}
+}
+
+func TestDoWhileUnrollTwo(t *testing.T) {
+	src := `<?php
+$a = 'safe';
+do {
+    echo $b;
+    $b = $a;
+    $a = $_GET['x'];
+} while ($go);`
+	p1 := build(t, src)
+	if vs := violations(p1); len(vs) != 0 {
+		t.Fatalf("unroll=1: violations = %d, want 0\n%s", len(vs), p1)
+	}
+	p2 := build(t, src, func(o *Options) { o.LoopUnroll = 3 })
+	if vs := violations(p2); len(vs) == 0 {
+		t.Fatalf("unroll=3: want loop-carried violation\n%s", p2)
+	}
+}
+
+func TestMaxInlineDepthOption(t *testing.T) {
+	p := build(t, `<?php
+function wrap($x) { return inner($x); }
+function inner($y) { return wrap($y); }
+echo wrap($_GET['v']);`, func(o *Options) { o.MaxInlineDepth = 1 })
+	if vs := violations(p); len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1\n%s", len(vs), p)
+	}
+}
+
+func TestDefaultParameterValue(t *testing.T) {
+	p := build(t, `<?php
+function show($m = 'default') { echo $m; }
+show();
+show($_GET['x']);`)
+	if vs := violations(p); len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1 (default arg is safe)\n%s", len(vs), p)
+	}
+}
+
+func TestConditionalFunctionDeclaration(t *testing.T) {
+	p := build(t, `<?php
+if ($legacy) {
+    function render($m) { echo $m; }
+}
+render($_POST['c']);`)
+	// One violated assertion; two traces (the empty declaration branch is
+	// still a path split before the sink).
+	vs := violations(p)
+	sites := map[string]bool{}
+	for _, v := range vs {
+		sites[v.Assert.Site.String()] = true
+	}
+	if len(sites) != 1 || len(vs) != 2 {
+		t.Fatalf("violations = %d over %d sites, want 2 over 1 (conditional decl collected)\n%s",
+			len(vs), len(sites), p)
+	}
+}
+
+func TestGlobalsWrite(t *testing.T) {
+	p := build(t, `<?php
+function poison() {
+    $GLOBALS['cfg'] = $_GET['v'];
+}
+poison();
+echo $cfg;`)
+	if vs := violations(p); len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1\n%s", len(vs), p)
+	}
+}
+
+func TestEmptyAndIssetAreSafe(t *testing.T) {
+	p := build(t, `<?php
+echo isset($_GET['x']) ? 'y' : 'n';
+echo empty($_GET['x']) ? 'e' : 'f';`)
+	if vs := violations(p); len(vs) != 0 {
+		t.Fatalf("violations = %d, want 0 (boolean results)\n%s", len(vs), p)
+	}
+}
+
+func TestShortTernaryFlows(t *testing.T) {
+	p := build(t, `<?php
+$v = $_GET['x'] ?: 'fallback';
+echo $v;`)
+	if vs := violations(p); len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1 (condition value flows)\n%s", len(vs), p)
+	}
+}
+
+func TestArrayLiteralJoins(t *testing.T) {
+	p := build(t, `<?php
+$cfg = array('name' => $_GET['n'], 'safe' => 1);
+echo $cfg;`)
+	if vs := violations(p); len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1\n%s", len(vs), p)
+	}
+}
+
+func TestIncludeExpressionPosition(t *testing.T) {
+	// include as part of an expression; loader missing → warning, value ⊥.
+	p := build(t, `<?php $ok = include 'missing.php'; echo $ok;`)
+	if vs := violations(p); len(vs) != 0 {
+		t.Fatalf("violations = %d, want 0\n%s", len(vs), p)
+	}
+	if len(p.Warnings) == 0 {
+		t.Fatalf("missing loader warning")
+	}
+}
+
+func TestIncludeAbsoluteAndDirFallback(t *testing.T) {
+	files := map[string]string{
+		"/abs/lib.php":  `<?php function f1($m) { echo $m; }`,
+		"base/util.php": `<?php function f2($m) { echo $m; }`,
+	}
+	loader := func(path string) ([]byte, error) {
+		if src, ok := files[path]; ok {
+			return []byte(src), nil
+		}
+		return nil, fmt.Errorf("no file %q", path)
+	}
+	p := build(t, `<?php
+include '/abs/lib.php';
+include 'util.php';
+f1($_GET['a']);
+f2($_GET['b']);`, func(o *Options) {
+		o.Loader = loader
+		o.Dir = "base"
+	})
+	if vs := violations(p); len(vs) != 2 {
+		t.Fatalf("violations = %d, want 2\n%s\nwarnings: %v", len(vs), p, p.Warnings)
+	}
+}
+
+func TestRequireOnceBehavesLikeIncludeOnce(t *testing.T) {
+	files := map[string]string{
+		"lib.php": `<?php echo $_GET['x'];`,
+	}
+	loader := func(path string) ([]byte, error) {
+		if src, ok := files[path]; ok {
+			return []byte(src), nil
+		}
+		return nil, fmt.Errorf("no file %q", path)
+	}
+	p := build(t, `<?php
+require_once 'lib.php';
+require_once 'lib.php';`, func(o *Options) { o.Loader = loader })
+	if vs := violations(p); len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1 (spliced once)\n%s", len(vs), p)
+	}
+}
+
+func TestPreludeRequired(t *testing.T) {
+	_, err := Build(nil, Options{})
+	if err == nil {
+		t.Fatalf("missing prelude must be rejected")
+	}
+}
+
+func TestHeredocTaintFlow(t *testing.T) {
+	src := "<?php\n$q = <<<EOT\nSELECT * WHERE id=$_GET[id]\nEOT;\nmysql_query($q);\n"
+	p := build(t, src)
+	if vs := violations(p); len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1\n%s", len(vs), p)
+	}
+}
+
+func TestLegacyGlobalVisibleInFunctions(t *testing.T) {
+	// $HTTP_REFERER has a prelude type; it resolves globally even inside
+	// function bodies without a 'global' declaration (register-globals
+	// era behaviour).
+	p := build(t, `<?php
+function track() {
+    mysql_query("INSERT INTO t VALUES('$HTTP_REFERER')");
+}
+track();`)
+	if vs := violations(p); len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1\n%s", len(vs), p)
+	}
+}
+
+func TestIntCastSanitizes(t *testing.T) {
+	p := build(t, `<?php
+$id = (int)$_GET['id'];
+mysql_query("SELECT * FROM t WHERE id=$id");
+$name = (string)$_GET['name'];
+echo $name;`)
+	vs := violations(p)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1 (int cast sanitizes, string cast does not)\n%s", len(vs), p)
+	}
+	if vs[0].Assert.Fn != "echo" {
+		t.Fatalf("violated sink = %s, want echo", vs[0].Assert.Fn)
+	}
+}
+
+func TestBacktickIsCommandInjectionSink(t *testing.T) {
+	p := build(t, "<?php\n$out = `ls $_GET[dir]`;\necho htmlspecialchars($out);")
+	vs := violations(p)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1 (backtick shell execution)\n%s", len(vs), p)
+	}
+	if vs[0].Assert.Fn != "shell_exec" {
+		t.Fatalf("violated sink = %s, want shell_exec", vs[0].Assert.Fn)
+	}
+}
+
+func TestBacktickConstantIsSafe(t *testing.T) {
+	p := build(t, "<?php\n$out = `uptime`;\necho htmlspecialchars($out);")
+	if vs := violations(p); len(vs) != 0 {
+		t.Fatalf("violations = %d, want 0\n%s", len(vs), p)
+	}
+}

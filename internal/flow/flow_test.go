@@ -1,0 +1,557 @@
+package flow
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"webssari/internal/ai"
+	"webssari/internal/prelude"
+)
+
+// build filters src with the default prelude (plus any extra prelude text)
+// and fails the test on parse errors.
+func build(t *testing.T, src string, opts ...func(*Options)) *ai.Program {
+	t.Helper()
+	o := Options{Prelude: prelude.Default()}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	prog, errs := BuildSource("test.php", []byte(src), o)
+	for _, err := range errs {
+		t.Errorf("build: %v", err)
+	}
+	return prog
+}
+
+// violations runs the exhaustive reference oracle.
+func violations(p *ai.Program) []ai.Violation {
+	return p.ExhaustiveViolations()
+}
+
+func TestDirectTaintToSink(t *testing.T) {
+	p := build(t, `<?php $x = $_GET['a']; echo $x;`)
+	vs := violations(p)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1\n%s", len(vs), p)
+	}
+	if vs[0].Assert.Fn != "echo" {
+		t.Errorf("sink = %q, want echo", vs[0].Assert.Fn)
+	}
+}
+
+func TestUntaintedIsSafe(t *testing.T) {
+	p := build(t, `<?php $x = 'hello'; echo $x; echo "const $x";`)
+	if vs := violations(p); len(vs) != 0 {
+		t.Fatalf("violations = %d, want 0\n%s", len(vs), p)
+	}
+}
+
+func TestSanitizerClears(t *testing.T) {
+	p := build(t, `<?php $x = $_GET['a']; echo htmlspecialchars($x);`)
+	if vs := violations(p); len(vs) != 0 {
+		t.Fatalf("violations = %d, want 0\n%s", len(vs), p)
+	}
+}
+
+func TestSanitizedReassignment(t *testing.T) {
+	p := build(t, `<?php $x = $_GET['a']; $x = htmlspecialchars($x); echo $x;`)
+	if vs := violations(p); len(vs) != 0 {
+		t.Fatalf("violations = %d, want 0\n%s", len(vs), p)
+	}
+}
+
+func TestTaintThroughConcat(t *testing.T) {
+	p := build(t, `<?php $q = "SELECT * FROM t WHERE id=" . $_GET['id']; mysql_query($q);`)
+	vs := violations(p)
+	if len(vs) != 1 || vs[0].Assert.Fn != "mysql_query" {
+		t.Fatalf("violations = %+v, want one mysql_query\n%s", vs, p)
+	}
+}
+
+func TestTaintThroughInterpolation(t *testing.T) {
+	p := build(t, `<?php $sql = "INSERT INTO track_temp VALUES('$HTTP_REFERER');"; mysql_query($sql);`)
+	vs := violations(p)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1\n%s", len(vs), p)
+	}
+}
+
+func TestTaintThroughBuiltinStringFns(t *testing.T) {
+	p := build(t, `<?php $x = trim($_POST['name']); echo $x;`)
+	if vs := violations(p); len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1 (taint must flow through trim)\n%s", len(vs), p)
+	}
+}
+
+func TestBranchSensitivity(t *testing.T) {
+	// Taint only in one branch: exactly one violating trace.
+	p := build(t, `<?php
+if ($c) { $x = $_GET['a']; } else { $x = 'safe'; }
+echo $x;`)
+	vs := violations(p)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1\n%s", len(vs), p)
+	}
+	if len(vs[0].Branches) != 1 || !vs[0].Branches[0] {
+		t.Fatalf("trace branches = %v, want {0: true}", vs[0].Branches)
+	}
+}
+
+func TestBothBranchesTainted(t *testing.T) {
+	p := build(t, `<?php
+if ($c) { $x = $_GET['a']; } else { $x = $_POST['b']; }
+echo $x;`)
+	vs := violations(p)
+	if len(vs) != 2 {
+		t.Fatalf("violations = %d, want 2 traces\n%s", len(vs), p)
+	}
+}
+
+func TestFigure6Structure(t *testing.T) {
+	p := build(t, `<?php
+if ($Nick) {
+    $tmp = $_GET["nick"];
+    echo(htmlspecialchars($tmp));
+} else {
+    $tmp = "You are the " . $GuestCount . " guest";
+    echo($tmp);
+}`)
+	// Both branches are safe: the then-branch sanitizes, the else-branch
+	// uses only untainted data.
+	if vs := violations(p); len(vs) != 0 {
+		t.Fatalf("violations = %d, want 0\n%s", len(vs), p)
+	}
+	if p.Branches != 1 {
+		t.Fatalf("branches = %d, want 1", p.Branches)
+	}
+	asserts := p.Asserts()
+	if len(asserts) != 2 {
+		t.Fatalf("asserts = %d, want 2", len(asserts))
+	}
+}
+
+func TestWhileBecomesSelection(t *testing.T) {
+	p := build(t, `<?php while ($i < 10) { echo $_GET['x']; $i++; }`)
+	vs := violations(p)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1\n%s", len(vs), p)
+	}
+	if p.Branches != 1 {
+		t.Fatalf("branches = %d, want 1 (loop deconstructed to selection)", p.Branches)
+	}
+	// The violating trace must record the selection as taken.
+	if !vs[0].Branches[0] {
+		t.Fatalf("trace should enter the loop body")
+	}
+}
+
+func TestLoopConditionSideEffects(t *testing.T) {
+	// Figure 2 shape: the loop condition's assignment must be hoisted.
+	p := build(t, `<?php
+while ($row = mysql_fetch_array($result)) {
+    echo $row;
+}`)
+	vs := violations(p)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1\n%s", len(vs), p)
+	}
+}
+
+func TestLoopUnrollCatchesLoopCarriedFlow(t *testing.T) {
+	// Taint needs two iterations to reach the sink: $b gets $a's previous
+	// value. A single deconstruction (the paper's choice) misses it; unroll
+	// factor 2 finds it.
+	src := `<?php
+$a = 'safe';
+$b = 'safe';
+while ($i) {
+    $b = $a;
+    $a = $_GET['x'];
+}
+echo $b;`
+	p1 := build(t, src)
+	if vs := violations(p1); len(vs) != 0 {
+		t.Fatalf("unroll=1: violations = %d, want 0 (paper's single pass)\n%s", len(vs), p1)
+	}
+	p2 := build(t, src, func(o *Options) { o.LoopUnroll = 2 })
+	if vs := violations(p2); len(vs) == 0 {
+		t.Fatalf("unroll=2: want loop-carried violation\n%s", p2)
+	}
+}
+
+func TestForeachPropagatesSubjectTaint(t *testing.T) {
+	p := build(t, `<?php
+$rows = mysql_fetch_array($res);
+foreach ($rows as $k => $v) {
+    echo $v;
+}`)
+	if vs := violations(p); len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1\n%s", len(vs), p)
+	}
+}
+
+func TestForLoop(t *testing.T) {
+	p := build(t, `<?php
+for ($i = 0; $i < 10; $i++) {
+    echo $_COOKIE['session'];
+}`)
+	if vs := violations(p); len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1\n%s", len(vs), p)
+	}
+}
+
+func TestDoWhileBodyAlwaysRuns(t *testing.T) {
+	p := build(t, `<?php
+do { echo $_GET['x']; } while ($c);`)
+	vs := violations(p)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1\n%s", len(vs), p)
+	}
+	// The body is unconditional: the trace encounters no branch.
+	if len(vs[0].Branches) != 0 {
+		t.Fatalf("do-while first iteration should be branch-free, got %v", vs[0].Branches)
+	}
+}
+
+func TestSwitchCases(t *testing.T) {
+	p := build(t, `<?php
+switch ($mode) {
+case 'a': echo $_GET['x']; break;
+case 'b': echo 'safe'; break;
+default: echo $_POST['y'];
+}`)
+	vs := violations(p)
+	if len(vs) != 2 {
+		t.Fatalf("violations = %d, want 2\n%s", len(vs), p)
+	}
+}
+
+func TestFunctionInlining(t *testing.T) {
+	p := build(t, `<?php
+function render($msg) {
+    echo $msg;
+}
+render($_GET['comment']);
+render('static');`)
+	vs := violations(p)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1 (only tainted call site)\n%s", len(vs), p)
+	}
+}
+
+func TestFunctionReturnFlow(t *testing.T) {
+	p := build(t, `<?php
+function fetch() {
+    return $_POST['data'];
+}
+$x = fetch();
+echo $x;`)
+	if vs := violations(p); len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1\n%s", len(vs), p)
+	}
+}
+
+func TestFunctionReturnSanitized(t *testing.T) {
+	p := build(t, `<?php
+function clean($s) {
+    return htmlspecialchars($s);
+}
+echo clean($_GET['x']);`)
+	if vs := violations(p); len(vs) != 0 {
+		t.Fatalf("violations = %d, want 0\n%s", len(vs), p)
+	}
+}
+
+func TestLocalsDoNotLeakAcrossCalls(t *testing.T) {
+	p := build(t, `<?php
+function a() { $v = $_GET['x']; return 1; }
+function b() { $v = 'clean'; echo $v; }
+a();
+b();`)
+	if vs := violations(p); len(vs) != 0 {
+		t.Fatalf("violations = %d, want 0 (locals must be instance-renamed)\n%s", len(vs), p)
+	}
+}
+
+func TestGlobalStatement(t *testing.T) {
+	p := build(t, `<?php
+$data = $_GET['x'];
+function show() {
+    global $data;
+    echo $data;
+}
+show();`)
+	if vs := violations(p); len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1\n%s", len(vs), p)
+	}
+}
+
+func TestByRefParamCopyBack(t *testing.T) {
+	p := build(t, `<?php
+function fill(&$out) {
+    $out = $_POST['v'];
+}
+$x = 'safe';
+fill($x);
+echo $x;`)
+	if vs := violations(p); len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1 (by-ref taint must copy back)\n%s", len(vs), p)
+	}
+}
+
+func TestRecursionCutoff(t *testing.T) {
+	p := build(t, `<?php
+function rec($n) {
+    return rec($n - 1);
+}
+echo rec($_GET['x']);`)
+	// Taint still flows via the join-of-arguments fallback at the cutoff.
+	if vs := violations(p); len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1\n%s", len(vs), p)
+	}
+	found := false
+	for _, w := range p.Warnings {
+		if strings.Contains(w, "recursion cutoff") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want recursion-cutoff warning, got %v", p.Warnings)
+	}
+}
+
+func TestMethodInlining(t *testing.T) {
+	p := build(t, `<?php
+class View {
+    function show($m) { echo $m; }
+}
+$v = new View();
+$v->show($_GET['x']);`)
+	if vs := violations(p); len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1\n%s", len(vs), p)
+	}
+}
+
+func TestExtractFigure2(t *testing.T) {
+	p := build(t, `<?php
+$query = "SELECT tickets_id, tickets_username, tickets_subject FROM tickets_tickets";
+$result = @mysql_query($query);
+while ($row = @mysql_fetch_array($result)) {
+    extract($row);
+    echo "$tickets_username<BR>$tickets_subject<BR><BR>";
+}`)
+	vs := violations(p)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1 (stored XSS via extract)\n%s", len(vs), p)
+	}
+}
+
+func TestGlobalsArrayAccess(t *testing.T) {
+	p := build(t, `<?php
+$GLOBALS['msg'] = $_GET['m'];
+echo $GLOBALS['msg'];
+function f() { echo $GLOBALS['msg']; }
+f();`)
+	vs := violations(p)
+	if len(vs) != 2 {
+		t.Fatalf("violations = %d, want 2\n%s", len(vs), p)
+	}
+}
+
+func TestStopCutsExecution(t *testing.T) {
+	p := build(t, `<?php
+$x = $_GET['a'];
+exit;
+echo $x;`)
+	if vs := violations(p); len(vs) != 0 {
+		t.Fatalf("violations = %d, want 0 (echo is dead after exit)\n%s", len(vs), p)
+	}
+}
+
+func TestConditionalExit(t *testing.T) {
+	p := build(t, `<?php
+$x = $_GET['a'];
+if ($bad) { exit; }
+echo $x;`)
+	vs := violations(p)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1\n%s", len(vs), p)
+	}
+	if vs[0].Branches[0] {
+		t.Fatalf("violating trace must take the non-exit branch, got %v", vs[0].Branches)
+	}
+}
+
+func TestDieArgumentIsSink(t *testing.T) {
+	p := build(t, `<?php $r = f() or die("fail: $_GET[q]");`)
+	if vs := violations(p); len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1 (die echoes its argument)\n%s", len(vs), p)
+	}
+}
+
+func TestCompoundConcatAssignAccumulates(t *testing.T) {
+	p := build(t, `<?php
+$q = "SELECT ";
+$q .= $_GET['cols'];
+mysql_query($q);`)
+	if vs := violations(p); len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1\n%s", len(vs), p)
+	}
+}
+
+func TestUnsetClearsWholeVarOnly(t *testing.T) {
+	p := build(t, `<?php
+$a = $_GET['x'];
+unset($a);
+echo $a;
+$b = $_GET['y'];
+unset($b['k']);
+echo $b;`)
+	vs := violations(p)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1 (only element unset keeps taint)\n%s", len(vs), p)
+	}
+}
+
+func TestIncludeSplicing(t *testing.T) {
+	files := map[string]string{
+		"lib.php": `<?php function say($m) { echo $m; }`,
+	}
+	loader := func(path string) ([]byte, error) {
+		if src, ok := files[path]; ok {
+			return []byte(src), nil
+		}
+		return nil, fmt.Errorf("no such file %q", path)
+	}
+	p := build(t, `<?php
+include 'lib.php';
+say($_GET['x']);`, func(o *Options) { o.Loader = loader })
+	if vs := violations(p); len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1\n%s\nwarnings: %v", len(vs), p, p.Warnings)
+	}
+}
+
+func TestIncludeOnceAndCycles(t *testing.T) {
+	files := map[string]string{
+		"a.php": `<?php include_once 'b.php'; include_once 'b.php';`,
+		"b.php": `<?php include 'a.php'; echo $_GET['x'];`,
+	}
+	loader := func(path string) ([]byte, error) {
+		if src, ok := files[path]; ok {
+			return []byte(src), nil
+		}
+		return nil, fmt.Errorf("no such file %q", path)
+	}
+	p := build(t, `<?php include 'a.php';`, func(o *Options) { o.Loader = loader })
+	vs := violations(p)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1 (b.php spliced once)\n%s", len(vs), p)
+	}
+	cycleWarned := false
+	for _, w := range p.Warnings {
+		if strings.Contains(w, "cycle") {
+			cycleWarned = true
+		}
+	}
+	if !cycleWarned {
+		t.Fatalf("want include-cycle warning, got %v", p.Warnings)
+	}
+}
+
+func TestDynamicIncludeIsRFISink(t *testing.T) {
+	p := build(t, `<?php include $_GET['page'];`)
+	vs := violations(p)
+	if len(vs) != 1 || vs[0].Assert.Fn != "include" {
+		t.Fatalf("want one include-sink violation, got %+v\n%s", vs, p)
+	}
+}
+
+func TestVarVarConservative(t *testing.T) {
+	p := build(t, `<?php $name = 'x'; echo $$name;`)
+	if vs := violations(p); len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1 (variable variable is ⊤)\n%s", len(vs), p)
+	}
+}
+
+func TestSessionIsTrusted(t *testing.T) {
+	p := build(t, `<?php echo $_SESSION['username'];`)
+	if vs := violations(p); len(vs) != 0 {
+		t.Fatalf("violations = %d, want 0 (default prelude trusts _SESSION)\n%s", len(vs), p)
+	}
+}
+
+func TestCustomSinkViaPrelude(t *testing.T) {
+	// Figure 7 needs DoSQL as a project-specific sink.
+	pre := prelude.Default()
+	pre.AddSink("DoSQL", pre.Lattice().Top(), 1)
+	o := Options{Prelude: pre}
+	prog, errs := BuildSource("t.php", []byte(`<?php
+$sid = $_GET['sid'];
+$iq = "SELECT * FROM groups WHERE sid=$sid";
+DoSQL($iq);`), o)
+	if len(errs) != 0 {
+		t.Fatalf("errs: %v", errs)
+	}
+	if vs := violations(prog); len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1\n%s", len(vs), prog)
+	}
+}
+
+func TestDiameterAndSize(t *testing.T) {
+	p := build(t, `<?php
+$a = 1;
+if ($c) { $b = 2; $d = 3; } else { $e = 4; }
+$f = 5;`)
+	if d := p.Diameter(); d != 5 {
+		t.Fatalf("diameter = %d, want 5 (a, if, b, d, f)", d)
+	}
+	if n := p.Size(); n != 6 {
+		t.Fatalf("size = %d, want 6", n)
+	}
+}
+
+func TestTernaryJoinsBothArms(t *testing.T) {
+	p := build(t, `<?php $x = $cond ? $_GET['a'] : 'safe'; echo $x;`)
+	if vs := violations(p); len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1\n%s", len(vs), p)
+	}
+}
+
+func TestNestedCallArgAssignHoisted(t *testing.T) {
+	p := build(t, `<?php f($x = $_GET['a']); echo $x;`)
+	if vs := violations(p); len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1 (nested assignment must hoist)\n%s", len(vs), p)
+	}
+}
+
+func TestMaxCmdsTruncation(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("<?php\n")
+	for i := 0; i < 50; i++ {
+		fmt.Fprintf(&sb, "$v%d = %d;\n", i, i)
+	}
+	p := build(t, sb.String(), func(o *Options) { o.MaxCmds = 10 })
+	if p.Size() > 10 {
+		t.Fatalf("size = %d, want ≤ 10", p.Size())
+	}
+	found := false
+	for _, w := range p.Warnings {
+		if strings.Contains(w, "truncated") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want truncation warning")
+	}
+}
+
+func TestAIStringRendering(t *testing.T) {
+	p := build(t, `<?php if ($c) { $x = $_GET['a']; } echo $x;`)
+	s := p.String()
+	for _, frag := range []string{"if b0 then", "t($x)", "assert(", "echo"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("AI dump missing %q:\n%s", frag, s)
+		}
+	}
+}

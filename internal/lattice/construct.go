@@ -1,0 +1,88 @@
+package lattice
+
+import (
+	"fmt"
+)
+
+// TaintNames are the element names of the default two-point taint lattice
+// used by WebSSARI's PHP prelude: Untainted (⊥) < Tainted (⊤).
+const (
+	UntaintedName = "untainted"
+	TaintedName   = "tainted"
+)
+
+// Taint returns Denning's two-point taint lattice, Untainted < Tainted.
+// This is the lattice WebSSARI ships with in its default prelude; custom
+// preludes may use richer lattices (see Chain and Product).
+func Taint() *Lattice {
+	l, err := Chain(UntaintedName, TaintedName)
+	if err != nil {
+		// Unreachable: a two-element chain is always a lattice.
+		panic(err)
+	}
+	return l
+}
+
+// Chain constructs a total order names[0] < names[1] < … < names[n-1].
+// Every finite chain is a complete lattice.
+func Chain(names ...string) (*Lattice, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lattice: chain needs at least one element")
+	}
+	b := NewBuilder()
+	elems := make([]Elem, len(names))
+	for i, name := range names {
+		elems[i] = b.Add(name)
+	}
+	for i := 1; i < len(elems); i++ {
+		b.Covers(elems[i], elems[i-1])
+	}
+	return b.Build()
+}
+
+// Diamond constructs the four-point lattice ⊥ < {left, right} < ⊤ with
+// left and right incomparable. It is the smallest lattice that
+// distinguishes meet/join from min/max and is used heavily in tests.
+func Diamond(bottom, left, right, top string) (*Lattice, error) {
+	b := NewBuilder()
+	bo := b.Add(bottom)
+	le := b.Add(left)
+	ri := b.Add(right)
+	to := b.Add(top)
+	b.Covers(le, bo)
+	b.Covers(ri, bo)
+	b.Covers(to, le)
+	b.Covers(to, ri)
+	return b.Build()
+}
+
+// Product constructs the component-wise product lattice of a and b. The
+// element named "x·y" corresponds to the pair (x, y); order, meet and join
+// are component-wise. Products model independent safety dimensions (e.g.
+// SQL-trust × HTML-trust).
+func Product(a, b *Lattice) (*Lattice, error) {
+	bld := NewBuilder()
+	elems := make([][]Elem, a.Size())
+	for i := 0; i < a.Size(); i++ {
+		elems[i] = make([]Elem, b.Size())
+		for j := 0; j < b.Size(); j++ {
+			elems[i][j] = bld.Add(a.Name(Elem(i)) + "·" + b.Name(Elem(j)))
+		}
+	}
+	// Covering edges of the product are (cover in a, equal in b) and
+	// (equal in a, cover in b). Using all strict comparabilities instead of
+	// covers is also correct for Build, which closes transitively.
+	for i := 0; i < a.Size(); i++ {
+		for i2 := 0; i2 < a.Size(); i2++ {
+			for j := 0; j < b.Size(); j++ {
+				for j2 := 0; j2 < b.Size(); j2++ {
+					if (i != i2 || j != j2) &&
+						a.Leq(Elem(i), Elem(i2)) && b.Leq(Elem(j), Elem(j2)) {
+						bld.Covers(elems[i2][j2], elems[i][j])
+					}
+				}
+			}
+		}
+	}
+	return bld.Build()
+}

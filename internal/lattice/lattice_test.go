@@ -1,0 +1,354 @@
+package lattice
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustChain(t *testing.T, names ...string) *Lattice {
+	t.Helper()
+	l, err := Chain(names...)
+	if err != nil {
+		t.Fatalf("Chain(%v): %v", names, err)
+	}
+	return l
+}
+
+func mustDiamond(t *testing.T) *Lattice {
+	t.Helper()
+	l, err := Diamond("bot", "left", "right", "top")
+	if err != nil {
+		t.Fatalf("Diamond: %v", err)
+	}
+	return l
+}
+
+func TestTaintLattice(t *testing.T) {
+	l := Taint()
+	if l.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", l.Size())
+	}
+	u, ok := l.Lookup(UntaintedName)
+	if !ok {
+		t.Fatalf("Lookup(%q) failed", UntaintedName)
+	}
+	ta, ok := l.Lookup(TaintedName)
+	if !ok {
+		t.Fatalf("Lookup(%q) failed", TaintedName)
+	}
+	if l.Bottom() != u {
+		t.Errorf("Bottom = %v, want untainted", l.Name(l.Bottom()))
+	}
+	if l.Top() != ta {
+		t.Errorf("Top = %v, want tainted", l.Name(l.Top()))
+	}
+	if !l.Lt(u, ta) {
+		t.Errorf("want untainted < tainted")
+	}
+	if l.Lt(ta, u) {
+		t.Errorf("tainted < untainted should be false")
+	}
+	if got := l.Join(u, ta); got != ta {
+		t.Errorf("Join(u,t) = %v, want tainted", l.Name(got))
+	}
+	if got := l.Meet(u, ta); got != u {
+		t.Errorf("Meet(u,t) = %v, want untainted", l.Name(got))
+	}
+}
+
+func TestChainOrder(t *testing.T) {
+	l := mustChain(t, "a", "b", "c", "d")
+	a, _ := l.Lookup("a")
+	b, _ := l.Lookup("b")
+	c, _ := l.Lookup("c")
+	d, _ := l.Lookup("d")
+	if l.Bottom() != a || l.Top() != d {
+		t.Fatalf("bounds = %v,%v want a,d", l.Name(l.Bottom()), l.Name(l.Top()))
+	}
+	if !l.Leq(a, c) || !l.Leq(b, b) || l.Leq(c, b) {
+		t.Errorf("chain order wrong")
+	}
+	if l.Join(b, c) != c || l.Meet(b, c) != b {
+		t.Errorf("chain join/meet wrong")
+	}
+	if got := l.JoinAll(a, b, d); got != d {
+		t.Errorf("JoinAll = %v want d", l.Name(got))
+	}
+	if got := l.MeetAll(b, c, d); got != b {
+		t.Errorf("MeetAll = %v want b", l.Name(got))
+	}
+}
+
+func TestEmptyJoinMeetConventions(t *testing.T) {
+	l := mustChain(t, "lo", "mid", "hi")
+	if got := l.JoinAll(); got != l.Bottom() {
+		t.Errorf("JoinAll() = %v, want bottom", l.Name(got))
+	}
+	if got := l.MeetAll(); got != l.Top() {
+		t.Errorf("MeetAll() = %v, want top", l.Name(got))
+	}
+}
+
+func TestDiamondIncomparable(t *testing.T) {
+	l := mustDiamond(t)
+	le, _ := l.Lookup("left")
+	ri, _ := l.Lookup("right")
+	bo, _ := l.Lookup("bot")
+	to, _ := l.Lookup("top")
+	if l.Leq(le, ri) || l.Leq(ri, le) {
+		t.Errorf("left and right must be incomparable")
+	}
+	if l.Join(le, ri) != to {
+		t.Errorf("Join(left,right) = %v, want top", l.Name(l.Join(le, ri)))
+	}
+	if l.Meet(le, ri) != bo {
+		t.Errorf("Meet(left,right) = %v, want bot", l.Name(l.Meet(le, ri)))
+	}
+}
+
+func TestDownStrict(t *testing.T) {
+	l := mustDiamond(t)
+	to, _ := l.Lookup("top")
+	le, _ := l.Lookup("left")
+	bo, _ := l.Lookup("bot")
+	down := l.DownStrict(to)
+	if len(down) != 3 {
+		t.Fatalf("DownStrict(top) = %d elems, want 3", len(down))
+	}
+	down = l.DownStrict(le)
+	if len(down) != 1 || down[0] != bo {
+		t.Fatalf("DownStrict(left) = %v, want [bot]", down)
+	}
+	if got := l.DownStrict(bo); len(got) != 0 {
+		t.Fatalf("DownStrict(bot) = %v, want empty", got)
+	}
+	if got := l.DownClosed(bo); len(got) != 1 {
+		t.Fatalf("DownClosed(bot) = %v, want [bot]", got)
+	}
+}
+
+func TestBuilderRejectsCycle(t *testing.T) {
+	b := NewBuilder()
+	x := b.Add("x")
+	y := b.Add("y")
+	b.Covers(y, x)
+	b.Covers(x, y)
+	if _, err := b.Build(); err == nil {
+		t.Fatalf("Build accepted a cyclic order")
+	}
+}
+
+func TestBuilderRejectsDuplicate(t *testing.T) {
+	b := NewBuilder()
+	b.Add("x")
+	b.Add("x")
+	if _, err := b.Build(); err == nil {
+		t.Fatalf("Build accepted duplicate element names")
+	}
+}
+
+func TestBuilderRejectsNonLattice(t *testing.T) {
+	// Two incomparable elements with no common upper bound: not a lattice.
+	b := NewBuilder()
+	b.Add("a")
+	b.Add("b")
+	if _, err := b.Build(); err == nil {
+		t.Fatalf("Build accepted an order with no top")
+	}
+
+	// The "hexagon" with two minimal upper bounds for (a, b): ⊥ < a,b;
+	// a,b < c,d; c,d < ⊤. Join(a,b) is not unique, so not a lattice.
+	b = NewBuilder()
+	bo := b.Add("bot")
+	a := b.Add("a")
+	bb := b.Add("b")
+	c := b.Add("c")
+	d := b.Add("d")
+	to := b.Add("top")
+	b.Covers(a, bo)
+	b.Covers(bb, bo)
+	b.Covers(c, a)
+	b.Covers(c, bb)
+	b.Covers(d, a)
+	b.Covers(d, bb)
+	b.Covers(to, c)
+	b.Covers(to, d)
+	if _, err := b.Build(); err == nil {
+		t.Fatalf("Build accepted a non-lattice order (non-unique lub)")
+	}
+}
+
+func TestBuilderRejectsEmptyAndBadCovers(t *testing.T) {
+	if _, err := NewBuilder().Build(); err == nil {
+		t.Fatalf("Build accepted empty order")
+	}
+	b := NewBuilder()
+	x := b.Add("x")
+	b.Covers(x, x)
+	if _, err := b.Build(); err == nil {
+		t.Fatalf("Build accepted self-cover")
+	}
+	b = NewBuilder()
+	x = b.Add("x")
+	b.Covers(x, Elem(7))
+	if _, err := b.Build(); err == nil {
+		t.Fatalf("Build accepted out-of-range cover")
+	}
+}
+
+func TestProduct(t *testing.T) {
+	sql := mustChain(t, "sqlsafe", "sqltaint")
+	html := mustChain(t, "htmlsafe", "htmltaint")
+	p, err := Product(sql, html)
+	if err != nil {
+		t.Fatalf("Product: %v", err)
+	}
+	if p.Size() != 4 {
+		t.Fatalf("Size = %d, want 4", p.Size())
+	}
+	bot := p.Bottom()
+	top := p.Top()
+	if p.Name(bot) != "sqlsafe·htmlsafe" {
+		t.Errorf("bottom = %q", p.Name(bot))
+	}
+	if p.Name(top) != "sqltaint·htmltaint" {
+		t.Errorf("top = %q", p.Name(top))
+	}
+	st, _ := p.Lookup("sqltaint·htmlsafe")
+	ht, _ := p.Lookup("sqlsafe·htmltaint")
+	if p.Leq(st, ht) || p.Leq(ht, st) {
+		t.Errorf("mixed taints should be incomparable")
+	}
+	if p.Join(st, ht) != top || p.Meet(st, ht) != bot {
+		t.Errorf("product join/meet wrong")
+	}
+}
+
+// randomLattices used for the property tests below: chains of varying
+// height, the diamond, and products thereof.
+func randomLattice(r *rand.Rand) *Lattice {
+	switch r.Intn(4) {
+	case 0:
+		names := make([]string, 1+r.Intn(6))
+		for i := range names {
+			names[i] = string(rune('a' + i))
+		}
+		l, err := Chain(names...)
+		if err != nil {
+			panic(err)
+		}
+		return l
+	case 1:
+		l, err := Diamond("bot", "l", "r", "top")
+		if err != nil {
+			panic(err)
+		}
+		return l
+	case 2:
+		a, err := Chain("0", "1", "2")
+		if err != nil {
+			panic(err)
+		}
+		b, err := Chain("x", "y")
+		if err != nil {
+			panic(err)
+		}
+		p, err := Product(a, b)
+		if err != nil {
+			panic(err)
+		}
+		return p
+	default:
+		return Taint()
+	}
+}
+
+func TestLatticeLawsQuick(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	property := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		l := randomLattice(rr)
+		n := l.Size()
+		a := Elem(rr.Intn(n))
+		b := Elem(rr.Intn(n))
+		c := Elem(rr.Intn(n))
+
+		// Idempotence.
+		if l.Join(a, a) != a || l.Meet(a, a) != a {
+			return false
+		}
+		// Commutativity.
+		if l.Join(a, b) != l.Join(b, a) || l.Meet(a, b) != l.Meet(b, a) {
+			return false
+		}
+		// Associativity.
+		if l.Join(l.Join(a, b), c) != l.Join(a, l.Join(b, c)) {
+			return false
+		}
+		if l.Meet(l.Meet(a, b), c) != l.Meet(a, l.Meet(b, c)) {
+			return false
+		}
+		// Absorption.
+		if l.Join(a, l.Meet(a, b)) != a || l.Meet(a, l.Join(a, b)) != a {
+			return false
+		}
+		// Order consistency: a ≤ b iff join = b iff meet = a.
+		if l.Leq(a, b) != (l.Join(a, b) == b) || l.Leq(a, b) != (l.Meet(a, b) == a) {
+			return false
+		}
+		// Bounds.
+		if !l.Leq(l.Bottom(), a) || !l.Leq(a, l.Top()) {
+			return false
+		}
+		// Join/meet are genuine bounds.
+		j := l.Join(a, b)
+		m := l.Meet(a, b)
+		if !l.Leq(a, j) || !l.Leq(b, j) || !l.Leq(m, a) || !l.Leq(m, b) {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: r}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinIsLeastUpperBound(t *testing.T) {
+	// For every pair (a,b) and every upper bound u of {a,b}: join(a,b) ≤ u.
+	lats := []*Lattice{Taint(), mustDiamond(t), mustChain(t, "1", "2", "3", "4", "5")}
+	for _, l := range lats {
+		for _, a := range l.Elems() {
+			for _, b := range l.Elems() {
+				j := l.Join(a, b)
+				m := l.Meet(a, b)
+				for _, u := range l.Elems() {
+					if l.Leq(a, u) && l.Leq(b, u) && !l.Leq(j, u) {
+						t.Fatalf("%v: join(%v,%v)=%v not least", l, l.Name(a), l.Name(b), l.Name(j))
+					}
+					if l.Leq(u, a) && l.Leq(u, b) && !l.Leq(u, m) {
+						t.Fatalf("%v: meet(%v,%v)=%v not greatest", l, l.Name(a), l.Name(b), l.Name(m))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestStringIsStable(t *testing.T) {
+	l := mustChain(t, "u", "t")
+	if got := l.String(); got != "{u ≤ t}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestElemsAscending(t *testing.T) {
+	l := mustDiamond(t)
+	es := l.Elems()
+	for i, e := range es {
+		if int(e) != i {
+			t.Fatalf("Elems[%d] = %d", i, e)
+		}
+	}
+}

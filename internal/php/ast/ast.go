@@ -1,0 +1,506 @@
+// Package ast defines the abstract syntax tree of the PHP subset. Every
+// node carries its source span (start position and end byte offset) so that
+// later stages — error reports, counterexample traces, and the automated
+// patcher — can point back into the original source text.
+package ast
+
+import (
+	"webssari/internal/php/token"
+)
+
+// Node is the interface implemented by all AST nodes.
+type Node interface {
+	// Pos returns the position of the first character of the node.
+	Pos() token.Pos
+	// End returns the byte offset one past the last character of the node.
+	End() int
+}
+
+// Span is the source extent shared by all nodes. It is embedded in every
+// concrete node type; parsers populate it directly.
+type Span struct {
+	Start   token.Pos
+	StopOff int
+}
+
+// Pos implements Node.
+func (s Span) Pos() token.Pos { return s.Start }
+
+// End implements Node.
+func (s Span) End() int { return s.StopOff }
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// ---------------------------------------------------------------- literals
+
+// IntLit is an integer literal. Raw keeps the original spelling (e.g. hex).
+type IntLit struct {
+	Span
+	Raw   string
+	Value int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	Span
+	Raw   string
+	Value float64
+}
+
+// StringLit is a string constant with no interpolation: single-quoted
+// strings, nowdocs, and the decoded text pieces of double-quoted strings.
+type StringLit struct {
+	Span
+	Value string
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	Span
+	Value bool
+}
+
+// NullLit is the null constant.
+type NullLit struct {
+	Span
+}
+
+// Interp is a double-quoted string or heredoc with embedded expressions.
+// Parts alternate between *StringLit and arbitrary expressions; evaluation
+// concatenates them, so information flow joins all part types.
+type Interp struct {
+	Span
+	Parts []Expr
+}
+
+// ArrayItem is one element of an array() literal.
+type ArrayItem struct {
+	Key Expr // nil when no explicit key
+	Val Expr
+}
+
+// ArrayLit is an array(...) literal.
+type ArrayLit struct {
+	Span
+	Items []ArrayItem
+}
+
+// ConstFetch is a bare identifier used as a constant (e.g. PHP_SELF, or an
+// unquoted string as PHP 4 tolerated).
+type ConstFetch struct {
+	Span
+	Name string
+}
+
+// ---------------------------------------------------------------- lvalues
+
+// Var is a simple variable $name (Name excludes the dollar sign).
+type Var struct {
+	Span
+	Name string
+}
+
+// VarVar is a variable variable $$x or ${expr}.
+type VarVar struct {
+	Span
+	Inner Expr
+}
+
+// Index is an array access $a[k]; Key is nil for the append form $a[].
+type Index struct {
+	Span
+	Arr Expr
+	Key Expr
+}
+
+// Prop is a property access $obj->name.
+type Prop struct {
+	Span
+	Obj  Expr
+	Name string
+}
+
+// ------------------------------------------------------------- operations
+
+// Cast is a type cast (int)$x, (string)$x, …; To is the lower-cased cast
+// target. Numeric and boolean casts are sanitizing in the information-flow
+// model (their results cannot carry attacker-controlled strings).
+type Cast struct {
+	Span
+	To string
+	X  Expr
+}
+
+// Sanitizing reports whether the cast's result type cannot carry string
+// payloads (int/integer/float/double/bool/boolean).
+func (c *Cast) Sanitizing() bool {
+	switch c.To {
+	case "int", "integer", "float", "double", "real", "bool", "boolean":
+		return true
+	default:
+		return false
+	}
+}
+
+// Unary is a prefix or postfix unary operation: ! - + ~ @ ++ --.
+type Unary struct {
+	Span
+	Op      token.Kind
+	X       Expr
+	Postfix bool // true for x++ / x--
+}
+
+// Binary is a binary operation, including comparison, arithmetic, logical,
+// bitwise, and string concatenation (token.Dot).
+type Binary struct {
+	Span
+	Op token.Kind
+	L  Expr
+	R  Expr
+}
+
+// Assign is an assignment expression; Op distinguishes = .= += etc.
+// ByRef marks reference assignment ($a = &$b).
+type Assign struct {
+	Span
+	Op    token.Kind
+	LHS   Expr
+	RHS   Expr
+	ByRef bool
+}
+
+// Ternary is cond ? then : else; Then is nil for the short form cond ?: else.
+type Ternary struct {
+	Span
+	Cond Expr
+	Then Expr
+	Else Expr
+}
+
+// ----------------------------------------------------------------- calls
+
+// Call is a function call. Func is usually a *ConstFetch naming the
+// function, but may be a *Var for variable functions ($f()).
+type Call struct {
+	Span
+	Func Expr
+	Args []Expr
+}
+
+// FuncName returns the lower-cased static name of the called function, or
+// "" when the callee is dynamic. PHP function names are case-insensitive.
+func (c *Call) FuncName() string {
+	if cf, ok := c.Func.(*ConstFetch); ok {
+		return LowerName(cf.Name)
+	}
+	return ""
+}
+
+// MethodCall is $obj->name(args).
+type MethodCall struct {
+	Span
+	Obj  Expr
+	Name string
+	Args []Expr
+}
+
+// StaticCall is Class::name(args).
+type StaticCall struct {
+	Span
+	Class string
+	Name  string
+	Args  []Expr
+}
+
+// New is object construction: new Class(args).
+type New struct {
+	Span
+	Class string
+	Args  []Expr
+}
+
+// IncludeExpr is include/require/include_once/require_once, which in PHP is
+// an expression. Kind is the keyword token kind.
+type IncludeExpr struct {
+	Span
+	Kind token.Kind
+	Path Expr
+}
+
+// IssetExpr is isset(args).
+type IssetExpr struct {
+	Span
+	Args []Expr
+}
+
+// EmptyExpr is empty(arg).
+type EmptyExpr struct {
+	Span
+	Arg Expr
+}
+
+// ListExpr is list($a, $b) used as an assignment target; nil entries stand
+// for skipped positions (list(, $b)).
+type ListExpr struct {
+	Span
+	Targets []Expr
+}
+
+// ExitExpr is exit(arg) or die(arg); Arg may be nil.
+type ExitExpr struct {
+	Span
+	Arg Expr
+}
+
+// ---------------------------------------------------------------- statements
+
+// ExprStmt is an expression evaluated for effect.
+type ExprStmt struct {
+	Span
+	X Expr
+}
+
+// EchoStmt is echo e1, e2, …; or print e; or <?= e ?>.
+type EchoStmt struct {
+	Span
+	Args []Expr
+}
+
+// InlineHTMLStmt is literal output text outside <?php ?>.
+type InlineHTMLStmt struct {
+	Span
+	Text string
+}
+
+// ElseifClause is one elseif arm of an IfStmt.
+type ElseifClause struct {
+	Cond Expr
+	Body []Stmt
+}
+
+// IfStmt is if/elseif/else.
+type IfStmt struct {
+	Span
+	Cond    Expr
+	Then    []Stmt
+	Elseifs []ElseifClause
+	Else    []Stmt // nil when absent
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Span
+	Cond Expr
+	Body []Stmt
+}
+
+// DoWhileStmt is do { } while (cond);.
+type DoWhileStmt struct {
+	Span
+	Body []Stmt
+	Cond Expr
+}
+
+// ForStmt is for (init; cond; post) body. PHP allows comma lists in each
+// header slot.
+type ForStmt struct {
+	Span
+	Init []Expr
+	Cond []Expr
+	Post []Expr
+	Body []Stmt
+}
+
+// ForeachStmt is foreach ($subject as $key => $val) body.
+type ForeachStmt struct {
+	Span
+	Subject Expr
+	KeyVar  Expr // nil when no key
+	ValVar  Expr
+	ByRef   bool
+	Body    []Stmt
+}
+
+// SwitchCase is one case (or default, when Match is nil) of a SwitchStmt.
+type SwitchCase struct {
+	Match Expr
+	Body  []Stmt
+}
+
+// SwitchStmt is a switch statement.
+type SwitchStmt struct {
+	Span
+	Subject Expr
+	Cases   []SwitchCase
+}
+
+// BreakStmt is break [n];.
+type BreakStmt struct {
+	Span
+	Level int // 1 when no operand
+}
+
+// ContinueStmt is continue [n];.
+type ContinueStmt struct {
+	Span
+	Level int
+}
+
+// ReturnStmt is return [expr];.
+type ReturnStmt struct {
+	Span
+	X Expr // nil for bare return
+}
+
+// GlobalStmt is global $a, $b;.
+type GlobalStmt struct {
+	Span
+	Names []string
+}
+
+// StaticVar is one declaration of a StaticStmt.
+type StaticVar struct {
+	Name string
+	Init Expr // nil when uninitialized
+}
+
+// StaticStmt is static $a = 0, $b;.
+type StaticStmt struct {
+	Span
+	Vars []StaticVar
+}
+
+// UnsetStmt is unset($a, $b);.
+type UnsetStmt struct {
+	Span
+	Args []Expr
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name    string
+	ByRef   bool
+	Default Expr // nil when required
+}
+
+// FunctionDecl declares a function (or a method, inside ClassDecl).
+type FunctionDecl struct {
+	Span
+	Name   string
+	Params []Param
+	Body   []Stmt
+}
+
+// PropDecl is a class property declaration (var $x = default;).
+type PropDecl struct {
+	Name    string
+	Default Expr
+}
+
+// ClassDecl declares a class. Only the structure needed to resolve method
+// bodies for call unfolding is retained.
+type ClassDecl struct {
+	Span
+	Name    string
+	Parent  string
+	Props   []PropDecl
+	Methods []*FunctionDecl
+}
+
+// BlockStmt is an explicit { } block.
+type BlockStmt struct {
+	Span
+	Body []Stmt
+}
+
+// NopStmt is an empty statement (stray semicolon).
+type NopStmt struct {
+	Span
+}
+
+// File is a parsed source file.
+type File struct {
+	Name  string
+	Stmts []Stmt
+}
+
+// marker methods
+
+func (*IntLit) exprNode()      {}
+func (*FloatLit) exprNode()    {}
+func (*StringLit) exprNode()   {}
+func (*BoolLit) exprNode()     {}
+func (*NullLit) exprNode()     {}
+func (*Interp) exprNode()      {}
+func (*ArrayLit) exprNode()    {}
+func (*ConstFetch) exprNode()  {}
+func (*Var) exprNode()         {}
+func (*VarVar) exprNode()      {}
+func (*Index) exprNode()       {}
+func (*Prop) exprNode()        {}
+func (*Cast) exprNode()        {}
+func (*Unary) exprNode()       {}
+func (*Binary) exprNode()      {}
+func (*Assign) exprNode()      {}
+func (*Ternary) exprNode()     {}
+func (*Call) exprNode()        {}
+func (*MethodCall) exprNode()  {}
+func (*StaticCall) exprNode()  {}
+func (*New) exprNode()         {}
+func (*IncludeExpr) exprNode() {}
+func (*IssetExpr) exprNode()   {}
+func (*EmptyExpr) exprNode()   {}
+func (*ListExpr) exprNode()    {}
+func (*ExitExpr) exprNode()    {}
+
+func (*ExprStmt) stmtNode()       {}
+func (*EchoStmt) stmtNode()       {}
+func (*InlineHTMLStmt) stmtNode() {}
+func (*IfStmt) stmtNode()         {}
+func (*WhileStmt) stmtNode()      {}
+func (*DoWhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()        {}
+func (*ForeachStmt) stmtNode()    {}
+func (*SwitchStmt) stmtNode()     {}
+func (*BreakStmt) stmtNode()      {}
+func (*ContinueStmt) stmtNode()   {}
+func (*ReturnStmt) stmtNode()     {}
+func (*GlobalStmt) stmtNode()     {}
+func (*StaticStmt) stmtNode()     {}
+func (*UnsetStmt) stmtNode()      {}
+func (*FunctionDecl) stmtNode()   {}
+func (*ClassDecl) stmtNode()      {}
+func (*BlockStmt) stmtNode()      {}
+func (*NopStmt) stmtNode()        {}
+
+// LowerName lower-cases an ASCII identifier; PHP function and class names
+// are case-insensitive.
+func LowerName(s string) string {
+	hasUpper := false
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 'A' && s[i] <= 'Z' {
+			hasUpper = true
+			break
+		}
+	}
+	if !hasUpper {
+		return s
+	}
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + ('a' - 'A')
+		}
+	}
+	return string(b)
+}

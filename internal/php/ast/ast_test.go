@@ -1,0 +1,179 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"webssari/internal/php/token"
+)
+
+func sp(a, b int) Span {
+	return Span{Start: token.Pos{File: "t.php", Line: 1, Col: a + 1, Offset: a}, StopOff: b}
+}
+
+func TestSpanAccessors(t *testing.T) {
+	n := &Var{Span: sp(3, 7), Name: "x"}
+	if n.Pos().Offset != 3 || n.End() != 7 {
+		t.Fatalf("span = %d..%d", n.Pos().Offset, n.End())
+	}
+}
+
+func TestLowerName(t *testing.T) {
+	if LowerName("MySQL_Query") != "mysql_query" {
+		t.Fatalf("LowerName mixed case failed")
+	}
+	if LowerName("already_lower") != "already_lower" {
+		t.Fatalf("LowerName identity failed")
+	}
+}
+
+func TestCallFuncName(t *testing.T) {
+	c := &Call{Func: &ConstFetch{Name: "EcHo"}}
+	if c.FuncName() != "echo" {
+		t.Fatalf("FuncName = %q", c.FuncName())
+	}
+	dyn := &Call{Func: &Var{Name: "f"}}
+	if dyn.FuncName() != "" {
+		t.Fatalf("dynamic FuncName = %q", dyn.FuncName())
+	}
+}
+
+// TestDumpAllNodes drives Dump across every node type built by hand.
+func TestDumpAllNodes(t *testing.T) {
+	cases := []struct {
+		node Node
+		want string
+	}{
+		{&IntLit{Raw: "0x1F", Value: 31}, "(int 0x1F)"},
+		{&FloatLit{Raw: "1.5", Value: 1.5}, "(float 1.5)"},
+		{&StringLit{Value: "a\"b"}, `(str "a\"b")`},
+		{&BoolLit{Value: true}, "(bool true)"},
+		{&NullLit{}, "(null)"},
+		{&ConstFetch{Name: "PHP_SELF"}, "(const PHP_SELF)"},
+		{&Var{Name: "x"}, "$x"},
+		{&VarVar{Inner: &Var{Name: "n"}}, "(varvar $n)"},
+		{&Index{Arr: &Var{Name: "a"}, Key: nil}, "(index $a nil)"},
+		{&Prop{Obj: &Var{Name: "o"}, Name: "p"}, "(prop $o p)"},
+		{&Unary{Op: token.Not, X: &Var{Name: "x"}}, `(pre"!" $x)`},
+		{&Unary{Op: token.Inc, X: &Var{Name: "x"}, Postfix: true}, `(post"++" $x)`},
+		{&Ternary{Cond: &Var{Name: "c"}, Then: nil, Else: &IntLit{Raw: "2"}},
+			"(?: $c nil (int 2))"},
+		{&MethodCall{Obj: &Var{Name: "o"}, Name: "m"}, "(method $o m)"},
+		{&StaticCall{Class: "C", Name: "m", Args: []Expr{&Var{Name: "a"}}},
+			"(static C::m $a)"},
+		{&New{Class: "C"}, "(new C)"},
+		{&IssetExpr{Args: []Expr{&Var{Name: "x"}}}, "(isset $x)"},
+		{&EmptyExpr{Arg: &Var{Name: "x"}}, "(empty $x)"},
+		{&ListExpr{Targets: []Expr{&Var{Name: "a"}, &Var{Name: "b"}}}, "(list $a $b)"},
+		{&ExitExpr{}, "(exit)"},
+		{&ExitExpr{Arg: &IntLit{Raw: "1"}}, "(exit (int 1))"},
+		{&ArrayLit{Items: []ArrayItem{{Val: &IntLit{Raw: "1"}}, {Key: &StringLit{Value: "k"}, Val: &IntLit{Raw: "2"}}}},
+			`(array (int 1) ((str "k") => (int 2)))`},
+		{&Interp{}, `(str "")`},
+		{&Interp{Parts: []Expr{&Var{Name: "x"}}}, "$x"},
+		{&Interp{Parts: []Expr{&StringLit{Value: "a"}, &Var{Name: "x"}, &StringLit{Value: "b"}}},
+			`("." ("." (str "a") $x) (str "b"))`},
+		{&InlineHTMLStmt{Text: "<b>"}, `(html "<b>")`},
+		{&BreakStmt{Level: 2}, "(break 2)"},
+		{&ContinueStmt{Level: 1}, "(continue 1)"},
+		{&ReturnStmt{}, "(return)"},
+		{&GlobalStmt{Names: []string{"a", "b"}}, "(global a b)"},
+		{&StaticStmt{Vars: []StaticVar{{Name: "n", Init: &IntLit{Raw: "0"}}, {Name: "m"}}},
+			"(staticvar $n=(int 0) $m)"},
+		{&UnsetStmt{Args: []Expr{&Var{Name: "a"}}}, "(unset $a)"},
+		{&NopStmt{}, "(nop)"},
+		{&BlockStmt{Body: []Stmt{&NopStmt{}}}, "(block [(nop)])"},
+		{&DoWhileStmt{Body: []Stmt{&NopStmt{}}, Cond: &Var{Name: "c"}}, "(do [(nop)] $c)"},
+		{&SwitchStmt{Subject: &Var{Name: "s"}, Cases: []SwitchCase{{Match: nil, Body: nil}}},
+			"(switch $s (default []))"},
+	}
+	for i, c := range cases {
+		if got := Dump(c.node); got != c.want {
+			t.Errorf("case %d: Dump = %q, want %q", i, got, c.want)
+		}
+	}
+}
+
+// TestPrintAllStatements drives the PHP printer over hand-built nodes and
+// checks the emitted source fragments.
+func TestPrintAllStatements(t *testing.T) {
+	cases := []struct {
+		stmt Stmt
+		want string
+	}{
+		{&EchoStmt{Args: []Expr{&StringLit{Value: "hi"}}}, "echo 'hi';"},
+		{&BreakStmt{Level: 1}, "break;"},
+		{&BreakStmt{Level: 3}, "break 3;"},
+		{&ContinueStmt{Level: 2}, "continue 2;"},
+		{&ReturnStmt{X: &Var{Name: "v"}}, "return $v;"},
+		{&GlobalStmt{Names: []string{"g"}}, "global $g;"},
+		{&UnsetStmt{Args: []Expr{&Var{Name: "a"}, &Var{Name: "b"}}}, "unset($a, $b);"},
+		{&NopStmt{}, ";"},
+		{&StaticStmt{Vars: []StaticVar{{Name: "n", Init: &IntLit{Raw: "1"}}}}, "static $n = 1;"},
+	}
+	for i, c := range cases {
+		got := PrintStmt(c.stmt)
+		if !strings.Contains(got, c.want) {
+			t.Errorf("case %d: PrintStmt = %q, want fragment %q", i, got, c.want)
+		}
+	}
+}
+
+func TestPrintExprForms(t *testing.T) {
+	cases := []struct {
+		expr Expr
+		want string
+	}{
+		{&StringLit{Value: "it's"}, `'it\'s'`},
+		{&BoolLit{Value: false}, "false"},
+		{&NullLit{}, "null"},
+		{&Assign{Op: token.Assign, LHS: &Var{Name: "a"}, RHS: &Var{Name: "b"}, ByRef: true},
+			"$a = &$b"},
+		{&Ternary{Cond: &Var{Name: "c"}, Else: &IntLit{Raw: "0"}}, "$c ?: 0"},
+		{&VarVar{Inner: &Var{Name: "n"}}, "$$n"},
+		{&VarVar{Inner: &Binary{Op: token.Dot, L: &StringLit{Value: "a"}, R: &Var{Name: "k"}}},
+			"${'a' . $k}"},
+		{&Index{Arr: &Var{Name: "a"}}, "$a[]"},
+		{&ExitExpr{Arg: &StringLit{Value: "bye"}}, "exit('bye')"},
+		{&New{Class: "C", Args: []Expr{&IntLit{Raw: "1"}}}, "new C(1)"},
+		{&StaticCall{Class: "DB", Name: "q"}, "DB::q()"},
+		{&ListExpr{Targets: []Expr{&Var{Name: "a"}, nil, &Var{Name: "c"}}}, "list($a, , $c)"},
+		{&IncludeExpr{Kind: token.KwRequireOnce, Path: &StringLit{Value: "f.php"}},
+			"require_once 'f.php'"},
+	}
+	for i, c := range cases {
+		if got := PrintExpr(c.expr); got != c.want {
+			t.Errorf("case %d: PrintExpr = %q, want %q", i, got, c.want)
+		}
+	}
+}
+
+func TestPrintFileModeSwitching(t *testing.T) {
+	f := &File{Name: "t.php", Stmts: []Stmt{
+		&InlineHTMLStmt{Text: "<h1>x</h1>"},
+		&EchoStmt{Args: []Expr{&IntLit{Raw: "1"}}},
+		&InlineHTMLStmt{Text: "<hr>"},
+	}}
+	out := PrintFile(f)
+	want := "<h1>x</h1><?php\necho 1;\n?><hr>"
+	if out != want {
+		t.Fatalf("PrintFile = %q, want %q", out, want)
+	}
+}
+
+func TestPrecedenceParenthesization(t *testing.T) {
+	// (1 + 2) * 3 must keep its parentheses when printed.
+	e := &Binary{Op: token.Star,
+		L: &Binary{Op: token.Plus, L: &IntLit{Raw: "1"}, R: &IntLit{Raw: "2"}},
+		R: &IntLit{Raw: "3"}}
+	if got := PrintExpr(e); got != "(1 + 2) * 3" {
+		t.Fatalf("PrintExpr = %q", got)
+	}
+	// 1 + 2 * 3 must not gain parentheses.
+	e2 := &Binary{Op: token.Plus,
+		L: &IntLit{Raw: "1"},
+		R: &Binary{Op: token.Star, L: &IntLit{Raw: "2"}, R: &IntLit{Raw: "3"}}}
+	if got := PrintExpr(e2); got != "1 + 2 * 3" {
+		t.Fatalf("PrintExpr = %q", got)
+	}
+}

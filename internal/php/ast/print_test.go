@@ -1,0 +1,188 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"webssari/internal/php/token"
+)
+
+func v(name string) *Var { return &Var{Name: name} }
+
+func TestPrintControlFlowStatements(t *testing.T) {
+	ifStmt := &IfStmt{
+		Cond: v("a"),
+		Then: []Stmt{&EchoStmt{Args: []Expr{&IntLit{Raw: "1"}}}},
+		Elseifs: []ElseifClause{
+			{Cond: v("b"), Body: []Stmt{&EchoStmt{Args: []Expr{&IntLit{Raw: "2"}}}}},
+		},
+		Else: []Stmt{&EchoStmt{Args: []Expr{&IntLit{Raw: "3"}}}},
+	}
+	out := PrintStmt(ifStmt)
+	for _, frag := range []string{"if ($a) {", "} elseif ($b) {", "} else {", "echo 1;", "echo 2;", "echo 3;"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("if output missing %q:\n%s", frag, out)
+		}
+	}
+
+	whileStmt := &WhileStmt{Cond: v("c"), Body: []Stmt{&NopStmt{}}}
+	if out := PrintStmt(whileStmt); !strings.Contains(out, "while ($c) {") {
+		t.Errorf("while output: %s", out)
+	}
+
+	doStmt := &DoWhileStmt{Body: []Stmt{&NopStmt{}}, Cond: v("c")}
+	if out := PrintStmt(doStmt); !strings.Contains(out, "do {") || !strings.Contains(out, "} while ($c);") {
+		t.Errorf("do-while output: %s", out)
+	}
+
+	forStmt := &ForStmt{
+		Init: []Expr{&Assign{Op: token.Assign, LHS: v("i"), RHS: &IntLit{Raw: "0"}}},
+		Cond: []Expr{&Binary{Op: token.Lt, L: v("i"), R: &IntLit{Raw: "9"}}},
+		Post: []Expr{&Unary{Op: token.Inc, X: v("i"), Postfix: true}},
+		Body: []Stmt{&NopStmt{}},
+	}
+	if out := PrintStmt(forStmt); !strings.Contains(out, "for ($i = 0; $i < 9; $i++) {") {
+		t.Errorf("for output: %s", out)
+	}
+
+	feStmt := &ForeachStmt{
+		Subject: v("rows"), KeyVar: v("k"), ValVar: v("val"), ByRef: true,
+		Body: []Stmt{&NopStmt{}},
+	}
+	if out := PrintStmt(feStmt); !strings.Contains(out, "foreach ($rows as $k => &$val) {") {
+		t.Errorf("foreach output: %s", out)
+	}
+
+	swStmt := &SwitchStmt{
+		Subject: v("m"),
+		Cases: []SwitchCase{
+			{Match: &IntLit{Raw: "1"}, Body: []Stmt{&BreakStmt{Level: 1}}},
+			{Match: nil, Body: []Stmt{&ContinueStmt{Level: 1}}},
+		},
+	}
+	out = PrintStmt(swStmt)
+	for _, frag := range []string{"switch ($m) {", "case 1:", "default:", "break;", "continue;"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("switch output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestPrintDeclarations(t *testing.T) {
+	fn := &FunctionDecl{
+		Name: "add",
+		Params: []Param{
+			{Name: "a"},
+			{Name: "b", Default: &IntLit{Raw: "1"}},
+			{Name: "c", ByRef: true},
+		},
+		Body: []Stmt{&ReturnStmt{X: &Binary{Op: token.Plus, L: v("a"), R: v("b")}}},
+	}
+	out := PrintStmt(fn)
+	for _, frag := range []string{"function add($a, $b = 1, &$c) {", "return $a + $b;"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("function output missing %q:\n%s", frag, out)
+		}
+	}
+
+	cls := &ClassDecl{
+		Name:   "Conn",
+		Parent: "Base",
+		Props:  []PropDecl{{Name: "dsn", Default: &StringLit{Value: "x"}}, {Name: "raw"}},
+		Methods: []*FunctionDecl{
+			{Name: "q", Params: []Param{{Name: "s"}}, Body: []Stmt{&ReturnStmt{X: v("s")}}},
+		},
+	}
+	out = PrintStmt(cls)
+	for _, frag := range []string{"class Conn extends Base {", "var $dsn = 'x';", "var $raw;", "function q($s) {"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("class output missing %q:\n%s", frag, out)
+		}
+	}
+
+	blk := &BlockStmt{Body: []Stmt{&NopStmt{}}}
+	if out := PrintStmt(blk); !strings.Contains(out, "{") {
+		t.Errorf("block output: %s", out)
+	}
+}
+
+func TestPrintExprCoverage(t *testing.T) {
+	cases := []struct {
+		expr Expr
+		want string
+	}{
+		{&FloatLit{Raw: "2.5"}, "2.5"},
+		{&Interp{Parts: []Expr{&StringLit{Value: "a"}, v("x")}}, "'a' . $x"},
+		{&Index{Arr: v("a"), Key: &StringLit{Value: "k"}}, "$a['k']"},
+		{&Prop{Obj: v("o"), Name: "p"}, "$o->p"},
+		{&Unary{Op: token.Not, X: v("b")}, "!$b"},
+		{&Unary{Op: token.Dec, X: v("n"), Postfix: true}, "$n--"},
+		{&Binary{Op: token.KwOr, L: v("a"), R: v("b")}, "$a or $b"},
+		{&Binary{Op: token.KwAnd, L: v("a"), R: v("b")}, "$a and $b"},
+		{&Binary{Op: token.KwXor, L: v("a"), R: v("b")}, "$a xor $b"},
+		{&Binary{Op: token.Shl, L: v("a"), R: &IntLit{Raw: "2"}}, "$a << 2"},
+		{&Binary{Op: token.Amp, L: v("a"), R: v("b")}, "$a & $b"},
+		{&Binary{Op: token.Pipe, L: v("a"), R: v("b")}, "$a | $b"},
+		{&Binary{Op: token.Caret, L: v("a"), R: v("b")}, "$a ^ $b"},
+		{&Ternary{Cond: v("c"), Then: v("t"), Else: v("e")}, "$c ? $t : $e"},
+		{&Call{Func: &ConstFetch{Name: "f"}, Args: []Expr{v("x"), v("y")}}, "f($x, $y)"},
+		{&MethodCall{Obj: v("o"), Name: "m", Args: []Expr{v("a")}}, "$o->m($a)"},
+		{&IssetExpr{Args: []Expr{v("x"), v("y")}}, "isset($x, $y)"},
+		{&EmptyExpr{Arg: v("x")}, "empty($x)"},
+		{&ExitExpr{}, "exit"},
+		{&ArrayLit{Items: []ArrayItem{{Key: &StringLit{Value: "k"}, Val: v("v")}, {Val: &IntLit{Raw: "3"}}}},
+			"array('k' => $v, 3)"},
+		{&Assign{Op: token.ConcatAssign, LHS: v("q"), RHS: v("r")}, "$q .= $r"},
+	}
+	for i, c := range cases {
+		if got := PrintExpr(c.expr); got != c.want {
+			t.Errorf("case %d: PrintExpr = %q, want %q", i, got, c.want)
+		}
+	}
+}
+
+func TestDumpControlFlow(t *testing.T) {
+	ifStmt := &IfStmt{
+		Cond:    v("a"),
+		Then:    []Stmt{&NopStmt{}},
+		Elseifs: []ElseifClause{{Cond: v("b"), Body: nil}},
+		Else:    []Stmt{},
+	}
+	got := Dump(ifStmt)
+	want := "(if $a [(nop)] (elseif $b []) (else []))"
+	if got != want {
+		t.Errorf("Dump(if) = %q, want %q", got, want)
+	}
+
+	fe := &ForeachStmt{Subject: v("m"), ValVar: v("v"), Body: nil}
+	if got := Dump(fe); got != "(foreach $m as $v [])" {
+		t.Errorf("Dump(foreach) = %q", got)
+	}
+
+	fr := &ForStmt{Init: []Expr{v("i")}, Body: nil}
+	if got := Dump(fr); got != "(for ($i) () () [])" {
+		t.Errorf("Dump(for) = %q", got)
+	}
+
+	w := &WhileStmt{Cond: v("c"), Body: []Stmt{&BreakStmt{Level: 1}}}
+	if got := Dump(w); got != "(while $c [(break 1)])" {
+		t.Errorf("Dump(while) = %q", got)
+	}
+
+	fn := &FunctionDecl{Name: "f", Params: []Param{{Name: "x", ByRef: true, Default: &NullLit{}}}}
+	if got := Dump(fn); got != "(function f (&$x=(null)) [])" {
+		t.Errorf("Dump(function) = %q", got)
+	}
+
+	cls := &ClassDecl{Name: "C", Parent: "P",
+		Props:   []PropDecl{{Name: "p", Default: &IntLit{Raw: "1"}}},
+		Methods: []*FunctionDecl{{Name: "m"}}}
+	if got := Dump(cls); got != "(class C extends P (var $p=(int 1)) (function m () []))" {
+		t.Errorf("Dump(class) = %q", got)
+	}
+
+	inc := &IncludeExpr{Kind: token.KwInclude, Path: &StringLit{Value: "f"}}
+	if got := Dump(inc); got != `(include (str "f"))` {
+		t.Errorf("Dump(include) = %q", got)
+	}
+}

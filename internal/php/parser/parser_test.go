@@ -1,0 +1,468 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"webssari/internal/php/ast"
+)
+
+// parseOK parses src and fails the test on any diagnostic.
+func parseOK(t *testing.T, src string) *ast.File {
+	t.Helper()
+	res := Parse("test.php", []byte(src))
+	for _, err := range res.Errs {
+		t.Errorf("parse error: %v", err)
+	}
+	return res.File
+}
+
+// wantDump parses src and compares the structural dump.
+func wantDump(t *testing.T, src, want string) {
+	t.Helper()
+	f := parseOK(t, src)
+	got := ast.DumpStmts(f.Stmts)
+	if got != want {
+		t.Fatalf("src: %s\n got: %s\nwant: %s", src, got, want)
+	}
+}
+
+func TestSimpleAssignment(t *testing.T) {
+	wantDump(t, `<?php $x = 1;`, `[(expr ("=" $x (int 1)))]`)
+}
+
+func TestConcatAssign(t *testing.T) {
+	wantDump(t, `<?php $q .= 'a';`, `[(expr (".=" $q (str "a")))]`)
+}
+
+func TestSuperglobalIndex(t *testing.T) {
+	wantDump(t, `<?php $sid = $_GET['sid'];`,
+		`[(expr ("=" $sid (index $_GET (str "sid"))))]`)
+}
+
+func TestAssignmentRightAssociative(t *testing.T) {
+	wantDump(t, `<?php $a = $b = 1;`, `[(expr ("=" $a ("=" $b (int 1))))]`)
+}
+
+func TestPrecedence(t *testing.T) {
+	wantDump(t, `<?php $x = 1 + 2 * 3;`,
+		`[(expr ("=" $x ("+" (int 1) ("*" (int 2) (int 3)))))]`)
+	wantDump(t, `<?php $x = (1 + 2) * 3;`,
+		`[(expr ("=" $x ("*" ("+" (int 1) (int 2)) (int 3))))]`)
+	wantDump(t, `<?php $x = 'a' . 'b' . 'c';`,
+		`[(expr ("=" $x ("." ("." (str "a") (str "b")) (str "c"))))]`)
+	wantDump(t, `<?php $r = $a == $b && $c != $d;`,
+		`[(expr ("=" $r ("&&" ("==" $a $b) ("!=" $c $d))))]`)
+}
+
+func TestKeywordLogicalsBindLooserThanAssign(t *testing.T) {
+	// "$x = $y or die()" must parse as "($x = $y) or die()".
+	wantDump(t, `<?php $x = $y or exit;`,
+		`[(expr ("or" ("=" $x $y) (exit)))]`)
+}
+
+func TestTernary(t *testing.T) {
+	wantDump(t, `<?php $m = $c ? 1 : 2;`,
+		`[(expr ("=" $m (?: $c (int 1) (int 2))))]`)
+	wantDump(t, `<?php $m = $c ?: 2;`,
+		`[(expr ("=" $m (?: $c nil (int 2))))]`)
+}
+
+func TestUnary(t *testing.T) {
+	wantDump(t, `<?php $x = !$a; $y = -$b; $z = @f(); $w++; --$v;`,
+		`[(expr ("=" $x (pre"!" $a))) `+
+			`(expr ("=" $y (pre"-" $b))) `+
+			`(expr ("=" $z (pre"@" (call (const f))))) `+
+			`(expr (post"++" $w)) `+
+			`(expr (pre"--" $v))]`)
+}
+
+func TestCallsAndArgs(t *testing.T) {
+	wantDump(t, `<?php mysql_query($q, $link);`,
+		`[(expr (call (const mysql_query) $q $link))]`)
+	wantDump(t, `<?php $f($x);`, `[(expr (call $f $x))]`)
+	wantDump(t, `<?php htmlspecialchars($tmp);`,
+		`[(expr (call (const htmlspecialchars) $tmp))]`)
+}
+
+func TestMethodAndStaticCalls(t *testing.T) {
+	wantDump(t, `<?php $db->query($sql);`, `[(expr (method $db query $sql))]`)
+	wantDump(t, `<?php DB::connect($dsn);`, `[(expr (static DB::connect $dsn))]`)
+	wantDump(t, `<?php $o->p = 1;`, `[(expr ("=" (prop $o p) (int 1)))]`)
+	wantDump(t, `<?php new Foo($x);`, `[(expr (new Foo $x))]`)
+}
+
+func TestEcho(t *testing.T) {
+	wantDump(t, `<?php echo $a, 'x', $b;`, `[(echo $a (str "x") $b)]`)
+	wantDump(t, `<?php print $a;`, `[(expr (call (const print) $a))]`)
+}
+
+func TestEchoShortTag(t *testing.T) {
+	wantDump(t, `<?= $x ?>`, `[(echo $x)]`)
+}
+
+func TestInlineHTMLAroundPHP(t *testing.T) {
+	wantDump(t, "<b>hi</b><?php $x = 1; ?><i>bye</i>",
+		`[(html "<b>hi</b>") (expr ("=" $x (int 1))) (html "<i>bye</i>")]`)
+}
+
+func TestIfElseifElse(t *testing.T) {
+	wantDump(t, `<?php if ($a) { f(); } elseif ($b) { g(); } else { h(); }`,
+		`[(if $a [(expr (call (const f)))] (elseif $b [(expr (call (const g)))]) (else [(expr (call (const h)))]))]`)
+}
+
+func TestElseIfSplit(t *testing.T) {
+	wantDump(t, `<?php if ($a) f(); else if ($b) g();`,
+		`[(if $a [(expr (call (const f)))] (elseif $b [(expr (call (const g)))]))]`)
+}
+
+func TestAlternativeIfSyntax(t *testing.T) {
+	wantDump(t, `<?php if ($a): f(); elseif ($b): g(); else: h(); endif;`,
+		`[(if $a [(expr (call (const f)))] (elseif $b [(expr (call (const g)))]) (else [(expr (call (const h)))]))]`)
+}
+
+func TestAlternativeSyntaxWithHTML(t *testing.T) {
+	wantDump(t, `<?php if ($ok): ?>yes<?php else: ?>no<?php endif; ?>`,
+		`[(if $ok [(html "yes")] (else [(html "no")]))]`)
+}
+
+func TestWhileAndAlt(t *testing.T) {
+	wantDump(t, `<?php while ($r = f()) { g($r); }`,
+		`[(while ("=" $r (call (const f))) [(expr (call (const g) $r))])]`)
+	wantDump(t, `<?php while ($x): f(); endwhile;`,
+		`[(while $x [(expr (call (const f)))])]`)
+}
+
+func TestDoWhile(t *testing.T) {
+	wantDump(t, `<?php do { f(); } while ($x);`,
+		`[(do [(expr (call (const f)))] $x)]`)
+}
+
+func TestFor(t *testing.T) {
+	wantDump(t, `<?php for ($i = 0; $i < 10; $i++) { f($i); }`,
+		`[(for (("=" $i (int 0))) (("<" $i (int 10))) ((post"++" $i)) [(expr (call (const f) $i))])]`)
+	wantDump(t, `<?php for (;;) { }`, `[(for () () () [])]`)
+}
+
+func TestForeach(t *testing.T) {
+	wantDump(t, `<?php foreach ($rows as $row) { f($row); }`,
+		`[(foreach $rows as $row [(expr (call (const f) $row))])]`)
+	wantDump(t, `<?php foreach ($m as $k => $v) g($k, $v);`,
+		`[(foreach $m as $k => $v [(expr (call (const g) $k $v))])]`)
+	wantDump(t, `<?php foreach ($m as $k => &$v) {}`,
+		`[(foreach $m as $k => &$v [])]`)
+}
+
+func TestSwitch(t *testing.T) {
+	wantDump(t, `<?php switch ($x) { case 1: f(); break; default: g(); }`,
+		`[(switch $x (case (int 1) [(expr (call (const f))) (break 1)]) (default [(expr (call (const g)))]))]`)
+}
+
+func TestBreakContinueLevels(t *testing.T) {
+	wantDump(t, `<?php while (1) { break 2; continue; }`,
+		`[(while (int 1) [(break 2) (continue 1)])]`)
+}
+
+func TestFunctionDecl(t *testing.T) {
+	wantDump(t, `<?php function add($a, $b = 1, &$c) { return $a + $b; }`,
+		`[(function add ($a $b=(int 1) &$c) [(return ("+" $a $b))])]`)
+}
+
+func TestClassDecl(t *testing.T) {
+	wantDump(t, `<?php class Conn extends Base { var $dsn = 'x'; function q($s) { return mysql_query($s); } }`,
+		`[(class Conn extends Base (var $dsn=(str "x")) (function q ($s) [(return (call (const mysql_query) $s))]))]`)
+}
+
+func TestGlobalStaticUnset(t *testing.T) {
+	wantDump(t, `<?php global $db, $cfg; static $n = 0; unset($a, $b);`,
+		`[(global db cfg) (staticvar $n=(int 0)) (unset $a $b)]`)
+}
+
+func TestIncludeForms(t *testing.T) {
+	wantDump(t, `<?php include 'a.php'; require_once("b.php");`,
+		`[(expr (include (str "a.php"))) (expr (require_once (str "b.php")))]`)
+}
+
+func TestIssetEmptyList(t *testing.T) {
+	wantDump(t, `<?php if (isset($_GET['x']) && !empty($y)) { list($a, $b) = f(); }`,
+		`[(if ("&&" (isset (index $_GET (str "x"))) (pre"!" (empty $y))) `+
+			`[(expr ("=" (list $a $b) (call (const f))))])]`)
+}
+
+func TestArrayLiterals(t *testing.T) {
+	wantDump(t, `<?php $a = array(1, 'k' => 2, $x);`,
+		`[(expr ("=" $a (array (int 1) ((str "k") => (int 2)) $x)))]`)
+}
+
+func TestExitDie(t *testing.T) {
+	wantDump(t, `<?php exit; die('bye'); exit(1);`,
+		`[(expr (exit)) (expr (exit (str "bye"))) (expr (exit (int 1)))]`)
+}
+
+func TestVariableVariable(t *testing.T) {
+	wantDump(t, `<?php $$name = 1; ${$k} = 2;`,
+		`[(expr ("=" (varvar $name) (int 1))) (expr ("=" (varvar $k) (int 2)))]`)
+}
+
+func TestReferenceAssign(t *testing.T) {
+	wantDump(t, `<?php $a = &$b;`, `[(expr ("=&" $a $b))]`)
+}
+
+func TestInterpolationSimple(t *testing.T) {
+	wantDump(t, `<?php $q = "SELECT * FROM t WHERE id=$id";`,
+		`[(expr ("=" $q ("." (str "SELECT * FROM t WHERE id=") $id)))]`)
+}
+
+func TestInterpolationComplex(t *testing.T) {
+	wantDump(t, `<?php echo "hi {$row['name']} and $a[k]!";`,
+		`[(echo ("." ("." ("." ("." (str "hi ") (index $row (str "name"))) (str " and ")) (index $a (str "k"))) (str "!")))]`)
+}
+
+func TestHeredocInterp(t *testing.T) {
+	src := "<?php $q = <<<EOT\nHello $name\nEOT;\n"
+	wantDump(t, src, `[(expr ("=" $q ("." (str "Hello ") $name)))]`)
+}
+
+func TestPureDoubleQuotedBecomesStringLit(t *testing.T) {
+	wantDump(t, `<?php $x = "plain";`, `[(expr ("=" $x (str "plain")))]`)
+}
+
+// ------------------------- paper figures as golden inputs -----------------
+
+// Figure 1: the PHP Support Tickets XSS vulnerability (ticket submission).
+const figure1 = `<?php
+$query = "INSERT INTO tickets_tickets (tickets_id, tickets_username, tickets_subject, tickets_question) VALUES ('" . $_SESSION['username'] . "', '" . $_POST['ticketsubject'] . "', '" . $_POST['message'] . "')";
+$result = @mysql_query($query);
+?>`
+
+func TestFigure1Parses(t *testing.T) {
+	f := parseOK(t, figure1)
+	if len(f.Stmts) != 2 {
+		t.Fatalf("stmts = %d, want 2", len(f.Stmts))
+	}
+	dump := ast.DumpStmts(f.Stmts)
+	for _, frag := range []string{"$_SESSION", "$_POST", "mysql_query", `"ticketsubject"`, `"message"`} {
+		if !strings.Contains(dump, frag) {
+			t.Errorf("dump missing %s:\n%s", frag, dump)
+		}
+	}
+}
+
+// Figure 2: displaying the tickets (stored XSS delivery).
+const figure2 = `<?php
+$query = "SELECT tickets_id, tickets_username, tickets_subject FROM tickets_tickets";
+$result = @mysql_query($query);
+while ($row = @mysql_fetch_array($result)) {
+    extract($row);
+    echo "$tickets_username<BR>$tickets_subject<BR><BR>";
+}
+?>`
+
+func TestFigure2Parses(t *testing.T) {
+	f := parseOK(t, figure2)
+	if len(f.Stmts) != 3 {
+		t.Fatalf("stmts = %d, want 3", len(f.Stmts))
+	}
+	w, ok := f.Stmts[2].(*ast.WhileStmt)
+	if !ok {
+		t.Fatalf("stmt 2 is %T, want while", f.Stmts[2])
+	}
+	if len(w.Body) != 2 {
+		t.Fatalf("while body = %d stmts, want 2", len(w.Body))
+	}
+	if _, ok := w.Body[1].(*ast.EchoStmt); !ok {
+		t.Fatalf("body[1] is %T, want echo", w.Body[1])
+	}
+}
+
+// Figure 3: the ILIAS Open Source SQL injection via $HTTP_REFERER.
+const figure3 = `<?php
+$sql = "INSERT INTO track_temp VALUES('$HTTP_REFERER');";
+mysql_query($sql);
+?>`
+
+func TestFigure3Parses(t *testing.T) {
+	f := parseOK(t, figure3)
+	dump := ast.DumpStmts(f.Stmts)
+	if !strings.Contains(dump, "$HTTP_REFERER") {
+		t.Fatalf("dump missing $HTTP_REFERER:\n%s", dump)
+	}
+}
+
+// Figure 7: multiple vulnerabilities arising from one root cause ($sid).
+const figure7 = `<?php
+$sid = $_GET['sid'];
+if (!$sid) { $sid = $_POST['sid']; }
+$iq = "SELECT * FROM groups WHERE sid=$sid";
+DoSQL($iq);
+$i2q = "SELECT * FROM ans WHERE sid=$sid";
+DoSQL($i2q);
+$fnquery = "SELECT * FROM questions, surveys WHERE questions.sid=surveys.sid AND questions.sid='$sid'";
+DoSQL($fnquery);
+?>`
+
+func TestFigure7Parses(t *testing.T) {
+	f := parseOK(t, figure7)
+	if len(f.Stmts) != 8 {
+		t.Fatalf("stmts = %d, want 8", len(f.Stmts))
+	}
+}
+
+// Figure 6: the translation example program.
+const figure6 = `<?php
+if ($Nick) {
+    $tmp = $_GET["nick"];
+    echo(htmlspecialchars($tmp));
+} else {
+    $tmp = "You are the " . $GuestCount . " guest";
+    echo($tmp);
+}
+?>`
+
+func TestFigure6Parses(t *testing.T) {
+	f := parseOK(t, figure6)
+	ifs, ok := f.Stmts[0].(*ast.IfStmt)
+	if !ok {
+		t.Fatalf("stmt 0 is %T", f.Stmts[0])
+	}
+	if len(ifs.Then) != 2 || len(ifs.Else) != 2 {
+		t.Fatalf("branch sizes = %d/%d, want 2/2", len(ifs.Then), len(ifs.Else))
+	}
+}
+
+// ----------------------------- error handling -----------------------------
+
+func TestSyntaxErrorRecovery(t *testing.T) {
+	res := Parse("t", []byte(`<?php $x = ; $y = 2;`))
+	if len(res.Errs) == 0 {
+		t.Fatalf("want syntax error")
+	}
+	// The second statement must still be parsed.
+	dump := ast.DumpStmts(res.File.Stmts)
+	if !strings.Contains(dump, `("=" $y (int 2))`) {
+		t.Fatalf("recovery failed: %s", dump)
+	}
+}
+
+func TestErrorLimit(t *testing.T) {
+	src := "<?php " + strings.Repeat("] ", 500)
+	res := Parse("t", []byte(src))
+	if len(res.Errs) > maxParseErrors+10 {
+		t.Fatalf("unbounded error accumulation: %d", len(res.Errs))
+	}
+}
+
+func TestPositionsSurviveParsing(t *testing.T) {
+	src := "<?php\n$a = 1;\n$b = $a;\n"
+	f := parseOK(t, src)
+	second, ok := f.Stmts[1].(*ast.ExprStmt)
+	if !ok {
+		t.Fatalf("stmt 1 is %T", f.Stmts[1])
+	}
+	if second.Pos().Line != 3 {
+		t.Fatalf("line = %d, want 3", second.Pos().Line)
+	}
+	if got := src[second.Pos().Offset:second.End()]; got != "$b = $a;" {
+		t.Fatalf("span = %q", got)
+	}
+}
+
+// --------------------------- print/parse fixpoint --------------------------
+
+var roundTripSamples = []string{
+	`<?php $x = 1;`,
+	`<?php $q = "a $b c";`,
+	`<?php if ($a) { f(); } else { g(); }`,
+	`<?php while ($x) { $x = $x - 1; }`,
+	`<?php for ($i = 0; $i < 3; $i++) echo $i;`,
+	`<?php foreach ($rows as $k => $v) { echo $v; }`,
+	`<?php function f($a, $b = 2) { return $a . $b; }`,
+	`<?php switch ($x) { case 1: f(); break; default: g(); }`,
+	`<?php $a = array('k' => $v, 2);`,
+	`<?php echo isset($x) ? $x : 'none';`,
+	`<?php $obj->method($arg)->chained;`,
+	`<?php include 'lib.php'; $y = @mysql_query($q) or die('fail');`,
+	`<?php class C { var $p; function m() { return $this->p; } }`,
+	`<?php do { $i++; } while ($i < 5);`,
+	`<?php list($a, $b) = explode(',', $s); unset($a); global $g; static $n = 0;`,
+	figure1, figure2, figure3, figure6, figure7,
+}
+
+func TestPrintParseFixpoint(t *testing.T) {
+	for _, src := range roundTripSamples {
+		f1 := parseOK(t, src)
+		printed := ast.PrintFile(f1)
+		res2 := Parse("printed.php", []byte(printed))
+		for _, err := range res2.Errs {
+			t.Errorf("reparse error for %q: %v\nprinted:\n%s", src, err, printed)
+		}
+		d1 := ast.DumpStmts(f1.Stmts)
+		d2 := ast.DumpStmts(res2.File.Stmts)
+		if d1 != d2 {
+			t.Errorf("fixpoint failure for %q:\n d1: %s\n d2: %s\nprinted:\n%s", src, d1, d2, printed)
+		}
+	}
+}
+
+func TestCastExpressions(t *testing.T) {
+	wantDump(t, `<?php $n = (int)$_GET['id']; $s = (string)$x; $a = (array)$y; $f = (float)($z + 1);`,
+		`[(expr ("=" $n (cast int (index $_GET (str "id"))))) `+
+			`(expr ("=" $s (cast string $x))) `+
+			`(expr ("=" $a (cast array $y))) `+
+			`(expr ("=" $f (cast float ("+" $z (int 1)))))]`)
+}
+
+func TestParenNotMistakenForCast(t *testing.T) {
+	// (int) is a cast, but ($x) and (foo) are parenthesized expressions.
+	wantDump(t, `<?php $a = ($x); $b = (foo); $c = (1 + 2) * 3;`,
+		`[(expr ("=" $a $x)) (expr ("=" $b (const foo))) `+
+			`(expr ("=" $c ("*" ("+" (int 1) (int 2)) (int 3))))]`)
+}
+
+func TestBacktickDesugarsToShellExec(t *testing.T) {
+	wantDump(t, "<?php $o = `ls -l $dir`;",
+		`[(expr ("=" $o (call (const shell_exec) ("." (str "ls -l ") $dir))))]`)
+}
+
+func TestTypeHintedParamSkipped(t *testing.T) {
+	wantDump(t, `<?php function f(MyClass $obj, $plain) { }`,
+		`[(function f ($obj $plain) [])]`)
+}
+
+func TestClassVisibilityTolerated(t *testing.T) {
+	// PHP5 visibility keywords parse tolerantly (skipped as bare idents).
+	f := parseOK(t, `<?php class C { public function m() { return 1; } }`)
+	cls, ok := f.Stmts[0].(*ast.ClassDecl)
+	if !ok || len(cls.Methods) != 1 {
+		t.Fatalf("class methods = %+v", f.Stmts[0])
+	}
+}
+
+func TestSwitchAlternativeSyntax(t *testing.T) {
+	wantDump(t, `<?php switch ($x): case 1: f(); break; endswitch;`,
+		`[(switch $x (case (int 1) [(expr (call (const f))) (break 1)]))]`)
+}
+
+func TestForAlternativeSyntax(t *testing.T) {
+	wantDump(t, `<?php for ($i = 0; $i < 2; $i++): f(); endfor;`,
+		`[(for (("=" $i (int 0))) (("<" $i (int 2))) ((post"++" $i)) [(expr (call (const f)))])]`)
+}
+
+func TestStringOffsetBraces(t *testing.T) {
+	wantDump(t, `<?php $c = $s{0};`, `[(expr ("=" $c (index $s (int 0))))]`)
+}
+
+func TestByRefFunctionDecl(t *testing.T) {
+	// "function &f()" — the & before the name is tolerated.
+	wantDump(t, `<?php function &f() { return $x; }`, `[(function f () [(return $x)])]`)
+}
+
+func TestParseExprString(t *testing.T) {
+	e, errs := ParseExprString("t", "$a['k'] . $b")
+	if len(errs) != 0 {
+		t.Fatalf("errs: %v", errs)
+	}
+	if got := ast.Dump(e); got != `("." (index $a (str "k")) $b)` {
+		t.Fatalf("dump = %q", got)
+	}
+}

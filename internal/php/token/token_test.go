@@ -1,0 +1,94 @@
+package token
+
+import (
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		EOF:          "EOF",
+		Variable:     "VARIABLE",
+		Assign:       "=",
+		ConcatAssign: ".=",
+		KwForeach:    "foreach",
+		KwEndif:      "endif",
+		DoubleArrow:  "=>",
+		OpenEcho:     "<?=",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(9999).String(); got != "Kind(9999)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+	if got := Invalid.String(); got != "INVALID" {
+		t.Errorf("Invalid = %q", got)
+	}
+}
+
+func TestEveryKindHasAName(t *testing.T) {
+	for k := Invalid; k < kindCount; k++ {
+		name := k.String()
+		if len(name) == 0 {
+			t.Errorf("kind %d has empty name", k)
+		}
+		if len(name) > 5 && name[:5] == "Kind(" {
+			t.Errorf("kind %d missing from kindNames", k)
+		}
+	}
+}
+
+func TestLookupKeywordCases(t *testing.T) {
+	cases := map[string]Kind{
+		"if":           KwIf,
+		"IF":           KwIf,
+		"Include_Once": KwIncludeOnce,
+		"ENDFOREACH":   KwEndforeach,
+		"myFunction":   Ident,
+		"echo2":        Ident,
+		"":             Ident,
+	}
+	for in, want := range cases {
+		if got := LookupKeyword(in); got != want {
+			t.Errorf("LookupKeyword(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestPosString(t *testing.T) {
+	p := Pos{File: "a.php", Line: 3, Col: 9, Offset: 42}
+	if p.String() != "a.php:3:9" {
+		t.Errorf("Pos.String = %q", p.String())
+	}
+	anon := Pos{Line: 3, Col: 9}
+	if anon.String() != "3:9" {
+		t.Errorf("anonymous Pos.String = %q", anon.String())
+	}
+	if !p.IsValid() {
+		t.Errorf("set Pos should be valid")
+	}
+	if (Pos{}).IsValid() {
+		t.Errorf("zero Pos should be invalid")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	cases := []struct {
+		tok  Token
+		want string
+	}{
+		{Token{Kind: Variable, Text: "sid"}, "$sid"},
+		{Token{Kind: Ident, Text: "mysql_query"}, "mysql_query"},
+		{Token{Kind: IntLit, Text: "42"}, "42"},
+		{Token{Kind: StringLit, Text: "a b"}, `"a b"`},
+		{Token{Kind: Semicolon, Text: ";"}, ";"},
+		{Token{Kind: KwWhile, Text: "while"}, "while"},
+	}
+	for i, c := range cases {
+		if got := c.tok.String(); got != c.want {
+			t.Errorf("case %d: Token.String = %q, want %q", i, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package prelude
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"webssari/internal/lattice"
+)
+
+// Parse reads a prelude file. The format is line-oriented:
+//
+//	# comment
+//	lattice chain <name>...          declare the lattice as a chain, ⊥ first
+//	var <VarName> <type>             initial safety type of a global variable
+//	source <func> <type>             UIC postcondition: retrieved data's type
+//	sink <func> <bound> [args]       SOC precondition: checked args must be
+//	                                 strictly below <bound>; args is '*' or a
+//	                                 comma-separated list of 1-based positions
+//	sanitizer <func> <type>          routine whose result has the given type
+//
+// The lattice line, when present, must come before any line that names a
+// type. When absent, the two-point taint lattice (untainted < tainted) is
+// assumed.
+func Parse(name string, src []byte) (*Prelude, error) {
+	var p *Prelude
+	ensure := func() *Prelude {
+		if p == nil {
+			p = New(lattice.Taint())
+		}
+		return p
+	}
+
+	sc := bufio.NewScanner(bytes.NewReader(src))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		errf := func(format string, args ...any) error {
+			return fmt.Errorf("%s:%d: %s", name, lineNo, fmt.Sprintf(format, args...))
+		}
+
+		switch fields[0] {
+		case "lattice":
+			if p != nil {
+				return nil, errf("lattice must be declared before any other directive")
+			}
+			if len(fields) < 3 || fields[1] != "chain" {
+				return nil, errf("usage: lattice chain <name>...")
+			}
+			lat, err := lattice.Chain(fields[2:]...)
+			if err != nil {
+				return nil, errf("bad lattice: %v", err)
+			}
+			p = New(lat)
+
+		case "var":
+			if len(fields) != 3 {
+				return nil, errf("usage: var <name> <type>")
+			}
+			t, err := lookupType(ensure(), fields[2])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			ensure().SetVarType(strings.TrimPrefix(fields[1], "$"), t)
+
+		case "source":
+			if len(fields) != 3 {
+				return nil, errf("usage: source <func> <type>")
+			}
+			t, err := lookupType(ensure(), fields[2])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			ensure().AddSource(fields[1], t)
+
+		case "sink":
+			if len(fields) < 3 || len(fields) > 4 {
+				return nil, errf("usage: sink <func> <bound> [*|n,m,...]")
+			}
+			t, err := lookupType(ensure(), fields[2])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			var args []int
+			if len(fields) == 4 && fields[3] != "*" {
+				for _, part := range strings.Split(fields[3], ",") {
+					n, err := strconv.Atoi(part)
+					if err != nil || n < 1 {
+						return nil, errf("bad argument position %q", part)
+					}
+					args = append(args, n)
+				}
+			}
+			ensure().AddSink(fields[1], t, args...)
+
+		case "sanitizer":
+			if len(fields) != 3 {
+				return nil, errf("usage: sanitizer <func> <type>")
+			}
+			t, err := lookupType(ensure(), fields[2])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			ensure().AddSanitizer(fields[1], t)
+
+		default:
+			return nil, errf("unknown directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("prelude %s: %w", name, err)
+	}
+	return ensure(), nil
+}
+
+func lookupType(p *Prelude, name string) (lattice.Elem, error) {
+	if e, ok := p.Lattice().Lookup(name); ok {
+		return e, nil
+	}
+	return 0, fmt.Errorf("unknown safety type %q (lattice is %v)", name, p.Lattice())
+}

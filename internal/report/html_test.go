@@ -1,0 +1,105 @@
+package report_test
+
+import (
+	"strings"
+	"testing"
+
+	"webssari/internal/core"
+	"webssari/internal/fixing"
+	"webssari/internal/flow"
+	"webssari/internal/prelude"
+	"webssari/internal/report"
+)
+
+func TestHTMLReport(t *testing.T) {
+	src := `<?php
+$sid = $_GET['sid'];
+$q = "SELECT * FROM t WHERE sid=$sid";
+mysql_query($q);
+echo $sid;
+?>`
+	res, errs := core.VerifySource("app.php", []byte(src),
+		core.NewOptions(flow.Options{Prelude: prelude.Default()}))
+	for _, err := range errs {
+		t.Fatalf("verify: %v", err)
+	}
+	rep := report.Build(res, fixing.Analyze(res))
+
+	var b strings.Builder
+	if err := rep.WriteHTML(&b, map[string][]byte{"app.php": []byte(src)}); err != nil {
+		t.Fatalf("WriteHTML: %v", err)
+	}
+	out := b.String()
+	for _, frag := range []string{
+		"<!DOCTYPE html>",
+		"UNSAFE</b>: 2 vulnerable statement(s) caused by 1 error introduction(s)",
+		`id="group1"`,
+		"SQL injection",
+		"cross-site scripting",
+		`id="L-app.php-2"`,             // highlighted root line anchor
+		"$sid = $_GET[&#39;sid&#39;];", // escaped source excerpt
+		`href="#L-app.php-4"`,          // sink cross-reference
+		"$sid becomes tainted",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("HTML missing %q", frag)
+		}
+	}
+	if strings.Contains(out, "<?php\n$sid") {
+		t.Errorf("unescaped PHP leaked into HTML")
+	}
+}
+
+func TestHTMLReportSafe(t *testing.T) {
+	src := `<?php echo 'static';`
+	res, errs := core.VerifySource("safe.php", []byte(src),
+		core.NewOptions(flow.Options{Prelude: prelude.Default()}))
+	for _, err := range errs {
+		t.Fatalf("verify: %v", err)
+	}
+	rep := report.Build(res, fixing.Analyze(res))
+	var b strings.Builder
+	if err := rep.WriteHTML(&b, nil); err != nil {
+		t.Fatalf("WriteHTML: %v", err)
+	}
+	if !strings.Contains(b.String(), "VERIFIED") {
+		t.Fatalf("safe HTML missing VERIFIED")
+	}
+}
+
+func TestHTMLReportWithoutSources(t *testing.T) {
+	src := `<?php echo $_GET['x'];`
+	res, errs := core.VerifySource("gone.php", []byte(src),
+		core.NewOptions(flow.Options{Prelude: prelude.Default()}))
+	for _, err := range errs {
+		t.Fatalf("verify: %v", err)
+	}
+	rep := report.Build(res, fixing.Analyze(res))
+	var b strings.Builder
+	// Absent sources: no excerpts, no crash.
+	if err := rep.WriteHTML(&b, map[string][]byte{}); err != nil {
+		t.Fatalf("WriteHTML: %v", err)
+	}
+	if strings.Contains(b.String(), `class="src"`) {
+		t.Fatalf("excerpt rendered without source text")
+	}
+}
+
+func TestHTMLEscapesAttackPayloads(t *testing.T) {
+	// The report must never re-embed unescaped markup from the analyzed
+	// source (a report viewer XSS would be ironic).
+	src := `<?php echo $_GET['x']; // <script>alert(1)</script>`
+	res, errs := core.VerifySource("xss.php", []byte(src),
+		core.NewOptions(flow.Options{Prelude: prelude.Default()}))
+	for _, err := range errs {
+		t.Fatalf("verify: %v", err)
+	}
+	rep := report.Build(res, fixing.Analyze(res))
+	var b strings.Builder
+	if err := rep.WriteHTML(&b, map[string][]byte{"xss.php": []byte(src)}); err != nil {
+		t.Fatalf("WriteHTML: %v", err)
+	}
+	if strings.Contains(b.String(), "<script>alert(1)</script>") {
+		t.Fatalf("unescaped payload in HTML report")
+	}
+}

@@ -1,0 +1,105 @@
+package report_test
+
+import (
+	"strings"
+	"testing"
+
+	"webssari/internal/core"
+	"webssari/internal/fixing"
+	"webssari/internal/flow"
+	"webssari/internal/prelude"
+	"webssari/internal/report"
+)
+
+func buildReport(t *testing.T, src string) *report.Report {
+	t.Helper()
+	pre := prelude.Default()
+	pre.AddSink("DoSQL", pre.Lattice().Top(), 1)
+	res, errs := core.VerifySource("app.php", []byte(src), core.NewOptions(flow.Options{Prelude: pre}))
+	for _, err := range errs {
+		t.Fatalf("verify: %v", err)
+	}
+	return report.Build(res, fixing.Analyze(res))
+}
+
+func TestSafeReport(t *testing.T) {
+	r := buildReport(t, `<?php echo htmlspecialchars($_GET['x']);`)
+	if !r.Safe || r.GroupCount() != 0 || r.SymptomCount() != 0 {
+		t.Fatalf("safe program misreported: %+v", r)
+	}
+	if !strings.Contains(r.String(), "VERIFIED") {
+		t.Fatalf("report missing VERIFIED:\n%s", r)
+	}
+}
+
+func TestGroupedReport(t *testing.T) {
+	r := buildReport(t, `<?php
+$sid = $_GET['sid'];
+$q1 = "SELECT 1 WHERE sid=$sid";
+DoSQL($q1);
+$q2 = "SELECT 2 WHERE sid=$sid";
+DoSQL($q2);
+echo $sid;`)
+	if r.Safe {
+		t.Fatalf("vulnerable program reported safe")
+	}
+	if r.SymptomCount() != 3 {
+		t.Fatalf("symptoms = %d, want 3", r.SymptomCount())
+	}
+	if r.GroupCount() != 1 {
+		t.Fatalf("groups = %d, want 1 (single root $sid)\n%s", r.GroupCount(), r)
+	}
+	text := r.String()
+	for _, frag := range []string{
+		"3 vulnerable statement(s) caused by 1 error introduction(s)",
+		"sanitize $sid",
+		"SQL injection",
+		"cross-site scripting",
+		"$sid becomes tainted",
+	} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("report missing %q:\n%s", frag, text)
+		}
+	}
+	// The single group must cover all three traces.
+	if len(r.Groups[0].Cexs) != 3 {
+		t.Fatalf("group covers %d traces, want 3", len(r.Groups[0].Cexs))
+	}
+}
+
+func TestBranchPathShown(t *testing.T) {
+	r := buildReport(t, `<?php
+if ($mode) { $x = $_GET['a']; } else { $x = 'safe'; }
+echo $x;`)
+	text := r.String()
+	if !strings.Contains(text, "path: b0") {
+		t.Fatalf("report missing branch path:\n%s", text)
+	}
+}
+
+func TestWarningsSurface(t *testing.T) {
+	r := buildReport(t, `<?php include $_GET['page'];`)
+	text := r.String()
+	if !strings.Contains(text, "Approximations:") || !strings.Contains(text, "dynamic") {
+		t.Fatalf("report missing warnings:\n%s", text)
+	}
+	if !strings.Contains(text, "file inclusion") {
+		t.Fatalf("report missing vulnerability class:\n%s", text)
+	}
+}
+
+func TestGroupsSortedBySourceOrder(t *testing.T) {
+	r := buildReport(t, `<?php
+$b = $_POST['b'];
+$a = $_GET['a'];
+echo $a;
+echo $b;`)
+	if r.GroupCount() != 2 {
+		t.Fatalf("groups = %d, want 2", r.GroupCount())
+	}
+	p0, _ := r.Groups[0].Fix.Span()
+	p1, _ := r.Groups[1].Fix.Span()
+	if p0.Offset > p1.Offset {
+		t.Fatalf("groups not in source order: %v, %v", p0, p1)
+	}
+}

@@ -1,0 +1,408 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestArithmeticAndComparisons(t *testing.T) {
+	in := run(t, `<?php
+echo 7 + 3, ",", 7 - 3, ",", 7 * 3, ",", 7 / 2, ",", 7 % 3;
+echo ",", 2 < 3 ? "lt" : "ge";
+echo ",", "abc" < "abd" ? "slt" : "sge";
+echo ",", 5 == "5" ? "eq" : "ne";
+echo ",", 5 === 5 ? "id" : "nid";
+echo ",", 5 !== "5" ? "nid2" : "id2";
+echo ",", 6 & 3, ",", 6 | 3, ",", 6 ^ 3, ",", 1 << 3, ",", 16 >> 2;
+echo ",", -4, ",", +4, ",", ~0;`, nil)
+	want := "10,4,21,3.5,1,lt,slt,eq,id,nid2,2,7,5,8,4,-4,4,-1"
+	if got := in.Output(); got != want {
+		t.Fatalf("output = %q, want %q", got, want)
+	}
+}
+
+func TestCompoundAssignments(t *testing.T) {
+	in := run(t, `<?php
+$s = "a"; $s .= "b";
+$n = 10; $n += 5; $n -= 3; $n *= 2; $n /= 4; $n %= 4;
+echo $s, $n;`, nil)
+	if got := in.Output(); got != "ab2" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestLogicalOperators(t *testing.T) {
+	in := run(t, `<?php
+echo (true && false) ? "t" : "f";
+echo (true || false) ? "t" : "f";
+echo (true and true) ? "t" : "f";
+echo (false or false) ? "t" : "f";
+echo (true xor false) ? "t" : "f";
+echo !false ? "t" : "f";`, nil)
+	if got := in.Output(); got != "fttftt" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestShortCircuitSkipsSideEffects(t *testing.T) {
+	in := run(t, `<?php
+$called = 'no';
+function mark() { global $called; $called = 'yes'; return true; }
+false && mark();
+echo $called;
+true || mark();
+echo $called;`, nil)
+	if got := in.Output(); got != "nono" {
+		t.Fatalf("output = %q (short circuit broken)", got)
+	}
+}
+
+func TestStringBuiltins(t *testing.T) {
+	in := run(t, `<?php
+echo strlen("hello"), ",";
+echo strtoupper("ab"), strtolower("CD"), ",";
+echo ltrim("  x"), rtrim("y  "), ",";
+echo str_replace("a", "o", "banana"), ",";
+echo substr("abcdef", 2, 3), ",";
+echo substr("abcdef", -2), ",";
+echo implode("-", array("a", "b", "c")), ",";
+echo strip_tags("<b>bold</b> text");`, nil)
+	want := "5,ABcd,xy,bonono,cde,ef,a-b-c,bold text"
+	if got := in.Output(); got != want {
+		t.Fatalf("output = %q, want %q", got, want)
+	}
+}
+
+func TestSanitizerFamily(t *testing.T) {
+	in := run(t, `<?php
+echo addslashes("o'brien"), ",";
+echo mysql_real_escape_string($_GET['q']), ",";
+echo intval("42abc"), ",";
+echo floatval("2.5x"), ",";
+echo urlencode("a b"), ",";
+echo escapeshellarg("x'y");`, func(in *Interp) { in.SetGet("q", "a'b") })
+	want := `o\'brien,a\'b,42,2.5,a+b,'x'\''y'`
+	if got := in.Output(); got != want {
+		t.Fatalf("output = %q, want %q", got, want)
+	}
+	if len(in.TaintedEvents()) != 0 {
+		t.Fatalf("sanitizers must clear taint")
+	}
+}
+
+func TestHashFamilyClearsTaint(t *testing.T) {
+	in := run(t, `<?php echo md5($_GET['p']), sha1($_GET['p']), base64_encode($_GET['p']);`,
+		func(in *Interp) { in.SetGet("p", "secret") })
+	if len(in.TaintedEvents()) != 0 {
+		t.Fatalf("hash outputs should be untainted")
+	}
+}
+
+func TestSourceBuiltinsAreTainted(t *testing.T) {
+	in := run(t, `<?php
+echo getenv("PATH");
+echo file_get_contents("/etc/passwd");`, nil)
+	if got := len(in.TaintedEvents()); got != 2 {
+		t.Fatalf("tainted events = %d, want 2", got)
+	}
+}
+
+func TestExecAndEvalSinks(t *testing.T) {
+	in := run(t, `<?php
+system("ls " . $_GET['d']);
+eval($_POST['code']);
+header("Location: " . $_GET['u']);`, func(in *Interp) {
+		in.SetGet("d", "; rm -rf /")
+		in.SetPost("code", "phpinfo();")
+		in.SetGet("u", "http://evil")
+	})
+	sinks := map[string]bool{}
+	for _, e := range in.TaintedEvents() {
+		sinks[e.Sink] = true
+	}
+	for _, want := range []string{"exec", "eval", "header"} {
+		if !sinks[want] {
+			t.Errorf("missing tainted %s event: %v", want, in.Events)
+		}
+	}
+}
+
+func TestMysqlResultAndRowQueue(t *testing.T) {
+	in := run(t, `<?php
+$r = mysql_query("SELECT x FROM t");
+echo mysql_result($r, 0), ",";
+$row1 = mysql_fetch_array($r);
+$row2 = mysql_fetch_array($r);
+echo $row1['x'], ",", $row2 ? "more" : "done";`, func(in *Interp) {
+		in.SeedRow(map[string]*Value{"x": Clean("first")})
+	})
+	if got := in.Output(); got != "first,first,done" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestArrayHelpers(t *testing.T) {
+	in := run(t, `<?php
+$a = array(1, 2, 3);
+echo count($a), ",", sizeof($a), ",";
+echo is_array($a) ? "arr" : "not", ",";
+echo is_array("s") ? "arr" : "not", ",";
+echo gettype($a), ",", gettype("s"), ",", gettype(1.5), ",", gettype(null);`, nil)
+	want := "3,3,arr,not,array,string,double,NULL"
+	if got := in.Output(); got != want {
+		t.Fatalf("output = %q, want %q", got, want)
+	}
+}
+
+func TestArrayAppendAndNested(t *testing.T) {
+	in := run(t, `<?php
+$a = array();
+$a[] = "x";
+$a[] = "y";
+$a['k']['deep'] = "z";
+$o->prop = "p";
+echo $a[0], $a[1], $a['k']['deep'], $o->prop;`, nil)
+	if got := in.Output(); got != "xyzp" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestFunctionExistsAndNoops(t *testing.T) {
+	in := run(t, `<?php
+function mine() { return 1; }
+echo function_exists("mine") ? "y" : "n";
+echo function_exists("htmlspecialchars") ? "y" : "n";
+echo function_exists("no_such_fn_xyz") ? "y" : "n";
+error_reporting(0);
+session_start();
+echo define("X", 1) ? "d" : "-";`, nil)
+	if got := in.Output(); got != "yynd" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestUnknownBuiltinJoinsTaint(t *testing.T) {
+	in := run(t, `<?php $x = totally_unknown_fn($_GET['a']); echo "v" . $x;`,
+		func(in *Interp) { in.SetGet("a", "evil") })
+	if len(in.TaintedEvents()) != 1 {
+		t.Fatalf("taint must survive unknown builtins")
+	}
+}
+
+func TestSprintfAndPrintf(t *testing.T) {
+	in := run(t, `<?php
+$s = sprintf("a", "b");
+echo $s;
+printf("x", $_GET['q']);
+print "p";
+print_r("r");`, func(in *Interp) { in.SetGet("q", "t") })
+	if !strings.Contains(in.Output(), "ab") {
+		t.Fatalf("sprintf concat failed: %q", in.Output())
+	}
+	tainted := in.TaintedEvents()
+	if len(tainted) != 1 || tainted[0].Sink != "echo" {
+		t.Fatalf("printf taint lost: %v", in.Events)
+	}
+}
+
+func TestSwitchDefaultAndFallthrough(t *testing.T) {
+	in := run(t, `<?php
+switch ("z") {
+case "a": echo "A";
+case "b": echo "B"; break;
+default: echo "D";
+}
+switch ("a") {
+case "a": echo "A2";
+case "b": echo "B2"; break;
+case "c": echo "C2";
+}`, nil)
+	if got := in.Output(); got != "DA2B2" {
+		t.Fatalf("output = %q (fallthrough semantics wrong)", got)
+	}
+}
+
+func TestBreakLevels(t *testing.T) {
+	in := run(t, `<?php
+for ($i = 0; $i < 3; $i++) {
+    for ($j = 0; $j < 3; $j++) {
+        if ($j == 1) { break 2; }
+        echo $i, $j;
+    }
+}
+echo "end";`, nil)
+	if got := in.Output(); got != "00end" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestForeachKeyTaintFollowsArray(t *testing.T) {
+	in := run(t, `<?php
+foreach ($_GET as $k => $v) { echo $k, $v; }`, func(in *Interp) {
+		in.SetGet("p", "val")
+	})
+	// $_GET itself is not a tainted scalar, but its values are.
+	evs := in.TaintedEvents()
+	if len(evs) != 1 || evs[0].Text != "val" {
+		t.Fatalf("events = %v", in.Events)
+	}
+}
+
+func TestVariableFunctionCall(t *testing.T) {
+	in := run(t, `<?php
+function greet() { echo "hi"; }
+$f = 'greet';
+$f();`, nil)
+	if got := in.Output(); got != "hi" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestStaticCallAndUnknownConstant(t *testing.T) {
+	in := run(t, `<?php
+class Util { function ping() { return "pong"; } }
+echo Util::ping();
+echo SOME_CONST;
+echo PHP_EOL;`, nil)
+	if got := in.Output(); got != "pong"+"SOME_CONST"+"\n" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestStaticVarsInitializeOnce(t *testing.T) {
+	in := run(t, `<?php
+function counter() {
+    static $n = 0;
+    $n++;
+    return $n;
+}
+echo counter(), counter(), counter();`, nil)
+	// Our statics are per-call locals (documented approximation): each
+	// call re-initializes, so the counter stays at 1.
+	if got := in.Output(); got != "111" {
+		t.Fatalf("output = %q (statics approximation changed?)", got)
+	}
+}
+
+func TestUnsetBehaviour(t *testing.T) {
+	in := run(t, `<?php
+$a = "x";
+unset($a);
+echo isset($a) ? "set" : "unset";
+$b = array('k' => 1, 'j' => 2);
+unset($b['k']);
+echo ",", count($b);`, nil)
+	if got := in.Output(); got != "unset,1" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestRecursionDepthLimit(t *testing.T) {
+	in := New()
+	err := in.RunSource("t.php", []byte(`<?php
+function f($n) { return f($n + 1); }
+f(0);`))
+	if err == nil || !strings.Contains(err.Error(), "depth") {
+		t.Fatalf("err = %v, want call-depth failure", err)
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	in := run(t, `<?php
+echo 5 / 0 ? "t" : "f";
+echo 5 % 0 ? "t" : "f";
+$x = 4; $x /= 0;
+echo $x ? "t" : "f";`, nil)
+	if got := in.Output(); got != "fff" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Sink: "sql", Text: "SELECT 1", Tainted: true, Line: 4}
+	if got := e.String(); !strings.Contains(got, "TAINTED") || !strings.Contains(got, "sql@4") {
+		t.Fatalf("Event.String = %q", got)
+	}
+	c := Event{Sink: "echo", Text: "x", Line: 1}
+	if got := c.String(); !strings.Contains(got, "clean") {
+		t.Fatalf("Event.String = %q", got)
+	}
+}
+
+func TestValueConversions(t *testing.T) {
+	if Num(3).String() != "3" || Num(2.5).String() != "2.5" {
+		t.Fatalf("number to string wrong")
+	}
+	if BoolVal(true).String() != "1" || BoolVal(false).String() != "" {
+		t.Fatalf("bool to string wrong")
+	}
+	if Null().String() != "" || Array().String() != "Array" {
+		t.Fatalf("null/array to string wrong")
+	}
+	if Clean(" 42.5abc").Number() != 42.5 {
+		t.Fatalf("string to number wrong: %v", Clean(" 42.5abc").Number())
+	}
+	if Clean("abc").Number() != 0 {
+		t.Fatalf("non-numeric string should be 0")
+	}
+	if !Num(1).Truthy() || Num(0).Truthy() || Clean("0").Truthy() || !Clean("x").Truthy() {
+		t.Fatalf("truthiness wrong")
+	}
+	arr := Array()
+	if arr.Truthy() {
+		t.Fatalf("empty array should be falsy")
+	}
+	arr.Set("k", Num(1))
+	if !arr.Truthy() {
+		t.Fatalf("non-empty array should be truthy")
+	}
+}
+
+func TestValueCopyIsolation(t *testing.T) {
+	a := Array()
+	a.Set("k", Tainted("v"))
+	b := a.Copy()
+	b.Set("k", Clean("w"))
+	if a.Get("k").Str != "v" || !a.Get("k").Taint {
+		t.Fatalf("copy mutated the original")
+	}
+	if !a.AnyTaint() || b.AnyTaint() {
+		t.Fatalf("AnyTaint wrong after copy")
+	}
+}
+
+func TestTaintedScalarElementRead(t *testing.T) {
+	// Reading an element of a tainted scalar yields tainted data (coarse
+	// string-offset model).
+	v := Tainted("abc")
+	if !v.Get("0").Taint {
+		t.Fatalf("element of tainted scalar should be tainted")
+	}
+	if Clean("abc").Get("0").Kind != KNull {
+		t.Fatalf("element of clean scalar should be null")
+	}
+}
+
+func TestCastsAtRuntime(t *testing.T) {
+	in := run(t, `<?php
+echo (int)"42abc", ",", (float)"2.5", ",", (bool)"x" ? "t" : "f", ",";
+echo (string)5, ",", count((array)"one");
+$clean = (int)$_GET['id'];
+echo $clean;`, func(in *Interp) { in.SetGet("id", "7; DROP TABLE x") })
+	if got := in.Output(); got != "42,2.5,t,5,17" {
+		t.Fatalf("output = %q", got)
+	}
+	if len(in.TaintedEvents()) != 0 {
+		t.Fatalf("(int) cast must clear taint")
+	}
+}
+
+func TestBacktickExecutesShellSink(t *testing.T) {
+	in := run(t, "<?php $o = `ls $_GET[d]`;", func(in *Interp) {
+		in.SetGet("d", "; rm -rf /")
+	})
+	evs := in.TaintedEvents()
+	if len(evs) != 1 || evs[0].Sink != "exec" {
+		t.Fatalf("events = %v, want one tainted exec", in.Events)
+	}
+}

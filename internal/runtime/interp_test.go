@@ -1,0 +1,284 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, src string, seed func(*Interp)) *Interp {
+	t.Helper()
+	in := New()
+	if seed != nil {
+		seed(in)
+	}
+	if err := in.RunSource("t.php", []byte(src)); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return in
+}
+
+func TestEchoLiteral(t *testing.T) {
+	in := run(t, `<?php echo "hello", ' ', 'world';`, nil)
+	if got := in.Output(); got != "hello world" {
+		t.Fatalf("output = %q", got)
+	}
+	if len(in.TaintedEvents()) != 0 {
+		t.Fatalf("literals must be clean")
+	}
+}
+
+func TestTaintedGetReachesEcho(t *testing.T) {
+	in := run(t, `<?php echo $_GET['msg'];`, func(in *Interp) {
+		in.SetGet("msg", "<script>alert(1)</script>")
+	})
+	ev := in.TaintedEvents()
+	if len(ev) != 1 || ev[0].Sink != "echo" {
+		t.Fatalf("tainted events = %+v, want one echo", ev)
+	}
+	if !strings.Contains(in.Output(), "<script>") {
+		t.Fatalf("payload lost: %q", in.Output())
+	}
+}
+
+func TestSanitizerClearsTaint(t *testing.T) {
+	in := run(t, `<?php echo htmlspecialchars($_GET['msg']);`, func(in *Interp) {
+		in.SetGet("msg", "<script>")
+	})
+	if len(in.TaintedEvents()) != 0 {
+		t.Fatalf("sanitized output still tainted")
+	}
+	if got := in.Output(); got != "&lt;script&gt;" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestWebsafeGuard(t *testing.T) {
+	in := run(t, `<?php $x = websafe($_GET['q']); echo $x;`, func(in *Interp) {
+		in.SetGet("q", `<i>'`)
+	})
+	if len(in.TaintedEvents()) != 0 {
+		t.Fatalf("guarded value still tainted")
+	}
+}
+
+func TestInterpolationPropagatesTaint(t *testing.T) {
+	in := run(t, `<?php
+$sid = $_GET['sid'];
+$q = "SELECT * FROM t WHERE sid=$sid";
+mysql_query($q);`, func(in *Interp) {
+		in.SetGet("sid", "1; DROP TABLE users")
+	})
+	ev := in.TaintedEvents()
+	if len(ev) != 1 || ev[0].Sink != "sql" {
+		t.Fatalf("tainted events = %+v, want one sql", ev)
+	}
+	if len(in.DB.Queries) != 1 || !strings.Contains(in.DB.Queries[0], "DROP TABLE") {
+		t.Fatalf("queries = %v", in.DB.Queries)
+	}
+}
+
+func TestStoredXSSScenario(t *testing.T) {
+	// Figure 2: rows fetched from the database carry stored attacker data.
+	src := `<?php
+$result = mysql_query("SELECT tickets_subject FROM tickets");
+while ($row = mysql_fetch_array($result)) {
+    extract($row);
+    echo "$tickets_username<BR>$tickets_subject";
+}`
+	in := run(t, src, func(in *Interp) {
+		in.SeedRow(map[string]*Value{
+			"tickets_username": Clean("alice"),
+			"tickets_subject":  Tainted("<script>steal()</script>"),
+		})
+	})
+	ev := in.TaintedEvents()
+	if len(ev) != 1 {
+		t.Fatalf("tainted events = %d, want 1 (stored XSS)", len(ev))
+	}
+	if !strings.Contains(in.Output(), "alice") {
+		t.Fatalf("output lost row data: %q", in.Output())
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	in := run(t, `<?php
+$sum = 0;
+for ($i = 1; $i <= 4; $i++) { $sum += $i; }
+$n = 0;
+while ($n < 3) { $n++; if ($n == 2) { continue; } $sum += 100; }
+do { $sum += 1000; } while (false);
+switch ($sum) {
+case 1210: echo "match"; break;
+default: echo "miss";
+}`, nil)
+	if got := in.Output(); got != "match" {
+		t.Fatalf("output = %q (sum arithmetic or control flow wrong)", got)
+	}
+}
+
+func TestForeachAndArrays(t *testing.T) {
+	in := run(t, `<?php
+$a = array('x' => 1, 'y' => 2);
+$a['z'] = 3;
+$total = 0;
+foreach ($a as $k => $v) { $total += $v; echo $k; }
+echo $total;`, nil)
+	if got := in.Output(); got != "xyz6" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	in := run(t, `<?php
+function fact($n) {
+    if ($n <= 1) { return 1; }
+    return $n * fact($n - 1);
+}
+echo fact(5);`, nil)
+	if got := in.Output(); got != "120" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestByRefParameter(t *testing.T) {
+	in := run(t, `<?php
+function bump(&$x) { $x = $x + 1; }
+$v = 41;
+bump($v);
+echo $v;`, nil)
+	if got := in.Output(); got != "42" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestGlobalStatement(t *testing.T) {
+	in := run(t, `<?php
+$greeting = "hi";
+function speak() { global $greeting; echo $greeting; }
+speak();`, nil)
+	if got := in.Output(); got != "hi" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestLocalsIsolated(t *testing.T) {
+	in := run(t, `<?php
+$x = "outer";
+function f() { $x = "inner"; }
+f();
+echo $x;`, nil)
+	if got := in.Output(); got != "outer" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestExitHalts(t *testing.T) {
+	in := run(t, `<?php echo "a"; exit; echo "b";`, nil)
+	if got := in.Output(); got != "a" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestDieEchoesMessage(t *testing.T) {
+	in := run(t, `<?php die("fatal: $_GET[e]");`, func(in *Interp) {
+		in.SetGet("e", "<hr>")
+	})
+	if len(in.TaintedEvents()) != 1 {
+		t.Fatalf("die message should be a tainted echo")
+	}
+}
+
+func TestTaintThroughStringFunctions(t *testing.T) {
+	in := run(t, `<?php echo substr(trim(strtolower($_POST['v'])), 0, 5);`, func(in *Interp) {
+		in.SetPost("v", "  EVILDATA  ")
+	})
+	ev := in.TaintedEvents()
+	if len(ev) != 1 {
+		t.Fatalf("taint lost through string functions")
+	}
+	if ev[0].Text != "evild" {
+		t.Fatalf("text = %q", ev[0].Text)
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	in := New()
+	in.MaxSteps = 1000
+	err := in.RunSource("t.php", []byte(`<?php while (true) { $x = 1; }`))
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("err = %v, want step budget failure", err)
+	}
+}
+
+func TestIncludeExecution(t *testing.T) {
+	files := map[string]string{
+		"lib.php": `<?php function hello() { echo "from lib"; }`,
+	}
+	in := New()
+	in.Loader = func(p string) ([]byte, error) {
+		if s, ok := files[p]; ok {
+			return []byte(s), nil
+		}
+		return nil, strings.NewReader("").UnreadByte()
+	}
+	if err := in.RunSource("t.php", []byte(`<?php include 'lib.php'; hello();`)); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := in.Output(); got != "from lib" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestListAssignAndExplode(t *testing.T) {
+	in := run(t, `<?php
+list($a, $b) = explode(",", $_COOKIE['pair']);
+echo $b;`, func(in *Interp) {
+		in.SetCookie("pair", "one,two")
+	})
+	ev := in.TaintedEvents()
+	if len(ev) != 1 || ev[0].Text != "two" {
+		t.Fatalf("events = %+v", ev)
+	}
+}
+
+func TestIssetEmptyTernary(t *testing.T) {
+	in := run(t, `<?php
+$v = isset($_GET['x']) ? $_GET['x'] : 'default';
+echo $v;
+echo empty($novar) ? "-empty" : "-full";`, nil)
+	if got := in.Output(); got != "default-empty" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestInlineHTMLIsCleanOutput(t *testing.T) {
+	in := run(t, "<b>static</b><?php echo 'x'; ?>", nil)
+	if got := in.Output(); got != "<b>static</b>x" {
+		t.Fatalf("output = %q", got)
+	}
+	if len(in.TaintedEvents()) != 0 {
+		t.Fatalf("static HTML must be clean")
+	}
+}
+
+func TestVariableVariables(t *testing.T) {
+	in := run(t, `<?php
+$name = 'target';
+$$name = 'hit';
+echo $target;`, nil)
+	if got := in.Output(); got != "hit" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestMethodCallByUniqueName(t *testing.T) {
+	in := run(t, `<?php
+class Greeter {
+    function greet($who) { echo "hello $who"; }
+}
+$g = new Greeter();
+$g->greet('bob');`, nil)
+	if got := in.Output(); got != "hello bob" {
+		t.Fatalf("output = %q", got)
+	}
+}

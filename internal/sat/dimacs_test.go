@@ -1,0 +1,121 @@
+package sat
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		f := randomCNF(r, 3+r.Intn(10), 1+r.Intn(20), 3)
+		var buf bytes.Buffer
+		if err := f.WriteDIMACS(&buf); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		g, err := ParseDIMACS(&buf)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		if g.NumVars != f.NumVars || len(g.Clauses) != len(f.Clauses) {
+			t.Fatalf("shape mismatch: %d/%d vs %d/%d",
+				g.NumVars, len(g.Clauses), f.NumVars, len(f.Clauses))
+		}
+		for ci := range f.Clauses {
+			if len(f.Clauses[ci]) != len(g.Clauses[ci]) {
+				t.Fatalf("clause %d mismatch", ci)
+			}
+			for li := range f.Clauses[ci] {
+				if f.Clauses[ci][li] != g.Clauses[ci][li] {
+					t.Fatalf("lit mismatch at %d/%d", ci, li)
+				}
+			}
+		}
+	}
+}
+
+func TestParseDIMACSComments(t *testing.T) {
+	src := `c a comment
+c another
+
+p cnf 3 2
+1 -2 0
+2 3 0
+`
+	f, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if f.NumVars != 3 || len(f.Clauses) != 2 {
+		t.Fatalf("shape = %d vars %d clauses", f.NumVars, len(f.Clauses))
+	}
+	if f.Clauses[0][1] != Lit(-2) {
+		t.Fatalf("lit = %v", f.Clauses[0][1])
+	}
+}
+
+func TestParseDIMACSMultiLineClause(t *testing.T) {
+	src := "p cnf 4 1\n1 2\n3 -4 0\n"
+	f, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(f.Clauses) != 1 || len(f.Clauses[0]) != 4 {
+		t.Fatalf("clauses = %+v", f.Clauses)
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing problem": "1 2 0\n",
+		"bad problem":     "p dnf 1 1\n1 0\n",
+		"bad literal":     "p cnf 2 1\n1 x 0\n",
+		"bad var count":   "p cnf x 1\n1 0\n",
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ParseDIMACS(strings.NewReader(src)); err == nil {
+				t.Fatalf("want parse error")
+			}
+		})
+	}
+}
+
+func TestParseDIMACSTrailingClauseWithoutZero(t *testing.T) {
+	f, err := ParseDIMACS(strings.NewReader("p cnf 2 1\n1 2\n"))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(f.Clauses) != 1 {
+		t.Fatalf("trailing clause lost: %+v", f.Clauses)
+	}
+}
+
+func TestCNFEval(t *testing.T) {
+	f := &CNF{}
+	a, b := f.NewVar(), f.NewVar()
+	f.AddClause(Lit(a), Lit(-b))
+	if !f.Eval([]bool{false, true, true}) {
+		t.Fatalf("a=true satisfies")
+	}
+	if f.Eval([]bool{false, false, true}) {
+		t.Fatalf("a=false,b=true falsifies")
+	}
+}
+
+func TestLoadIntoGrowsVars(t *testing.T) {
+	f := &CNF{}
+	f.AddClause(Lit(7))
+	s := New()
+	if !f.LoadInto(s) {
+		t.Fatalf("load failed")
+	}
+	if s.NumVars() < 7 {
+		t.Fatalf("vars = %d", s.NumVars())
+	}
+	if s.Solve() != Sat || !s.Value(7) {
+		t.Fatalf("unit on var 7 lost")
+	}
+}

@@ -1,0 +1,183 @@
+// Package typestate implements the paper's earlier TS verification
+// algorithm (Huang et al., WWW 2004), the baseline the bounded model
+// checker is compared against in Figure 10. TS is a typestate-inspired
+// flow-sensitive dataflow analysis: it performs a single breadth-first
+// pass over the control-flow graph, merging variable safety types with the
+// lattice join at branch joins, and reports every program point whose SOC
+// precondition may be violated.
+//
+// TS trades space and accuracy for speed: it is polynomial-time, but
+//
+//   - it reports *symptoms* — one error per violating statement — rather
+//     than causes, so a single tainted root yields one report (and one
+//     runtime guard) per sink it reaches;
+//   - it produces no counterexample traces, so reports cannot show how the
+//     taint arrived.
+//
+// Running TS and xBMC over the same abstract interpretation makes the
+// Figure 10 comparison an apples-to-apples measurement of symptom counts
+// vs error-introduction counts.
+package typestate
+
+import (
+	"fmt"
+	"strings"
+
+	"webssari/internal/ai"
+	"webssari/internal/lattice"
+)
+
+// Report is one TS error: a sensitive call whose precondition may fail.
+type Report struct {
+	// Assert is the violated SOC precondition.
+	Assert *ai.Assert
+	// Args indexes the checked arguments whose merged type breaches the
+	// bound.
+	Args []int
+	// ArgTypes holds the merged (join-over-paths) type of each checked
+	// argument.
+	ArgTypes []lattice.Elem
+}
+
+// String renders the report.
+func (r Report) String() string {
+	return fmt.Sprintf("%s: unsanitized data may reach %s", r.Assert.Site, r.Assert.Fn)
+}
+
+// env is the abstract state: variable → safety type, plus liveness (a
+// stopped path contributes nothing at merges).
+type env struct {
+	types map[string]lattice.Elem
+	dead  bool
+}
+
+func (e *env) clone() *env {
+	cp := &env{types: make(map[string]lattice.Elem, len(e.types)), dead: e.dead}
+	for k, v := range e.types {
+		cp.types[k] = v
+	}
+	return cp
+}
+
+// Check runs the TS analysis over an abstract interpretation and returns
+// every violating statement, in textual order.
+func Check(p *ai.Program) []Report {
+	c := &checker{p: p, lat: p.Lat}
+	state := &env{types: make(map[string]lattice.Elem, len(p.InitialTypes))}
+	for name, t := range p.InitialTypes {
+		state.types[name] = t
+	}
+	c.run(p.Cmds, state)
+	return c.reports
+}
+
+// Count returns the number of TS-reported errors (the paper's per-project
+// "TS" column in Figure 10).
+func Count(p *ai.Program) int { return len(Check(p)) }
+
+type checker struct {
+	p       *ai.Program
+	lat     *lattice.Lattice
+	reports []Report
+}
+
+func (c *checker) typeOf(e ai.Expr, s *env) lattice.Elem {
+	switch e := e.(type) {
+	case nil:
+		return c.lat.Bottom()
+	case ai.Const:
+		return e.Type
+	case ai.Var:
+		if t, ok := s.types[e.Name]; ok {
+			return t
+		}
+		return c.lat.Bottom()
+	case ai.Join:
+		acc := c.lat.Bottom()
+		for _, part := range e.Parts {
+			acc = c.lat.Join(acc, c.typeOf(part, s))
+		}
+		return acc
+	default:
+		return c.lat.Top()
+	}
+}
+
+// run interprets the command sequence, mutating state in place.
+func (c *checker) run(cmds []ai.Cmd, state *env) {
+	for _, cmd := range cmds {
+		if state.dead {
+			return
+		}
+		switch cmd := cmd.(type) {
+		case *ai.Set:
+			state.types[cmd.Var] = c.typeOf(cmd.RHS, state)
+		case *ai.Assert:
+			var bad []int
+			var types []lattice.Elem
+			for i, arg := range cmd.Args {
+				t := c.typeOf(arg.Expr, state)
+				types = append(types, t)
+				if !c.lat.Lt(t, cmd.Bound) {
+					bad = append(bad, i)
+				}
+			}
+			if len(bad) > 0 {
+				c.reports = append(c.reports, Report{
+					Assert: cmd, Args: bad, ArgTypes: types,
+				})
+			}
+		case *ai.If:
+			thenState := state.clone()
+			elseState := state.clone()
+			c.run(cmd.Then, thenState)
+			c.run(cmd.Else, elseState)
+			merge(c.lat, state, thenState, elseState)
+		case *ai.Stop:
+			state.dead = true
+		}
+	}
+}
+
+// merge joins two successor states into dst. A dead branch (ending in
+// stop) contributes nothing.
+func merge(lat *lattice.Lattice, dst, a, b *env) {
+	switch {
+	case a.dead && b.dead:
+		dst.dead = true
+		return
+	case a.dead:
+		dst.types = b.types
+		return
+	case b.dead:
+		dst.types = a.types
+		return
+	}
+	out := make(map[string]lattice.Elem, len(a.types))
+	for k, v := range a.types {
+		if w, ok := b.types[k]; ok {
+			out[k] = lat.Join(v, w)
+		} else {
+			out[k] = lat.Join(v, lat.Bottom())
+		}
+	}
+	for k, w := range b.types {
+		if _, ok := a.types[k]; !ok {
+			out[k] = lat.Join(lat.Bottom(), w)
+		}
+	}
+	dst.types = out
+}
+
+// Summary renders the reports, one per line.
+func Summary(reports []Report) string {
+	if len(reports) == 0 {
+		return "no violations found\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d violating statement(s):\n", len(reports))
+	for _, r := range reports {
+		fmt.Fprintf(&b, "  %s\n", r)
+	}
+	return b.String()
+}

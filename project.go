@@ -1,0 +1,68 @@
+package webssari
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ProjectReport aggregates the verification of a whole PHP project — the
+// unit the paper's §5 evaluation counts by.
+type ProjectReport struct {
+	// Dir is the project root.
+	Dir string `json:"dir"`
+	// Files holds one report per PHP entry file, sorted by path.
+	Files []*Report `json:"files"`
+	// Symptoms is the project-wide TS error count (Figure 10 "TS").
+	Symptoms int `json:"symptoms"`
+	// Groups is the project-wide error-introduction count (Figure 10 "BMC").
+	Groups int `json:"groups"`
+	// VulnerableFiles counts files with at least one finding.
+	VulnerableFiles int `json:"vulnerable_files"`
+}
+
+// Safe reports whether every file verified safe.
+func (p *ProjectReport) Safe() bool { return p.VulnerableFiles == 0 }
+
+// VerifyDir verifies every .php file under dir as an entry file, resolving
+// includes relative to each file (falling back to dir), and aggregates the
+// per-project counts the paper's evaluation reports.
+func VerifyDir(dir string, opts ...Option) (*ProjectReport, error) {
+	var phpFiles []string
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(strings.ToLower(d.Name()), ".php") {
+			phpFiles = append(phpFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("webssari: walking %s: %w", dir, err)
+	}
+	sort.Strings(phpFiles)
+
+	pr := &ProjectReport{Dir: dir}
+	for _, file := range phpFiles {
+		fileOpts := append([]Option{WithDir(dir)}, opts...)
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("webssari: %s: %w", file, err)
+		}
+		rep, err := Verify(src, file, fileOpts...)
+		if err != nil {
+			return nil, err
+		}
+		pr.Files = append(pr.Files, rep)
+		pr.Symptoms += rep.Symptoms
+		pr.Groups += rep.Groups
+		if !rep.Safe {
+			pr.VulnerableFiles++
+		}
+	}
+	return pr, nil
+}

@@ -1,0 +1,486 @@
+// Package webssari is a Go reproduction of WebSSARI's bounded-model-
+// checking verifier for Web application security (Huang, Yu, Hang, Tsai,
+// Lee, Kuo: "Verifying Web Applications Using Bounded Model Checking",
+// DSN 2004).
+//
+// The library statically verifies PHP code against taint-style
+// vulnerabilities (cross-site scripting, SQL injection, command injection,
+// remote file inclusion) formalized as a secure-information-flow problem,
+// and automatically patches vulnerable code with sanitization runtime
+// guards. The verification pipeline is the paper's xBMC1.0:
+//
+//	PHP  →  F(p)  →  AI(F(p))  →  ρ (single assignment)  →  C(c,g)  →  CNF(B_i)  →  SAT
+//
+// Because the abstract interpretation is loop-free (fixed diameter),
+// bounded model checking is sound and complete: a Safe verdict proves the
+// absence of information-flow bugs in the model, and every counterexample
+// corresponds to a concrete tainted path. Counterexamples are grouped by
+// root cause: the minimal set of error introductions whose sanitization
+// removes every error trace (a MINIMUM-INTERSECTING-SET instance, solved
+// greedily per the paper's §3.3.4).
+//
+// # Quick start
+//
+//	rep, err := webssari.Verify([]byte(src), "page.php")
+//	if err != nil { ... }
+//	if !rep.Safe {
+//	    fmt.Print(rep.Text)                       // grouped error report
+//	    patched, _, _ := webssari.Patch([]byte(src), "page.php")
+//	    os.WriteFile("page.php", patched, 0o644)  // secured PHP
+//	}
+//
+// See examples/ for complete programs and DESIGN.md for the architecture.
+package webssari
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"webssari/internal/core"
+	"webssari/internal/fixing"
+	"webssari/internal/flow"
+	"webssari/internal/instrument"
+	"webssari/internal/lattice"
+	"webssari/internal/prelude"
+	"webssari/internal/report"
+	"webssari/internal/sat"
+	"webssari/internal/typestate"
+)
+
+// Location is a source position.
+type Location struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+}
+
+// String renders the location as file:line:col.
+func (l Location) String() string { return fmt.Sprintf("%s:%d:%d", l.File, l.Line, l.Col) }
+
+// TraceStep is one single assignment on an error trace.
+type TraceStep struct {
+	Location Location `json:"location"`
+	// Var is the assigned variable's source name.
+	Var string `json:"var"`
+	// Value is the safety level the assignment produced ("tainted").
+	Value string `json:"value"`
+}
+
+// Finding is one error trace: a path along which untrusted data reaches a
+// sensitive output channel.
+type Finding struct {
+	// Sink is the sensitive function (echo, mysql_query, …).
+	Sink string `json:"sink"`
+	// Class is the vulnerability class (e.g. "SQL injection").
+	Class string `json:"class"`
+	// Location is the sink call site.
+	Location Location `json:"location"`
+	// Trace is the tainted single-assignment sequence leading to the sink.
+	Trace []TraceStep `json:"trace"`
+	// Group indexes the Patches entry whose guard repairs this finding.
+	Group int `json:"group"`
+}
+
+// PatchPoint is one entry of the minimal fixing set: a source expression to
+// wrap in a sanitization runtime guard.
+type PatchPoint struct {
+	// Location is where the guard is inserted.
+	Location Location `json:"location"`
+	// Var is the variable being sanitized ("" for sink-argument guards).
+	Var string `json:"var,omitempty"`
+	// Description is a human-readable summary.
+	Description string `json:"description"`
+	// Findings counts the error traces this single guard repairs.
+	Findings int `json:"findings"`
+}
+
+// Report is the result of verifying one PHP entry file (plus its static
+// includes).
+type Report struct {
+	// File is the entry file name.
+	File string `json:"file"`
+	// Safe is true when bounded model checking proved every sensitive call
+	// receives only trusted data (sound and complete for the model).
+	Safe bool `json:"safe"`
+	// Symptoms is the TS baseline's error count: one per vulnerable
+	// statement.
+	Symptoms int `json:"symptoms"`
+	// Groups is the BMC error-introduction count: the minimal number of
+	// runtime guards needed.
+	Groups int `json:"groups"`
+	// Findings lists every error trace.
+	Findings []Finding `json:"findings,omitempty"`
+	// Patches is the minimal fixing set.
+	Patches []PatchPoint `json:"patches,omitempty"`
+	// Warnings lists analysis approximations (dynamic includes, variable
+	// variables, recursion cutoffs).
+	Warnings []string `json:"warnings,omitempty"`
+	// Text is the rendered human-readable report.
+	Text string `json:"-"`
+}
+
+// Option configures Verify and Patch.
+type Option func(*config) error
+
+type config struct {
+	pre       *prelude.Prelude
+	loader    func(string) ([]byte, error)
+	dir       string
+	unroll    int
+	paperMode bool
+	blockAll  bool
+	routine   string
+	solver    sat.Options
+	maxCEX    int
+}
+
+// WithPrelude replaces the default trust environment with a prelude parsed
+// from the given text (see internal prelude format; the default covers the
+// common PHP channels).
+func WithPrelude(text string) Option {
+	return func(c *config) error {
+		p, err := prelude.Parse("option", []byte(text))
+		if err != nil {
+			return err
+		}
+		c.pre = p
+		return nil
+	}
+}
+
+// WithExtraPrelude merges additional prelude directives (sinks, sources,
+// sanitizers, variable types) into the current environment — the
+// project-specific prelude files of the paper.
+func WithExtraPrelude(text string) Option {
+	return func(c *config) error {
+		extra, err := prelude.Parse("option", []byte(text))
+		if err != nil {
+			return err
+		}
+		if c.pre == nil {
+			c.pre = prelude.Default()
+		}
+		// Re-parse over the existing lattice by registering directly.
+		return mergeTextual(c.pre, extra)
+	}
+}
+
+// mergeTextual copies definitions from extra (parsed over its own lattice)
+// into dst, translating safety types by element name, so user preludes
+// need not re-declare the lattice.
+func mergeTextual(dst, extra *prelude.Prelude) error {
+	translate := func(t string) (int, error) {
+		el, ok := dst.Lattice().Lookup(t)
+		if !ok {
+			return 0, fmt.Errorf("webssari: prelude type %q not in lattice %v", t, dst.Lattice())
+		}
+		return int(el), nil
+	}
+	for _, name := range extra.Vars() {
+		el, err := translate(extra.Lattice().Name(extra.VarType(name)))
+		if err != nil {
+			return err
+		}
+		dst.SetVarType(name, lattice.Elem(el))
+	}
+	for _, s := range extra.Sinks() {
+		el, err := translate(extra.Lattice().Name(s.Bound))
+		if err != nil {
+			return err
+		}
+		dst.AddSink(s.Name, lattice.Elem(el), s.Args...)
+	}
+	for _, s := range extra.Sources() {
+		el, err := translate(extra.Lattice().Name(s.Type))
+		if err != nil {
+			return err
+		}
+		dst.AddSource(s.Name, lattice.Elem(el))
+	}
+	for _, s := range extra.Sanitizers() {
+		el, err := translate(extra.Lattice().Name(s.Type))
+		if err != nil {
+			return err
+		}
+		dst.AddSanitizer(s.Name, lattice.Elem(el))
+	}
+	return nil
+}
+
+// WithSink registers an additional sensitive output channel whose listed
+// 1-based argument positions (none = all) must receive trusted data —
+// e.g. WithSink("DoSQL", 1) for the paper's PHP Surveyor example.
+func WithSink(name string, args ...int) Option {
+	return func(c *config) error {
+		if c.pre == nil {
+			c.pre = prelude.Default()
+		}
+		c.pre.AddSink(name, c.pre.Lattice().Top(), args...)
+		return nil
+	}
+}
+
+// WithSanitizer registers an additional sanitization routine.
+func WithSanitizer(name string) Option {
+	return func(c *config) error {
+		if c.pre == nil {
+			c.pre = prelude.Default()
+		}
+		c.pre.AddSanitizer(name, c.pre.Lattice().Bottom())
+		return nil
+	}
+}
+
+// WithSource registers an additional untrusted input channel.
+func WithSource(name string) Option {
+	return func(c *config) error {
+		if c.pre == nil {
+			c.pre = prelude.Default()
+		}
+		c.pre.AddSource(name, c.pre.Lattice().Top())
+		return nil
+	}
+}
+
+// WithLoader resolves include/require paths, enabling cross-file analysis.
+func WithLoader(loader func(path string) ([]byte, error)) Option {
+	return func(c *config) error {
+		c.loader = loader
+		return nil
+	}
+}
+
+// WithDir sets the base directory for relative include paths and enables a
+// filesystem loader rooted there.
+func WithDir(dir string) Option {
+	return func(c *config) error {
+		c.dir = dir
+		if c.loader == nil {
+			c.loader = func(path string) ([]byte, error) { return os.ReadFile(path) }
+		}
+		return nil
+	}
+}
+
+// WithLoopUnroll sets the number of selection copies loops deconstruct
+// into (default 1, the paper's single pass).
+func WithLoopUnroll(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("webssari: loop unroll must be ≥ 1, got %d", n)
+		}
+		c.unroll = n
+		return nil
+	}
+}
+
+// WithPaperEnumeration enables the paper's exact §3.3.2 enumeration
+// behaviour: prior assertions are assumed to hold while checking later
+// ones, and blocking clauses negate the full BN assignment.
+func WithPaperEnumeration() Option {
+	return func(c *config) error {
+		c.paperMode = true
+		c.blockAll = true
+		return nil
+	}
+}
+
+// WithRoutine sets the runtime-guard routine name Patch wraps fix points
+// in (default "websafe", registered as a sanitizer in the default
+// prelude).
+func WithRoutine(name string) Option {
+	return func(c *config) error {
+		c.routine = name
+		return nil
+	}
+}
+
+// WithMaxCounterexamples bounds enumeration per assertion.
+func WithMaxCounterexamples(n int) Option {
+	return func(c *config) error {
+		c.maxCEX = n
+		return nil
+	}
+}
+
+func buildConfig(opts []Option) (*config, error) {
+	c := &config{}
+	for _, opt := range opts {
+		if err := opt(c); err != nil {
+			return nil, err
+		}
+	}
+	if c.pre == nil {
+		c.pre = prelude.Default()
+	}
+	return c, nil
+}
+
+func (c *config) engineOptions() core.Options {
+	return core.Options{
+		Flow: flow.Options{
+			Prelude:    c.pre,
+			Loader:     c.loader,
+			Dir:        c.dir,
+			LoopUnroll: c.unroll,
+		},
+		AssumePriorAsserts: c.paperMode,
+		BlockAllBN:         c.blockAll,
+		MaxCounterexamples: c.maxCEX,
+		Solver:             c.solver,
+	}
+}
+
+// Verify analyzes one PHP source text and returns its report. A non-nil
+// error means the analysis itself could not run (unparseable prelude,
+// fatal parse failure); findings are reported in the Report, not as
+// errors.
+func Verify(src []byte, name string, opts ...Option) (*Report, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	res, errs := core.VerifySource(name, src, cfg.engineOptions())
+	if res == nil {
+		if len(errs) > 0 {
+			return nil, fmt.Errorf("webssari: %s: %w", name, errs[0])
+		}
+		return nil, fmt.Errorf("webssari: %s: analysis failed", name)
+	}
+	analysis := fixing.Analyze(res)
+	return buildReport(res, analysis), nil
+}
+
+// Patch verifies the source and, when vulnerable, returns a secured
+// version with sanitization runtime guards wrapped around the minimal
+// fixing set. Safe inputs are returned unmodified.
+func Patch(src []byte, name string, opts ...Option) ([]byte, *Report, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, errs := core.VerifySource(name, src, cfg.engineOptions())
+	if res == nil {
+		if len(errs) > 0 {
+			return nil, nil, fmt.Errorf("webssari: %s: %w", name, errs[0])
+		}
+		return nil, nil, fmt.Errorf("webssari: %s: analysis failed", name)
+	}
+	analysis := fixing.Analyze(res)
+	rep := buildReport(res, analysis)
+	if res.Safe() {
+		return src, rep, nil
+	}
+	patched, perrs := instrument.PatchSource(name, src, analysis.GreedyMinimalFix(), cfg.routine)
+	if len(perrs) > 0 {
+		return patched, rep, fmt.Errorf("webssari: %s: %w", name, perrs[0])
+	}
+	return patched, rep, nil
+}
+
+// VerifyToHTML verifies the source and writes a self-contained,
+// cross-referenced HTML report (in the spirit of the PHPXREF-style
+// validation aids of the paper's §5) to w.
+func VerifyToHTML(src []byte, name string, w io.Writer, opts ...Option) (*Report, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	res, errs := core.VerifySource(name, src, cfg.engineOptions())
+	if res == nil {
+		if len(errs) > 0 {
+			return nil, fmt.Errorf("webssari: %s: %w", name, errs[0])
+		}
+		return nil, fmt.Errorf("webssari: %s: analysis failed", name)
+	}
+	analysis := fixing.Analyze(res)
+	rep := report.Build(res, analysis)
+	if err := rep.WriteHTML(w, map[string][]byte{name: src}); err != nil {
+		return nil, err
+	}
+	return buildReport(res, analysis), nil
+}
+
+// SymptomCount runs only the fast TS baseline and returns its error count.
+func SymptomCount(src []byte, name string, opts ...Option) (int, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return 0, err
+	}
+	prog, errs := flow.BuildSource(name, src, cfg.engineOptions().Flow)
+	if prog == nil && len(errs) > 0 {
+		return 0, errs[0]
+	}
+	return typestate.Count(prog), nil
+}
+
+func buildReport(res *core.Result, analysis *fixing.Analysis) *Report {
+	rep := report.Build(res, analysis)
+	out := &Report{
+		File:     rep.File,
+		Safe:     rep.Safe,
+		Symptoms: rep.SymptomCount(),
+		Groups:   rep.GroupCount(),
+		Warnings: res.Warnings,
+		Text:     rep.String(),
+	}
+	for gi, g := range rep.Groups {
+		pos, _ := g.Fix.Span()
+		varName := ""
+		if g.Fix.Set != nil {
+			varName = g.Fix.Set.Origin.SrcVar
+		}
+		out.Patches = append(out.Patches, PatchPoint{
+			Location:    Location{File: pos.File, Line: pos.Line, Col: pos.Col},
+			Var:         varName,
+			Description: g.Fix.Describe(),
+			Findings:    len(g.Cexs),
+		})
+		for _, cex := range g.Cexs {
+			f := Finding{
+				Sink:  cex.Assert.Origin.Fn,
+				Class: ClassOf(cex.Assert.Origin.Fn),
+				Location: Location{
+					File: cex.Assert.Origin.Site.Pos.File,
+					Line: cex.Assert.Origin.Site.Pos.Line,
+					Col:  cex.Assert.Origin.Site.Pos.Col,
+				},
+				Group: gi,
+			}
+			for _, step := range cex.Steps {
+				if res.AI.Lat.Lt(step.Value, cex.Assert.Bound) {
+					continue
+				}
+				name := step.Set.Origin.SrcVar
+				if name == "" {
+					name = step.Set.V.Name
+				}
+				f.Trace = append(f.Trace, TraceStep{
+					Location: Location{
+						File: step.Set.Origin.Site.Pos.File,
+						Line: step.Set.Origin.Site.Pos.Line,
+						Col:  step.Set.Origin.Site.Pos.Col,
+					},
+					Var:   name,
+					Value: res.AI.Lat.Name(step.Value),
+				})
+			}
+			out.Findings = append(out.Findings, f)
+		}
+	}
+	sort.SliceStable(out.Findings, func(i, j int) bool {
+		if out.Findings[i].Location.Line != out.Findings[j].Location.Line {
+			return out.Findings[i].Location.Line < out.Findings[j].Location.Line
+		}
+		return out.Findings[i].Location.Col < out.Findings[j].Location.Col
+	})
+	return out
+}
+
+// ClassOf names the vulnerability class a sink belongs to (e.g. "SQL
+// injection" for mysql_query).
+func ClassOf(sink string) string {
+	return report.VulnClass(sink)
+}
