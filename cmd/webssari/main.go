@@ -16,9 +16,15 @@
 //	-sink NAME[:n,m]  register an extra sensitive function
 //	-unroll N         loop deconstruction factor (default 1, the paper's)
 //	-paper            use the paper's exact enumeration (§3.3.2)
+//	-timeout D        wall-clock deadline per verification unit (e.g. 30s)
+//	-max-conflicts N  SAT conflict budget per solver call (0 = unlimited)
 //	-figure10         run TS and BMC over the synthetic Figure 10 corpus
 //	-scale F          corpus statement-scale for -figure10 (default 0.02)
 //	-seed N           corpus generation seed
+//
+// Exit codes: 0 every input verified safe, 1 at least one vulnerability
+// found, 3 no vulnerability found but verification was incomplete
+// (deadline, budget, or resource ceiling), 2 an analysis error.
 package main
 
 import (
@@ -34,6 +40,37 @@ import (
 	"webssari/internal/corpus"
 )
 
+// Exit codes, by precedence: an error outranks a finding, a finding
+// outranks an incomplete run, which outranks safe.
+const (
+	exitSafe       = 0
+	exitUnsafe     = 1
+	exitError      = 2
+	exitIncomplete = 3
+)
+
+// worse merges an exit code into the accumulated one, keeping the more
+// severe of the two (error > unsafe > incomplete > safe).
+func worse(cur, next int) int {
+	rank := map[int]int{exitSafe: 0, exitIncomplete: 1, exitUnsafe: 2, exitError: 3}
+	if rank[next] > rank[cur] {
+		return next
+	}
+	return cur
+}
+
+// verdictExit maps a report verdict to its exit code.
+func verdictExit(verdict string) int {
+	switch verdict {
+	case webssari.VerdictUnsafe:
+		return exitUnsafe
+	case webssari.VerdictIncomplete:
+		return exitIncomplete
+	default:
+		return exitSafe
+	}
+}
+
 func main() {
 	os.Exit(run(os.Args[1:]))
 }
@@ -48,6 +85,8 @@ func run(args []string) int {
 		sinks    multiFlag
 		unroll   = fs.Int("unroll", 1, "loop deconstruction factor")
 		paper    = fs.Bool("paper", false, "paper-exact counterexample enumeration")
+		timeout  = fs.Duration("timeout", 0, "wall-clock deadline per verification unit (0 = none)")
+		maxConf  = fs.Uint64("max-conflicts", 0, "SAT conflict budget per solver call (0 = unlimited)")
 		fig10    = fs.Bool("figure10", false, "regenerate the Figure 10 table")
 		scale    = fs.Float64("scale", 0.02, "corpus statement scale for -figure10")
 		seed     = fs.Uint64("seed", 2004, "corpus generation seed")
@@ -68,6 +107,12 @@ func run(args []string) int {
 	opts := []webssari.Option{webssari.WithLoopUnroll(*unroll)}
 	if *paper {
 		opts = append(opts, webssari.WithPaperEnumeration())
+	}
+	if *timeout > 0 {
+		opts = append(opts, webssari.WithDeadline(*timeout))
+	}
+	if *maxConf > 0 {
+		opts = append(opts, webssari.WithBudget(*maxConf))
 	}
 	if *preludeF != "" {
 		text, err := os.ReadFile(*preludeF)
@@ -101,7 +146,7 @@ func run(args []string) int {
 			pr, err := webssari.VerifyDir(file, opts...)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "webssari: %v\n", err)
-				exit = 2
+				exit = worse(exit, exitError)
 				continue
 			}
 			for _, rep := range pr.Files {
@@ -109,18 +154,21 @@ func run(args []string) int {
 					printReport(rep, *jsonOut)
 				}
 			}
-			fmt.Printf("project %s: %d file(s), %d vulnerable; TS symptoms %d, BMC groups %d\n",
-				file, len(pr.Files), pr.VulnerableFiles, pr.Symptoms, pr.Groups)
-			if !pr.Safe() {
-				exit = 1
+			for _, fail := range pr.Failures {
+				fmt.Fprintf(os.Stderr, "webssari: %s: %s stage: %s\n",
+					fail.File, fail.Stage, fail.Cause)
 			}
+			fmt.Printf("project %s: %d file(s), %d vulnerable, %d incomplete, %d failed; TS symptoms %d, BMC groups %d\n",
+				file, len(pr.Files), pr.VulnerableFiles, pr.IncompleteFiles,
+				len(pr.Failures), pr.Symptoms, pr.Groups)
+			exit = worse(exit, verdictExit(pr.Verdict()))
 			continue
 		}
 
 		src, err := os.ReadFile(file)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "webssari: %v\n", err)
-			exit = 2
+			exit = worse(exit, exitError)
 			continue
 		}
 		fileOpts := append([]webssari.Option{webssari.WithDir(dirOf(file))}, opts...)
@@ -129,20 +177,20 @@ func run(args []string) int {
 			patched, rep, err := webssari.Patch(src, file, fileOpts...)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "webssari: %s: %v\n", file, err)
-				exit = 2
+				exit = worse(exit, exitError)
 				continue
 			}
 			printReport(rep, *jsonOut)
-			if !rep.Safe {
+			if rep.Verdict == webssari.VerdictUnsafe {
 				out := strings.TrimSuffix(file, ".php") + ".secured.php"
 				if err := os.WriteFile(out, patched, 0o644); err != nil {
 					fmt.Fprintf(os.Stderr, "webssari: %v\n", err)
-					exit = 2
+					exit = worse(exit, exitError)
 					continue
 				}
 				fmt.Printf("secured copy written to %s (%d runtime guard(s))\n", out, rep.Groups)
-				exit = 1
 			}
+			exit = worse(exit, verdictExit(rep.Verdict))
 			continue
 		}
 
@@ -156,31 +204,27 @@ func run(args []string) int {
 			closeErr := f.Close()
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "webssari: %s: %v\n", file, err)
-				exit = 2
+				exit = worse(exit, exitError)
 				continue
 			}
 			if closeErr != nil {
 				fmt.Fprintf(os.Stderr, "webssari: %v\n", closeErr)
-				exit = 2
+				exit = worse(exit, exitError)
 				continue
 			}
 			fmt.Printf("HTML report written to %s\n", *htmlOut)
-			if !rep.Safe {
-				exit = 1
-			}
+			exit = worse(exit, verdictExit(rep.Verdict))
 			continue
 		}
 
 		rep, err := webssari.Verify(src, file, fileOpts...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "webssari: %s: %v\n", file, err)
-			exit = 2
+			exit = worse(exit, exitError)
 			continue
 		}
 		printReport(rep, *jsonOut)
-		if !rep.Safe {
-			exit = 1
-		}
+		exit = worse(exit, verdictExit(rep.Verdict))
 	}
 	return exit
 }

@@ -9,9 +9,14 @@
 //
 // The -naive flag switches to the xBMC0.1 location-variable encoding
 // (§3.3.1) so its blow-up can be inspected directly.
+//
+// The -timeout and -max-conflicts flags bound the search; an assertion
+// left undecided prints UNKNOWN with its cause and the command exits 3
+// (incomplete) instead of claiming the program safe.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -32,10 +37,12 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("xbmc", flag.ContinueOnError)
 	var (
-		stage  = fs.String("stage", "", "dump a pipeline stage: ai | renamed | constraints | cnf")
-		naive  = fs.Bool("naive", false, "use the xBMC0.1 location-variable encoding")
-		unroll = fs.Int("unroll", 1, "loop deconstruction factor")
-		outDir = fs.String("o", "", "directory for DIMACS dumps (with -stage cnf)")
+		stage   = fs.String("stage", "", "dump a pipeline stage: ai | renamed | constraints | cnf")
+		naive   = fs.Bool("naive", false, "use the xBMC0.1 location-variable encoding")
+		unroll  = fs.Int("unroll", 1, "loop deconstruction factor")
+		outDir  = fs.String("o", "", "directory for DIMACS dumps (with -stage cnf)")
+		timeout = fs.Duration("timeout", 0, "wall-clock deadline for verification (0 = none)")
+		maxConf = fs.Uint64("max-conflicts", 0, "SAT conflict budget per solver call (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -130,25 +137,45 @@ func run(args []string) int {
 		}
 		return exit
 	}
-	res, err := core.VerifyAI(prog, core.Options{Flow: fopts})
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	copts := core.Options{
+		Flow:   fopts,
+		Ctx:    ctx,
+		Solver: sat.Options{MaxConflicts: *maxConf},
+	}
+	res, err := core.VerifyAI(prog, copts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
 		return 2
 	}
-	unsafeCount := 0
+	unsafeCount, unknownCount := 0, 0
 	for i, ar := range res.PerAssert {
 		verdict := "HOLDS (unsat)"
-		if n := len(ar.Counterexamples); n > 0 {
-			verdict = fmt.Sprintf("VIOLATED: %d counterexample trace(s)", n)
+		switch {
+		case len(ar.Counterexamples) > 0:
+			verdict = fmt.Sprintf("VIOLATED: %d counterexample trace(s)", len(ar.Counterexamples))
 			unsafeCount++
+		case ar.Unknown:
+			verdict = fmt.Sprintf("UNKNOWN (%s)", ar.Cause)
+			unknownCount++
 		}
 		fmt.Printf("assert_%d %s at %s: %s  [%d vars, %d clauses; %s]\n",
 			i, ar.Assert.Origin.Fn, ar.Assert.Origin.Site.Pos, verdict,
 			ar.EncodedVars, ar.EncodedClauses, ar.SolverStats)
 	}
-	if unsafeCount == 0 {
+	switch {
+	case unsafeCount > 0:
+		return 1
+	case unknownCount > 0:
+		fmt.Println("INCOMPLETE: some assertions are undecided; no safety claim")
+		return 3
+	default:
 		fmt.Println("VERIFIED: program is safe")
 		return 0
 	}
-	return 1
 }

@@ -202,6 +202,15 @@ type Program struct {
 	// Warnings lists constructs the filter had to approximate (dynamic
 	// includes, variable variables, recursion cutoffs).
 	Warnings []string
+	// Truncated is set when the filter hit its statement ceiling
+	// (flow.Options.MaxCmds) and dropped commands: the model is then a
+	// prefix of the real program, so a Safe verdict over it proves
+	// nothing about the dropped suffix and must degrade to Unknown.
+	Truncated bool
+	// UnresolvedIncludes lists static include paths the loader failed to
+	// read: the included code is missing from the model, so — like
+	// Truncated — a Safe verdict must degrade to Unknown.
+	UnresolvedIncludes []string
 }
 
 // InitialType returns the initial type of a variable (⊥ when unlisted).

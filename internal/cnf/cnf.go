@@ -31,6 +31,26 @@ type Options struct {
 	// positive constraint, as the paper's iteration does ("we continue the
 	// constraint generation procedure C(c,g) := C(c,g) ∧ C(assert_i, g)").
 	AssumePriorAsserts bool
+	// MaxVars and MaxClauses cap the encoded formula's size. When a cap
+	// is hit, EncodeCheck stops and returns a *LimitError so the caller
+	// can degrade the assertion to an Unknown verdict instead of
+	// exhausting memory on a pathological input. Zero disables the cap.
+	MaxVars    int
+	MaxClauses int
+}
+
+// LimitError reports that an encoding tripped a resource ceiling
+// (Options.MaxVars or Options.MaxClauses).
+type LimitError struct {
+	// What names the exhausted resource: "variables" or "clauses".
+	What string
+	// Limit is the configured ceiling.
+	Limit int
+}
+
+// Error implements error.
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("cnf: formula exceeds the %d-%s ceiling", e.Limit, e.What)
 }
 
 // Encoded is one CNF-encoded assertion formula B_i together with the
@@ -85,12 +105,16 @@ type encoder struct {
 	sys  *constraint.System
 	lat  *lattice.Lattice
 	f    *sat.CNF
+	opts Options
 	vals map[rename.SSAVar]vec
 	// branch maps branch IDs to SAT vars (allocated on first use).
 	branch map[int]int
 	// guardCache memoizes Tseitin variables per guard structure.
 	guardCache map[string]glit
 	unsat      bool
+	// limit records the first resource ceiling the encoding tripped;
+	// once set, no further variables or clauses are materialized.
+	limit *LimitError
 }
 
 // EncodeCheck builds CNF(B_i) for the target check index.
@@ -102,6 +126,7 @@ func EncodeCheck(sys *constraint.System, checkIdx int, opts Options) (*Encoded, 
 		sys:        sys,
 		lat:        sys.Renamed.AI.Lat,
 		f:          &sat.CNF{},
+		opts:       opts,
 		vals:       make(map[rename.SSAVar]vec),
 		branch:     make(map[int]int),
 		guardCache: make(map[string]glit),
@@ -115,9 +140,15 @@ func EncodeCheck(sys *constraint.System, checkIdx int, opts Options) (*Encoded, 
 		e.branchVar(id)
 	}
 
-	// Encode every equation in the target's prefix, in order.
+	// Encode every equation in the target's prefix, in order, bailing out
+	// as soon as a resource ceiling trips: each equation adds a bounded
+	// number of clauses, so checking between equations keeps overshoot
+	// small.
 	for i := 0; i < target.Prefix; i++ {
 		e.encodeEquation(sys.Equations[i])
+		if e.limit != nil {
+			return nil, e.limit
+		}
 	}
 
 	// Prior assertions hold (the paper's incremental restriction).
@@ -129,6 +160,9 @@ func EncodeCheck(sys *constraint.System, checkIdx int, opts Options) (*Encoded, 
 
 	// Target assertion fails: guard holds ∧ some argument at or above τr.
 	e.negateCheck(target)
+	if e.limit != nil {
+		return nil, e.limit
+	}
 
 	out := &Encoded{
 		F:          e.f,
@@ -142,20 +176,36 @@ func EncodeCheck(sys *constraint.System, checkIdx int, opts Options) (*Encoded, 
 	return out, nil
 }
 
-// addClause adds a clause, tracking trivial unsatisfiability.
+// addClause adds a clause, tracking trivial unsatisfiability and the
+// clause ceiling. Once a ceiling has tripped, nothing further is stored.
 func (e *encoder) addClause(lits ...sat.Lit) {
 	if len(lits) == 0 {
 		e.unsat = true
 		return
 	}
+	if e.limit != nil {
+		return
+	}
+	if e.opts.MaxClauses > 0 && len(e.f.Clauses) >= e.opts.MaxClauses {
+		e.limit = &LimitError{What: "clauses", Limit: e.opts.MaxClauses}
+		return
+	}
 	e.f.AddClause(lits...)
+}
+
+// newVar allocates a fresh SAT variable, tracking the variable ceiling.
+func (e *encoder) newVar() int {
+	if e.limit == nil && e.opts.MaxVars > 0 && e.f.NumVars >= e.opts.MaxVars {
+		e.limit = &LimitError{What: "variables", Limit: e.opts.MaxVars}
+	}
+	return e.f.NewVar()
 }
 
 func (e *encoder) branchVar(id int) int {
 	if v, ok := e.branch[id]; ok {
 		return v
 	}
-	v := e.f.NewVar()
+	v := e.newVar()
 	e.branch[id] = v
 	return v
 }
@@ -166,13 +216,13 @@ func (e *encoder) newOneHot() []int {
 	vars := make([]int, n)
 	alo := make([]sat.Lit, n)
 	for i := 0; i < n; i++ {
-		vars[i] = e.f.NewVar()
+		vars[i] = e.newVar()
 		alo[i] = sat.Lit(vars[i])
 	}
-	e.f.AddClause(alo...)
+	e.addClause(alo...)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			e.f.AddClause(sat.Lit(-vars[i]), sat.Lit(-vars[j]))
+			e.addClause(sat.Lit(-vars[i]), sat.Lit(-vars[j]))
 		}
 	}
 	return vars
@@ -226,7 +276,7 @@ func (e *encoder) encodeJunction(parts []constraint.Bool, isAnd bool, key string
 		e.guardCache[key] = res
 		return res
 	}
-	v := e.f.NewVar()
+	v := e.newVar()
 	out := sat.Lit(v)
 	if isAnd {
 		// v ↔ ⋀ lits

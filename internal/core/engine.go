@@ -13,6 +13,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -22,6 +24,7 @@ import (
 	"webssari/internal/flow"
 	"webssari/internal/lattice"
 	"webssari/internal/php/ast"
+	"webssari/internal/php/parser"
 	"webssari/internal/rename"
 	"webssari/internal/sat"
 )
@@ -30,6 +33,20 @@ import (
 type Options struct {
 	// Flow configures the filter (prelude, include loader, loop unroll).
 	Flow flow.Options
+	// Ctx carries cancellation and a wall-clock deadline for the whole
+	// run; nil means context.Background(). Expiry does not abort the
+	// run: assertions not yet decided degrade to Unknown and the result
+	// is reported Incomplete.
+	Ctx context.Context
+	// MaxVars and MaxClauses cap each assertion's CNF encoding; an
+	// encoding that trips a cap degrades that assertion to Unknown
+	// instead of exhausting memory. Zero means DefaultMaxVars /
+	// DefaultMaxClauses; negative disables the cap.
+	MaxVars    int
+	MaxClauses int
+	// Hooks injects faults for the robustness test harness; all fields
+	// are nil in production use.
+	Hooks Hooks
 	// AssumePriorAsserts reproduces the paper's incremental restriction:
 	// each checked assertion is assumed to hold while checking later ones
 	// ("we continue the constraint generation procedure C(c,g) := C(c,g) ∧
@@ -55,10 +72,98 @@ type Options struct {
 // DefaultMaxCEX bounds counterexample enumeration per assertion.
 const DefaultMaxCEX = 4096
 
+// Default resource ceilings for per-assertion CNF encodings. They are
+// far above anything the paper's corpus produces; tripping one means the
+// input is pathological and the assertion degrades to Unknown.
+const (
+	DefaultMaxVars    = 2_000_000
+	DefaultMaxClauses = 8_000_000
+)
+
+// Hooks are fault-injection points used by the robustness test harness
+// to prove every stage terminates cleanly under loader failures, budget
+// exhaustion, and deadline expiry mid-enumeration.
+type Hooks struct {
+	// BeforeAssert runs at the start of each assertion's encode+solve
+	// step, inside its panic-recovery scope.
+	BeforeAssert func(idx int)
+	// BeforeSolve runs before each solver invocation of the
+	// counterexample enumeration loop (iteration counts from 0).
+	BeforeSolve func(assertIdx, iteration int)
+}
+
+// Degradation causes recorded on Unknown assertion results and surfaced
+// as a report's Limits.
+const (
+	CauseDeadline        = "deadline"
+	CauseConflictBudget  = "conflict budget"
+	CauseCNFCeiling      = "CNF ceiling"
+	CauseAITruncated     = "statement ceiling"
+	CauseParseErrors     = "parse errors"
+	CauseInternal        = "internal error"
+	CauseMissingIncludes = "unresolved includes"
+)
+
+// StageError is a structured failure attributed to one pipeline stage,
+// produced by panic recovery at stage boundaries so a bug on one input
+// can never crash a whole project run.
+type StageError struct {
+	// Stage names the pipeline stage: "parse", "flow", "constraint",
+	// "solve".
+	Stage string
+	Err   error
+}
+
+// Error implements error.
+func (e *StageError) Error() string { return fmt.Sprintf("%s stage: %v", e.Stage, e.Err) }
+
+// Unwrap returns the underlying cause.
+func (e *StageError) Unwrap() error { return e.Err }
+
+// guard runs fn, converting a panic into a *StageError for the given
+// stage.
+func guard(stage string, fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &StageError{Stage: stage, Err: fmt.Errorf("panic: %v", r)}
+		}
+	}()
+	fn()
+	return nil
+}
+
 // NewOptions returns the default engine configuration for the given flow
 // options.
 func NewOptions(f flow.Options) Options {
 	return Options{Flow: f}
+}
+
+// context returns the run's context, defaulting to Background.
+func (o *Options) context() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+// cnfOptions resolves the encoding options with ceiling defaults.
+func (o *Options) cnfOptions() cnf.Options {
+	c := cnf.Options{
+		AssumePriorAsserts: o.AssumePriorAsserts,
+		MaxVars:            o.MaxVars,
+		MaxClauses:         o.MaxClauses,
+	}
+	if c.MaxVars == 0 {
+		c.MaxVars = DefaultMaxVars
+	} else if c.MaxVars < 0 {
+		c.MaxVars = 0
+	}
+	if c.MaxClauses == 0 {
+		c.MaxClauses = DefaultMaxClauses
+	} else if c.MaxClauses < 0 {
+		c.MaxClauses = 0
+	}
+	return c
 }
 
 // Step is one executed single assignment on a counterexample trace.
@@ -111,10 +216,20 @@ func (c *Counterexample) Key() string {
 // AssertResult is the verification outcome for one assertion.
 type AssertResult struct {
 	Assert *rename.Assert
-	// Counterexamples is empty iff the assertion provably holds (UNSAT).
+	// Counterexamples is empty iff the assertion provably holds (UNSAT)
+	// and Unknown is unset.
 	Counterexamples []*Counterexample
-	// Truncated is set when enumeration stopped at MaxCounterexamples.
+	// Truncated is set when enumeration stopped at MaxCounterexamples;
+	// the violation verdict itself is still exact.
 	Truncated bool
+	// Unknown is set when the verifier gave up before deciding the
+	// assertion (deadline, conflict budget, resource ceiling, recovered
+	// fault): the assertion is neither proved nor refuted, so a result
+	// containing one must never be reported Safe.
+	Unknown bool
+	// Cause names what degraded an Unknown result (one of the Cause*
+	// constants, optionally with detail).
+	Cause string
 	// EncodedVars and EncodedClauses record the CNF(B_i) size.
 	EncodedVars    int
 	EncodedClauses int
@@ -131,6 +246,9 @@ type Result struct {
 	PerAssert []*AssertResult
 	// Warnings carries filter approximation notes.
 	Warnings []string
+	// ParseErrors records syntax errors the parser recovered from: the
+	// model then covers only what parsed, so the result is Incomplete.
+	ParseErrors []string
 }
 
 // Counterexamples returns all counterexamples across assertions.
@@ -143,7 +261,10 @@ func (r *Result) Counterexamples() []*Counterexample {
 }
 
 // Safe reports whether every assertion holds on every path — the paper's
-// soundness guarantee ("Soundness guarantees the absence of bugs").
+// soundness guarantee ("Soundness guarantees the absence of bugs"). It
+// only inspects decided assertions; callers presenting a verdict must
+// also consult Incomplete, since a degraded run proves nothing about
+// what it skipped.
 func (r *Result) Safe() bool {
 	for _, ar := range r.PerAssert {
 		if len(ar.Counterexamples) > 0 {
@@ -153,15 +274,71 @@ func (r *Result) Safe() bool {
 	return true
 }
 
-// VerifySource parses, filters, and verifies one PHP source text.
+// Incomplete reports whether any part of the model escaped verification:
+// an Unknown assertion, a truncated AI, or recovered parse errors. An
+// incomplete result must never be presented as Safe.
+func (r *Result) Incomplete() bool { return len(r.IncompleteCauses()) > 0 }
+
+// IncompleteCauses lists the distinct degradation causes, in first-hit
+// order (empty for a fully decided run).
+func (r *Result) IncompleteCauses() []string {
+	var out []string
+	seen := make(map[string]bool)
+	add := func(cause string) {
+		if cause != "" && !seen[cause] {
+			seen[cause] = true
+			out = append(out, cause)
+		}
+	}
+	if len(r.ParseErrors) > 0 {
+		add(CauseParseErrors)
+	}
+	if r.AI != nil && r.AI.Truncated {
+		add(CauseAITruncated)
+	}
+	if r.AI != nil && len(r.AI.UnresolvedIncludes) > 0 {
+		add(CauseMissingIncludes)
+	}
+	for _, ar := range r.PerAssert {
+		if ar.Unknown {
+			add(ar.Cause)
+		}
+	}
+	return out
+}
+
+// VerifySource parses, filters, and verifies one PHP source text. A
+// panic in the parser or the filter is recovered into a *StageError;
+// recoverable syntax errors are recorded on the Result (making it
+// Incomplete) and also returned for callers that want them as errors.
 func VerifySource(name string, src []byte, opts Options) (*Result, []error) {
-	prog, errs := flow.BuildSource(name, src, opts.Flow)
-	if prog == nil {
-		return nil, errs
+	var (
+		parsed *parser.Result
+		errs   []error
+	)
+	if err := guard("parse", func() { parsed = parser.Parse(name, src) }); err != nil {
+		return nil, []error{err}
+	}
+	errs = append(errs, parsed.Errs...)
+
+	var (
+		prog     *ai.Program
+		buildErr error
+	)
+	if err := guard("flow", func() { prog, buildErr = flow.Build(parsed.File, opts.Flow) }); err != nil {
+		return nil, append([]error{err}, errs...)
+	}
+	if buildErr != nil {
+		return nil, append([]error{buildErr}, errs...)
 	}
 	res, err := VerifyAI(prog, opts)
 	if err != nil {
 		errs = append(errs, err)
+	}
+	if res != nil {
+		for _, perr := range parsed.Errs {
+			res.ParseErrors = append(res.ParseErrors, perr.Error())
+		}
 	}
 	return res, errs
 }
@@ -176,12 +353,29 @@ func VerifyFile(file *ast.File, opts Options) (*Result, error) {
 }
 
 // VerifyAI runs the model checker over an abstract interpretation.
+//
+// Faults are isolated per assertion: a tripped resource ceiling, an
+// exhausted budget, an expired deadline, or a recovered panic degrades
+// that assertion to Unknown (with its cause) and the loop moves on, so
+// one pathological assertion can neither hang nor blank the rest of the
+// result. The returned error is non-nil only when a whole pipeline
+// stage fails (constraint construction panicking).
 func VerifyAI(prog *ai.Program, opts Options) (*Result, error) {
 	if opts.MaxCounterexamples <= 0 {
 		opts.MaxCounterexamples = DefaultMaxCEX
 	}
-	ren := rename.Rename(prog)
-	sys := constraint.Build(ren)
+	ctx := opts.context()
+
+	var (
+		ren *rename.Program
+		sys *constraint.System
+	)
+	if err := guard("constraint", func() {
+		ren = rename.Rename(prog)
+		sys = constraint.Build(ren)
+	}); err != nil {
+		return nil, err
+	}
 	res := &Result{
 		AI:       prog,
 		Renamed:  ren,
@@ -189,23 +383,60 @@ func VerifyAI(prog *ai.Program, opts Options) (*Result, error) {
 		Warnings: prog.Warnings,
 	}
 	for i := range sys.Checks {
-		ar, err := checkAssertion(sys, i, opts)
+		if err := ctx.Err(); err != nil {
+			// Deadline expired mid-run: degrade every remaining
+			// assertion instead of aborting, so the report still has one
+			// entry per assertion and callers can see exactly what went
+			// unchecked.
+			for j := i; j < len(sys.Checks); j++ {
+				res.PerAssert = append(res.PerAssert, &AssertResult{
+					Assert:  sys.Checks[j].Origin,
+					Unknown: true,
+					Cause:   CauseDeadline,
+				})
+			}
+			res.Warnings = append(res.Warnings, fmt.Sprintf(
+				"deadline expired before assert_%d: %d assertion(s) unchecked", i, len(sys.Checks)-i))
+			break
+		}
+		ar, err := checkAssertion(ctx, sys, i, opts)
 		if err != nil {
-			return res, err
+			// Fault isolation: a panic or internal error in one
+			// assertion's encode/solve degrades it to Unknown.
+			ar = &AssertResult{
+				Assert:  sys.Checks[i].Origin,
+				Unknown: true,
+				Cause:   CauseInternal,
+			}
+			res.Warnings = append(res.Warnings, fmt.Sprintf("assert_%d degraded: %v", i, err))
 		}
 		res.PerAssert = append(res.PerAssert, ar)
 	}
 	return res, nil
 }
 
-// checkAssertion runs the per-assertion enumeration loop of §3.3.2.
-func checkAssertion(sys *constraint.System, idx int, opts Options) (*AssertResult, error) {
+// checkAssertion runs the per-assertion enumeration loop of §3.3.2. A
+// panic anywhere in encode/solve/replay is recovered into a *StageError
+// so the caller can degrade just this assertion.
+func checkAssertion(ctx context.Context, sys *constraint.System, idx int, opts Options) (ar *AssertResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ar, err = nil, &StageError{Stage: "solve", Err: fmt.Errorf("panic: %v", r)}
+		}
+	}()
+	if opts.Hooks.BeforeAssert != nil {
+		opts.Hooks.BeforeAssert(idx)
+	}
 	check := sys.Checks[idx]
-	ar := &AssertResult{Assert: check.Origin}
+	ar = &AssertResult{Assert: check.Origin}
 
-	encoded, err := cnf.EncodeCheck(sys, idx, cnf.Options{
-		AssumePriorAsserts: opts.AssumePriorAsserts,
-	})
+	encoded, err := cnf.EncodeCheck(sys, idx, opts.cnfOptions())
+	var lim *cnf.LimitError
+	if errors.As(err, &lim) {
+		ar.Unknown = true
+		ar.Cause = fmt.Sprintf("%s (%s)", CauseCNFCeiling, lim.Error())
+		return ar, nil
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -215,20 +446,39 @@ func checkAssertion(sys *constraint.System, idx int, opts Options) (*AssertResul
 		return ar, nil
 	}
 
-	solver := sat.NewWith(opts.Solver)
+	sopts := opts.Solver
+	sopts.Interrupt = interruptFor(ctx, opts.Solver.Interrupt)
+	solver := sat.NewWith(sopts)
 	if !encoded.F.LoadInto(solver) {
 		return ar, nil
 	}
 
 	seen := make(map[string]bool)
-	for {
+	for iteration := 0; ; iteration++ {
+		if opts.Hooks.BeforeSolve != nil {
+			opts.Hooks.BeforeSolve(idx, iteration)
+		}
+		if ctx.Err() != nil {
+			ar.Unknown = true
+			ar.Cause = CauseDeadline
+			return ar, nil
+		}
 		verdict := solver.Solve()
 		ar.SolverStats = solver.Stats()
 		if verdict == sat.Unsat {
 			return ar, nil
 		}
 		if verdict != sat.Sat {
-			ar.Truncated = true
+			// The solver gave up: either the wall-clock deadline fired
+			// through the interrupt, or the conflict budget ran out. An
+			// undecided assertion must never read as "no counterexample",
+			// so mark it Unknown rather than silently returning.
+			ar.Unknown = true
+			if ctx.Err() != nil {
+				ar.Cause = CauseDeadline
+			} else {
+				ar.Cause = CauseConflictBudget
+			}
 			return ar, nil
 		}
 		model := solver.Model()
@@ -259,6 +509,18 @@ func checkAssertion(sys *constraint.System, idx int, opts Options) (*AssertResul
 			return ar, nil
 		}
 	}
+}
+
+// interruptFor combines context cancellation with any caller-supplied
+// solver interrupt, returning nil when neither can ever fire.
+func interruptFor(ctx context.Context, prev func() bool) func() bool {
+	if ctx.Done() == nil {
+		return prev
+	}
+	if prev == nil {
+		return func() bool { return ctx.Err() != nil }
+	}
+	return func() bool { return ctx.Err() != nil || prev() }
 }
 
 // replayTrace walks the renamed program along the given branch decisions,

@@ -36,7 +36,9 @@ func VerifyAIShared(prog *ai.Program, opts Options) (*Result, error) {
 	}
 
 	encoded := cnf.EncodeAllChecks(sys)
-	solver := sat.NewWith(opts.Solver)
+	sopts := opts.Solver
+	sopts.Interrupt = interruptFor(opts.context(), opts.Solver.Interrupt)
+	solver := sat.NewWith(sopts)
 	loaded := encoded.F.LoadInto(solver)
 
 	for i := range sys.Checks {
@@ -49,12 +51,19 @@ func VerifyAIShared(prog *ai.Program, opts Options) (*Result, error) {
 		if encoded.TrivialUnsat[i] || !loaded {
 			continue
 		}
+		if err := ctxErr(opts); err != nil {
+			ar.Unknown = true
+			ar.Cause = CauseDeadline
+			continue
+		}
 		if err := enumerateShared(sys, encoded, solver, i, opts, ar); err != nil {
 			return res, err
 		}
 	}
 	return res, nil
 }
+
+func ctxErr(opts Options) error { return opts.context().Err() }
 
 func enumerateShared(
 	sys *constraint.System,
@@ -74,7 +83,13 @@ func enumerateShared(
 			return nil
 		}
 		if verdict != sat.Sat {
-			ar.Truncated = true
+			// Budget exhausted or interrupted: undecided, never "safe".
+			ar.Unknown = true
+			if ctxErr(opts) != nil {
+				ar.Cause = CauseDeadline
+			} else {
+				ar.Cause = CauseConflictBudget
+			}
 			return nil
 		}
 		model := solver.Model()

@@ -50,8 +50,10 @@ type Options struct {
 	// into. Zero means 1, the paper's single pass; higher values trade AI
 	// size for loop-carried-flow precision (an ablation in bench_test.go).
 	LoopUnroll int
-	// MaxCmds caps the AI size to keep pathological unfoldings bounded.
-	// Zero means DefaultMaxCmds.
+	// MaxCmds caps the AI size to keep pathological unfoldings bounded;
+	// hitting the cap marks the Program Truncated so downstream stages
+	// degrade to an Unknown verdict instead of claiming Safe over a
+	// partial model. Zero means DefaultMaxCmds.
 	MaxCmds int
 }
 
@@ -112,6 +114,9 @@ func Build(file *ast.File, opts Options) (*ai.Program, error) {
 		Lat:          b.lat,
 		InitialTypes: initial,
 		Warnings:     b.warnings,
+		Truncated:    b.truncated,
+
+		UnresolvedIncludes: b.unresolvedIncludes,
 	}
 	return prog, nil
 }
@@ -159,6 +164,10 @@ type builder struct {
 	includeStack []string
 	included     map[string]bool
 	truncated    bool
+
+	// unresolvedIncludes records static include paths the loader could
+	// not read (surfaced on ai.Program.UnresolvedIncludes).
+	unresolvedIncludes []string
 	preVars      map[string]bool
 
 	// extractTargets are variable names that are read somewhere in the

@@ -329,6 +329,7 @@ func (b *builder) handleInclude(e *ast.IncludeExpr) ai.Expr {
 	}
 	if resolved == "" {
 		b.warnf(e.Pos(), "cannot load include %q", lit)
+		b.unresolvedIncludes = append(b.unresolvedIncludes, lit)
 		return bottom
 	}
 

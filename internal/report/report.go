@@ -37,19 +37,35 @@ type Report struct {
 	Groups []Group
 	// Warnings carries filter approximations.
 	Warnings []string
-	// Safe is set when BMC proved every assertion.
+	// Safe is set when BMC proved every assertion over the whole model —
+	// it is withheld (false) when the run was Incomplete, since a proof
+	// over a partial model is no proof at all.
 	Safe bool
+	// Incomplete is set when resource limits, deadlines, parse errors, or
+	// recovered faults left part of the model unverified.
+	Incomplete bool
+	// Limits names the degradation causes of an Incomplete run.
+	Limits []string
 }
 
 // Build assembles a report from a verification result and its
 // counterexample analysis, clustering symptoms by the minimal fixing set.
 func Build(res *core.Result, analysis *fixing.Analysis) *Report {
+	limits := res.IncompleteCauses()
 	r := &Report{
-		File:      res.AI.File,
-		Lat:       res.AI.Lat,
-		TSReports: typestate.Check(res.AI),
-		Warnings:  res.Warnings,
-		Safe:      res.Safe(),
+		File:       res.AI.File,
+		Lat:        res.AI.Lat,
+		TSReports:  typestate.Check(res.AI),
+		Warnings:   res.Warnings,
+		Safe:       res.Safe() && len(limits) == 0,
+		Incomplete: len(limits) > 0,
+		Limits:     limits,
+	}
+	if len(res.ParseErrors) > 0 {
+		r.Warnings = append([]string(nil), res.Warnings...)
+		for _, perr := range res.ParseErrors {
+			r.Warnings = append(r.Warnings, "parse: "+perr)
+		}
 	}
 
 	fix := analysis.GreedyMinimalFix()
@@ -97,11 +113,19 @@ func (r *Report) GroupCount() int { return len(r.Groups) }
 func (r *Report) Write(w io.Writer) error {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== WebSSARI report for %s ==\n", r.File)
-	if r.Safe {
+	switch {
+	case r.Safe:
 		b.WriteString("VERIFIED: all sensitive calls provably receive trusted data.\n")
-	} else {
+	case len(r.Groups) == 0 && r.Incomplete:
+		fmt.Fprintf(&b, "INCOMPLETE: verification degraded (%s); no Safe claim is made.\n",
+			strings.Join(r.Limits, ", "))
+	default:
 		fmt.Fprintf(&b, "UNSAFE: %d vulnerable statement(s) caused by %d error introduction(s).\n",
 			r.SymptomCount(), r.GroupCount())
+		if r.Incomplete {
+			fmt.Fprintf(&b, "NOTE: analysis degraded (%s); further findings may exist.\n",
+				strings.Join(r.Limits, ", "))
+		}
 	}
 	for i, g := range r.Groups {
 		fmt.Fprintf(&b, "\nGroup %d: %s\n", i+1, g.Fix.Describe())

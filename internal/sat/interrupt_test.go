@@ -1,0 +1,68 @@
+package sat
+
+import "testing"
+
+// TestInterruptStopsSearch aborts a hard UNSAT instance through the
+// Interrupt poll and then, with the interrupt released, finishes the
+// same search on the same solver — the solver must stay usable.
+func TestInterruptStopsSearch(t *testing.T) {
+	stop := false
+	polls := 0
+	s := NewWith(Options{Interrupt: func() bool {
+		polls++
+		return stop
+	}})
+	pigeonhole(7, 6).LoadInto(s)
+
+	stop = true
+	if res := s.Solve(); res != Unknown {
+		t.Fatalf("interrupted Solve = %v, want Unknown", res)
+	}
+	if polls == 0 {
+		t.Fatal("Interrupt was never polled")
+	}
+
+	stop = false
+	if res := s.Solve(); res != Unsat {
+		t.Fatalf("resumed Solve = %v, want Unsat", res)
+	}
+}
+
+// TestInterruptPolledBetweenDecisions covers the conflict-free path: a
+// formula of free variables produces decisions but no conflicts, so the
+// sparse decision-cadence poll is the only thing that can stop it.
+func TestInterruptPolledBetweenDecisions(t *testing.T) {
+	s := NewWith(Options{Interrupt: func() bool { return true }})
+	f := &CNF{NumVars: 600}
+	f.AddClause(Lit(1), Lit(2))
+	f.LoadInto(s)
+	if res := s.Solve(); res != Unknown {
+		t.Fatalf("Solve = %v, want Unknown (decision-cadence interrupt)", res)
+	}
+	if s.Stats().Decisions == 0 {
+		t.Fatal("no decisions recorded")
+	}
+}
+
+// TestMaxConflictsThenFinish exhausts a small conflict budget, then
+// verifies Solve can be called again and — budget reset per call —
+// eventually terminates.
+func TestMaxConflictsThenFinish(t *testing.T) {
+	s := NewWith(Options{MaxConflicts: 2})
+	pigeonhole(6, 5).LoadInto(s)
+	sawUnknown := false
+	for i := 0; i < 10_000; i++ {
+		switch res := s.Solve(); res {
+		case Unknown:
+			sawUnknown = true
+		case Unsat:
+			if !sawUnknown {
+				t.Skip("instance solved under budget on this search order")
+			}
+			return // finished across repeated budgeted calls
+		case Sat:
+			t.Fatal("pigeonhole(6,5) reported Sat")
+		}
+	}
+	t.Fatal("budgeted re-solving never terminated")
+}

@@ -30,9 +30,15 @@ type Options struct {
 	DisableLearning bool
 	// DisableRestarts turns off Luby restarts.
 	DisableRestarts bool
-	// MaxConflicts aborts Solve with ErrBudget after this many conflicts
+	// MaxConflicts aborts Solve with Unknown after this many conflicts
 	// (0 = unlimited).
 	MaxConflicts uint64
+	// Interrupt, when non-nil, is polled during search (once per conflict
+	// and periodically between decisions); when it returns true, Solve
+	// stops and reports Unknown. It plumbs wall-clock deadlines and
+	// context cancellation into the search loop without a watchdog
+	// goroutine; the solver remains usable afterwards.
+	Interrupt func() bool
 }
 
 // Solver is a CDCL SAT solver. The zero value is not usable; use New or
@@ -492,15 +498,17 @@ func luby(i uint64) uint64 {
 	}
 }
 
-// ErrBudget is reported by Solve via the Budget result when the conflict
-// budget is exhausted before an answer is reached.
+// Result is a Solve outcome.
 type Result int
 
 // Solve results.
 const (
 	Unsat Result = iota + 1
 	Sat
-	Unknown // conflict budget exhausted (Options.MaxConflicts)
+	// Unknown means the search gave up before an answer: the conflict
+	// budget (Options.MaxConflicts) was exhausted or Options.Interrupt
+	// fired. The instance is neither proved nor refuted.
+	Unknown
 )
 
 // Solve runs the CDCL search. It may be called repeatedly; clauses added
@@ -568,6 +576,10 @@ func (s *Solver) SolveAssuming(assumptions []Lit) Result {
 				s.cancelUntil(0)
 				return Unknown
 			}
+			if s.opts.Interrupt != nil && s.opts.Interrupt() {
+				s.cancelUntil(0)
+				return Unknown
+			}
 			continue
 		}
 
@@ -610,6 +622,12 @@ func (s *Solver) SolveAssuming(assumptions []Lit) Result {
 			return Sat // all variables assigned
 		}
 		s.stats.Decisions++
+		// On conflict-free instances the loop above never polls, so check
+		// the interrupt on a sparse decision cadence too.
+		if s.opts.Interrupt != nil && s.stats.Decisions&255 == 0 && s.opts.Interrupt() {
+			s.cancelUntil(0)
+			return Unknown
+		}
 		s.trailLim = append(s.trailLim, len(s.trail))
 		if d := s.decisionLevel(); d > s.stats.MaxDepth {
 			s.stats.MaxDepth = d

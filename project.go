@@ -1,6 +1,8 @@
 package webssari
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io/fs"
 	"os"
@@ -8,6 +10,20 @@ import (
 	"sort"
 	"strings"
 )
+
+// FileFailure records one file whose analysis could not produce a report
+// at all. Files that produced a degraded report (deadline, resource
+// ceiling) are not failures — they appear in Files with
+// VerdictIncomplete.
+type FileFailure struct {
+	// File is the entry file that failed.
+	File string `json:"file"`
+	// Stage names the pipeline stage that failed ("read", "walk",
+	// "deadline", or an EngineError stage).
+	Stage string `json:"stage"`
+	// Cause is the human-readable failure cause.
+	Cause string `json:"cause"`
+}
 
 // ProjectReport aggregates the verification of a whole PHP project — the
 // unit the paper's §5 evaluation counts by.
@@ -22,20 +38,63 @@ type ProjectReport struct {
 	Groups int `json:"groups"`
 	// VulnerableFiles counts files with at least one finding.
 	VulnerableFiles int `json:"vulnerable_files"`
+	// IncompleteFiles counts files whose report is degraded (no finding,
+	// but no Safe proof either).
+	IncompleteFiles int `json:"incomplete_files"`
+	// Failures records files whose analysis failed outright; the
+	// remaining files are still verified and reported.
+	Failures []FileFailure `json:"failures,omitempty"`
 }
 
-// Safe reports whether every file verified safe.
-func (p *ProjectReport) Safe() bool { return p.VulnerableFiles == 0 }
+// Safe reports whether every file verified safe: no vulnerable files, no
+// incomplete files, and no failures. A project with unverified parts is
+// never Safe.
+func (p *ProjectReport) Safe() bool {
+	return p.VulnerableFiles == 0 && p.IncompleteFiles == 0 && len(p.Failures) == 0
+}
+
+// Verdict classifies the project outcome: VerdictUnsafe when any file has
+// a finding; otherwise VerdictIncomplete when any file degraded or
+// failed; otherwise VerdictSafe.
+func (p *ProjectReport) Verdict() string {
+	switch {
+	case p.VulnerableFiles > 0:
+		return VerdictUnsafe
+	case p.IncompleteFiles > 0 || len(p.Failures) > 0:
+		return VerdictIncomplete
+	default:
+		return VerdictSafe
+	}
+}
 
 // VerifyDir verifies every .php file under dir as an entry file, resolving
 // includes relative to each file (falling back to dir), and aggregates the
 // per-project counts the paper's evaluation reports.
 func VerifyDir(dir string, opts ...Option) (*ProjectReport, error) {
+	return VerifyDirContext(context.Background(), dir, opts...)
+}
+
+// VerifyDirContext is VerifyDir under a context. Analysis faults are
+// isolated per file: an unreadable or pathological file is recorded in
+// ProjectReport.Failures and every other file is still verified. The
+// only non-nil error is failing to walk the root directory itself. A
+// WithDeadline budget applies to each file separately; ctx cancellation
+// stops the walk and records the unvisited files as failures.
+func VerifyDirContext(ctx context.Context, dir string, opts ...Option) (*ProjectReport, error) {
+	pr := &ProjectReport{Dir: dir}
 	var phpFiles []string
+	rootSeen := false
 	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
-			return err
+			if !rootSeen {
+				return err // the root itself is unwalkable: fatal
+			}
+			pr.Failures = append(pr.Failures, FileFailure{
+				File: path, Stage: "walk", Cause: err.Error(),
+			})
+			return nil
 		}
+		rootSeen = true
 		if !d.IsDir() && strings.HasSuffix(strings.ToLower(d.Name()), ".php") {
 			phpFiles = append(phpFiles, path)
 		}
@@ -46,22 +105,42 @@ func VerifyDir(dir string, opts ...Option) (*ProjectReport, error) {
 	}
 	sort.Strings(phpFiles)
 
-	pr := &ProjectReport{Dir: dir}
-	for _, file := range phpFiles {
+	for i, file := range phpFiles {
+		if ctx.Err() != nil {
+			for _, rest := range phpFiles[i:] {
+				pr.Failures = append(pr.Failures, FileFailure{
+					File: rest, Stage: "deadline", Cause: ctx.Err().Error(),
+				})
+			}
+			break
+		}
 		fileOpts := append([]Option{WithDir(dir)}, opts...)
 		src, err := os.ReadFile(file)
 		if err != nil {
-			return nil, fmt.Errorf("webssari: %s: %w", file, err)
+			pr.Failures = append(pr.Failures, FileFailure{
+				File: file, Stage: "read", Cause: err.Error(),
+			})
+			continue
 		}
-		rep, err := Verify(src, file, fileOpts...)
+		rep, err := VerifyContext(ctx, src, file, fileOpts...)
 		if err != nil {
-			return nil, err
+			stage := "analysis"
+			var ee *EngineError
+			if errors.As(err, &ee) {
+				stage = ee.Stage
+			}
+			pr.Failures = append(pr.Failures, FileFailure{
+				File: file, Stage: stage, Cause: err.Error(),
+			})
+			continue
 		}
 		pr.Files = append(pr.Files, rep)
 		pr.Symptoms += rep.Symptoms
 		pr.Groups += rep.Groups
-		if !rep.Safe {
+		if rep.Verdict == VerdictUnsafe {
 			pr.VulnerableFiles++
+		} else if rep.Incomplete {
+			pr.IncompleteFiles++
 		}
 	}
 	return pr, nil

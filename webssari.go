@@ -33,10 +33,13 @@
 package webssari
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"time"
 
 	"webssari/internal/core"
 	"webssari/internal/fixing"
@@ -96,14 +99,60 @@ type PatchPoint struct {
 	Findings int `json:"findings"`
 }
 
+// Verdict values classifying a verification outcome: VerdictSafe means
+// every assertion was proved over the whole model; VerdictUnsafe means at
+// least one counterexample trace was found; VerdictIncomplete means no
+// vulnerability was found but resource limits, deadlines, parse errors,
+// or recovered faults left part of the model unverified — no Safe claim
+// is made.
+const (
+	VerdictSafe       = "safe"
+	VerdictUnsafe     = "unsafe"
+	VerdictIncomplete = "incomplete"
+)
+
+// EngineError is a structured analysis failure: the pipeline stage that
+// failed (including internal panics recovered at the Verify boundary)
+// together with the file being analyzed. It is returned as the error of
+// Verify/Patch/VerifyDir variants and recorded in ProjectReport.Failures.
+type EngineError struct {
+	// Stage names the failed pipeline stage: "parse", "flow",
+	// "constraint", "solve", "analysis", "patch", or "report".
+	Stage string `json:"stage"`
+	// File is the entry file being analyzed.
+	File string `json:"file"`
+	// Err is the underlying cause.
+	Err error `json:"-"`
+}
+
+// Error implements error.
+func (e *EngineError) Error() string {
+	return fmt.Sprintf("webssari: %s: %s stage: %v", e.File, e.Stage, e.Err)
+}
+
+// Unwrap returns the underlying cause.
+func (e *EngineError) Unwrap() error { return e.Err }
+
 // Report is the result of verifying one PHP entry file (plus its static
 // includes).
 type Report struct {
 	// File is the entry file name.
 	File string `json:"file"`
 	// Safe is true when bounded model checking proved every sensitive call
-	// receives only trusted data (sound and complete for the model).
+	// receives only trusted data (sound and complete for the model). It is
+	// withheld whenever Incomplete is set: a proof over a partial model is
+	// no proof at all.
 	Safe bool `json:"safe"`
+	// Verdict is the three-valued outcome: VerdictSafe, VerdictUnsafe, or
+	// VerdictIncomplete.
+	Verdict string `json:"verdict"`
+	// Incomplete is set when part of the model escaped verification
+	// (deadline expiry, conflict-budget exhaustion, resource ceilings,
+	// parse errors, recovered faults). An incomplete report never claims
+	// Safe, but any Findings it carries are real.
+	Incomplete bool `json:"incomplete,omitempty"`
+	// Limits names the degradation causes of an Incomplete report.
+	Limits []string `json:"limits,omitempty"`
 	// Symptoms is the TS baseline's error count: one per vulnerable
 	// statement.
 	Symptoms int `json:"symptoms"`
@@ -134,6 +183,8 @@ type config struct {
 	routine   string
 	solver    sat.Options
 	maxCEX    int
+	deadline  time.Duration
+	limits    ResourceLimits
 }
 
 // WithPrelude replaces the default trust environment with a prelude parsed
@@ -305,6 +356,54 @@ func WithMaxCounterexamples(n int) Option {
 	}
 }
 
+// WithDeadline bounds each verification unit's wall-clock time. When the
+// deadline expires mid-run the pipeline does not abort: assertions not
+// yet decided degrade to Unknown and the report comes back with
+// VerdictIncomplete — never a Safe claim over a partially checked model.
+// Under VerifyDir the deadline applies per file, so one pathological
+// file cannot starve the rest of the project.
+func WithDeadline(d time.Duration) Option {
+	return func(c *config) error {
+		if d <= 0 {
+			return fmt.Errorf("webssari: deadline must be positive, got %v", d)
+		}
+		c.deadline = d
+		return nil
+	}
+}
+
+// WithBudget caps SAT search effort at maxConflicts conflicts per solver
+// call (0 restores the default: unlimited). An exhausted budget degrades
+// the assertion to Unknown and the report to VerdictIncomplete; it never
+// silently reads as "no counterexample".
+func WithBudget(maxConflicts uint64) Option {
+	return func(c *config) error {
+		c.solver.MaxConflicts = maxConflicts
+		return nil
+	}
+}
+
+// ResourceLimits caps model and formula sizes so pathological inputs
+// degrade into an Incomplete verdict instead of exhausting memory. Zero
+// fields keep the engine defaults; negative values disable a cap.
+type ResourceLimits struct {
+	// MaxStatements caps the AI command count after loop deconstruction
+	// and call unfolding (default flow.DefaultMaxCmds).
+	MaxStatements int
+	// MaxCNFVars and MaxCNFClauses cap each assertion's encoded formula
+	// (defaults core.DefaultMaxVars / core.DefaultMaxClauses).
+	MaxCNFVars    int
+	MaxCNFClauses int
+}
+
+// WithResourceLimits overrides the engine's hard resource caps.
+func WithResourceLimits(l ResourceLimits) Option {
+	return func(c *config) error {
+		c.limits = l
+		return nil
+	}
+}
+
 func buildConfig(opts []Option) (*config, error) {
 	c := &config{}
 	for _, opt := range opts {
@@ -318,14 +417,18 @@ func buildConfig(opts []Option) (*config, error) {
 	return c, nil
 }
 
-func (c *config) engineOptions() core.Options {
+func (c *config) engineOptions(ctx context.Context) core.Options {
 	return core.Options{
 		Flow: flow.Options{
 			Prelude:    c.pre,
 			Loader:     c.loader,
 			Dir:        c.dir,
 			LoopUnroll: c.unroll,
+			MaxCmds:    c.limits.MaxStatements,
 		},
+		Ctx:                ctx,
+		MaxVars:            c.limits.MaxCNFVars,
+		MaxClauses:         c.limits.MaxCNFClauses,
 		AssumePriorAsserts: c.paperMode,
 		BlockAllBN:         c.blockAll,
 		MaxCounterexamples: c.maxCEX,
@@ -333,23 +436,67 @@ func (c *config) engineOptions() core.Options {
 	}
 }
 
+// applyDeadline derives the unit's context from the configured deadline.
+func (c *config) applyDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.deadline > 0 {
+		return context.WithTimeout(ctx, c.deadline)
+	}
+	return ctx, func() {}
+}
+
+// engineErr maps an analysis failure to the public *EngineError.
+func engineErr(name string, errs []error) error {
+	if len(errs) == 0 {
+		return &EngineError{Stage: "analysis", File: name, Err: errors.New("analysis failed")}
+	}
+	var se *core.StageError
+	if errors.As(errs[0], &se) {
+		return &EngineError{Stage: se.Stage, File: name, Err: se.Err}
+	}
+	return &EngineError{Stage: "analysis", File: name, Err: errs[0]}
+}
+
+// runAnalysis drives the core pipeline and the counterexample analysis
+// under ctx, recovering any panic that escapes a stage boundary into a
+// structured *EngineError so a single pathological input can never crash
+// a project-wide run.
+func runAnalysis(ctx context.Context, src []byte, name string, cfg *config) (res *core.Result, analysis *fixing.Analysis, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, analysis = nil, nil
+			err = &EngineError{Stage: "analysis", File: name, Err: fmt.Errorf("panic: %v", r)}
+		}
+	}()
+	res, errs := core.VerifySource(name, src, cfg.engineOptions(ctx))
+	if res == nil {
+		return nil, nil, engineErr(name, errs)
+	}
+	analysis = fixing.Analyze(res)
+	return res, analysis, nil
+}
+
 // Verify analyzes one PHP source text and returns its report. A non-nil
 // error means the analysis itself could not run (unparseable prelude,
-// fatal parse failure); findings are reported in the Report, not as
+// fatal engine fault); findings are reported in the Report, not as
 // errors.
 func Verify(src []byte, name string, opts ...Option) (*Report, error) {
+	return VerifyContext(context.Background(), src, name, opts...)
+}
+
+// VerifyContext is Verify under a context: cancellation or deadline
+// expiry degrades undecided assertions to Unknown and yields a report
+// with VerdictIncomplete rather than aborting.
+func VerifyContext(ctx context.Context, src []byte, name string, opts ...Option) (*Report, error) {
 	cfg, err := buildConfig(opts)
 	if err != nil {
 		return nil, err
 	}
-	res, errs := core.VerifySource(name, src, cfg.engineOptions())
-	if res == nil {
-		if len(errs) > 0 {
-			return nil, fmt.Errorf("webssari: %s: %w", name, errs[0])
-		}
-		return nil, fmt.Errorf("webssari: %s: analysis failed", name)
+	ctx, cancel := cfg.applyDeadline(ctx)
+	defer cancel()
+	res, analysis, err := runAnalysis(ctx, src, name, cfg)
+	if err != nil {
+		return nil, err
 	}
-	analysis := fixing.Analyze(res)
 	return buildReport(res, analysis), nil
 }
 
@@ -357,25 +504,28 @@ func Verify(src []byte, name string, opts ...Option) (*Report, error) {
 // version with sanitization runtime guards wrapped around the minimal
 // fixing set. Safe inputs are returned unmodified.
 func Patch(src []byte, name string, opts ...Option) ([]byte, *Report, error) {
+	return PatchContext(context.Background(), src, name, opts...)
+}
+
+// PatchContext is Patch under a context (see VerifyContext).
+func PatchContext(ctx context.Context, src []byte, name string, opts ...Option) ([]byte, *Report, error) {
 	cfg, err := buildConfig(opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	res, errs := core.VerifySource(name, src, cfg.engineOptions())
-	if res == nil {
-		if len(errs) > 0 {
-			return nil, nil, fmt.Errorf("webssari: %s: %w", name, errs[0])
-		}
-		return nil, nil, fmt.Errorf("webssari: %s: analysis failed", name)
+	ctx, cancel := cfg.applyDeadline(ctx)
+	defer cancel()
+	res, analysis, err := runAnalysis(ctx, src, name, cfg)
+	if err != nil {
+		return nil, nil, err
 	}
-	analysis := fixing.Analyze(res)
 	rep := buildReport(res, analysis)
 	if res.Safe() {
 		return src, rep, nil
 	}
 	patched, perrs := instrument.PatchSource(name, src, analysis.GreedyMinimalFix(), cfg.routine)
 	if len(perrs) > 0 {
-		return patched, rep, fmt.Errorf("webssari: %s: %w", name, perrs[0])
+		return patched, rep, &EngineError{Stage: "patch", File: name, Err: perrs[0]}
 	}
 	return patched, rep, nil
 }
@@ -388,17 +538,15 @@ func VerifyToHTML(src []byte, name string, w io.Writer, opts ...Option) (*Report
 	if err != nil {
 		return nil, err
 	}
-	res, errs := core.VerifySource(name, src, cfg.engineOptions())
-	if res == nil {
-		if len(errs) > 0 {
-			return nil, fmt.Errorf("webssari: %s: %w", name, errs[0])
-		}
-		return nil, fmt.Errorf("webssari: %s: analysis failed", name)
+	ctx, cancel := cfg.applyDeadline(context.Background())
+	defer cancel()
+	res, analysis, err := runAnalysis(ctx, src, name, cfg)
+	if err != nil {
+		return nil, err
 	}
-	analysis := fixing.Analyze(res)
 	rep := report.Build(res, analysis)
 	if err := rep.WriteHTML(w, map[string][]byte{name: src}); err != nil {
-		return nil, err
+		return nil, &EngineError{Stage: "report", File: name, Err: err}
 	}
 	return buildReport(res, analysis), nil
 }
@@ -409,7 +557,7 @@ func SymptomCount(src []byte, name string, opts ...Option) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	prog, errs := flow.BuildSource(name, src, cfg.engineOptions().Flow)
+	prog, errs := flow.BuildSource(name, src, cfg.engineOptions(context.Background()).Flow)
 	if prog == nil && len(errs) > 0 {
 		return 0, errs[0]
 	}
@@ -419,12 +567,24 @@ func SymptomCount(src []byte, name string, opts ...Option) (int, error) {
 func buildReport(res *core.Result, analysis *fixing.Analysis) *Report {
 	rep := report.Build(res, analysis)
 	out := &Report{
-		File:     rep.File,
-		Safe:     rep.Safe,
-		Symptoms: rep.SymptomCount(),
-		Groups:   rep.GroupCount(),
-		Warnings: res.Warnings,
-		Text:     rep.String(),
+		File:       rep.File,
+		Safe:       rep.Safe,
+		Incomplete: rep.Incomplete,
+		Limits:     rep.Limits,
+		Symptoms:   rep.SymptomCount(),
+		Groups:     rep.GroupCount(),
+		Warnings:   rep.Warnings,
+		Text:       rep.String(),
+	}
+	switch {
+	case !res.Safe():
+		// Counterexamples exist — even ones the fixing analysis could not
+		// group into patch points (e.g. variable variables).
+		out.Verdict = VerdictUnsafe
+	case rep.Incomplete:
+		out.Verdict = VerdictIncomplete
+	default:
+		out.Verdict = VerdictSafe
 	}
 	for gi, g := range rep.Groups {
 		pos, _ := g.Fix.Span()
