@@ -12,6 +12,8 @@ package webssari_test
 import (
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -488,4 +490,40 @@ func BenchmarkSharedSolver(b *testing.B) {
 		}
 		b.ReportMetric(float64(cexs), "counterexamples")
 	})
+}
+
+// BenchmarkParallelVerifyDir compares whole-project verification at
+// parallelism 1 against a saturated worker pool over the same on-disk
+// corpus. The compile cache is reset before every run so both sides pay
+// the full front-end cost; the speedup is bounded by GOMAXPROCS
+// (reported as a metric so single-CPU CI baselines read correctly).
+func BenchmarkParallelVerifyDir(b *testing.B) {
+	dir := b.TempDir()
+	proj := corpus.Generate(corpus.Profile{
+		Name: "parbench", TS: 16, BMC: 6, Files: 10, Statements: 600,
+	}, 2004)
+	for _, name := range proj.FileNames() {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, proj.Sources[name], 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, jobs := range []int{1, runtime.GOMAXPROCS(0), 8} {
+		b.Run(fmt.Sprintf("j=%d", jobs), func(b *testing.B) {
+			var vuln int
+			for i := 0; i < b.N; i++ {
+				webssari.ResetCompileCache()
+				pr, err := webssari.VerifyDir(dir, webssari.WithParallelism(jobs))
+				if err != nil {
+					b.Fatal(err)
+				}
+				vuln = pr.VulnerableFiles
+			}
+			b.ReportMetric(float64(vuln), "vuln-files")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+		})
+	}
 }

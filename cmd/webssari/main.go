@@ -18,6 +18,8 @@
 //	-paper            use the paper's exact enumeration (§3.3.2)
 //	-timeout D        wall-clock deadline per verification unit (e.g. 30s)
 //	-max-conflicts N  SAT conflict budget per solver call (0 = unlimited)
+//	-j N              verification worker count (default GOMAXPROCS)
+//	-v                print per-stage wall time and compile-cache stats
 //	-figure10         run TS and BMC over the synthetic Figure 10 corpus
 //	-scale F          corpus statement-scale for -figure10 (default 0.02)
 //	-seed N           corpus generation seed
@@ -87,6 +89,8 @@ func run(args []string) int {
 		paper    = fs.Bool("paper", false, "paper-exact counterexample enumeration")
 		timeout  = fs.Duration("timeout", 0, "wall-clock deadline per verification unit (0 = none)")
 		maxConf  = fs.Uint64("max-conflicts", 0, "SAT conflict budget per solver call (0 = unlimited)")
+		jobs     = fs.Int("j", 0, "verification worker count (0 = GOMAXPROCS)")
+		verbose  = fs.Bool("v", false, "print per-stage wall time and compile-cache stats to stderr")
 		fig10    = fs.Bool("figure10", false, "regenerate the Figure 10 table")
 		scale    = fs.Float64("scale", 0.02, "corpus statement scale for -figure10")
 		seed     = fs.Uint64("seed", 2004, "corpus generation seed")
@@ -104,7 +108,15 @@ func run(args []string) int {
 		return 2
 	}
 
+	if *jobs < 0 {
+		fmt.Fprintf(os.Stderr, "webssari: -j must be ≥ 0, got %d\n", *jobs)
+		return 2
+	}
+
 	opts := []webssari.Option{webssari.WithLoopUnroll(*unroll)}
+	if *jobs > 0 {
+		opts = append(opts, webssari.WithParallelism(*jobs))
+	}
 	if *paper {
 		opts = append(opts, webssari.WithPaperEnumeration())
 	}
@@ -161,6 +173,11 @@ func run(args []string) int {
 			fmt.Printf("project %s: %d file(s), %d vulnerable, %d incomplete, %d failed; TS symptoms %d, BMC groups %d\n",
 				file, len(pr.Files), pr.VulnerableFiles, pr.IncompleteFiles,
 				len(pr.Failures), pr.Symptoms, pr.Groups)
+			if *verbose {
+				fmt.Fprintf(os.Stderr,
+					"webssari: %s: compile cache %d hit(s) / %d miss(es); compile %v, solve %v (summed per-file wall time)\n",
+					file, pr.CacheHits, pr.CacheMisses, pr.CompileWall, pr.SolveWall)
+			}
 			exit = worse(exit, verdictExit(pr.Verdict()))
 			continue
 		}
@@ -181,6 +198,9 @@ func run(args []string) int {
 				continue
 			}
 			printReport(rep, *jsonOut)
+			if *verbose {
+				printStats(file, rep)
+			}
 			if rep.Verdict == webssari.VerdictUnsafe {
 				out := strings.TrimSuffix(file, ".php") + ".secured.php"
 				if err := os.WriteFile(out, patched, 0o644); err != nil {
@@ -224,9 +244,23 @@ func run(args []string) int {
 			continue
 		}
 		printReport(rep, *jsonOut)
+		if *verbose {
+			printStats(file, rep)
+		}
 		exit = worse(exit, verdictExit(rep.Verdict))
 	}
 	return exit
+}
+
+// printStats writes one file's per-stage wall time and compile-cache
+// provenance to stderr (the -v summary).
+func printStats(file string, rep *webssari.Report) {
+	cache := "miss"
+	if rep.CacheHit {
+		cache = "hit"
+	}
+	fmt.Fprintf(os.Stderr, "webssari: %s: compile %v (cache %s), solve %v\n",
+		file, rep.CompileTime, cache, rep.SolveTime)
 }
 
 func dirOf(file string) string {

@@ -1,10 +1,12 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func writeTemp(t *testing.T, name, src string) string {
@@ -107,6 +109,50 @@ func TestNoInputs(t *testing.T) {
 func TestMissingInput(t *testing.T) {
 	if code := run([]string{"/no/such/file.php"}); code != 2 {
 		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+// TestParallelDeadlineExitsIncomplete: deadline expiry while the worker
+// pool is saturated must degrade to exit code 3 (incomplete), not
+// deadlock and not claim the project safe.
+func TestParallelDeadlineExitsIncomplete(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 6; i++ {
+		name := filepath.Join(dir, fmt.Sprintf("f%d.php", i))
+		src := fmt.Sprintf("<?php\n$v = $_GET['k%d'];\necho $v;\n", i)
+		if err := os.WriteFile(name, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan int, 1)
+	go func() { done <- run([]string{"-j", "8", "-timeout", "1ns", dir}) }()
+	select {
+	case code := <-done:
+		if code != 3 {
+			t.Fatalf("exit = %d, want 3 (incomplete)", code)
+		}
+	case <-time.After(2 * time.Minute):
+		t.Fatal("run deadlocked under mid-pool deadline expiry")
+	}
+}
+
+// TestParallelFlagMatchesSequentialExit: -j changes scheduling, never
+// verdicts.
+func TestParallelFlagMatchesSequentialExit(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.php"), []byte(`<?php echo $_GET['x'];`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "b.php"), []byte(`<?php echo htmlspecialchars($_GET['x']);`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seq := run([]string{dir})
+	par := run([]string{"-j", "8", "-v", dir})
+	if seq != par {
+		t.Fatalf("sequential exit %d != parallel exit %d", seq, par)
+	}
+	if seq != 1 {
+		t.Fatalf("exit = %d, want 1", seq)
 	}
 }
 

@@ -12,7 +12,9 @@
 //
 // The -timeout and -max-conflicts flags bound the search; an assertion
 // left undecided prints UNKNOWN with its cause and the command exits 3
-// (incomplete) instead of claiming the program safe.
+// (incomplete) instead of claiming the program safe. The -j flag fans
+// independent assertions out across a worker pool, and -v prints the
+// compile/solve wall time of the two engine stages.
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"webssari/internal/cnf"
 	"webssari/internal/constraint"
@@ -43,12 +46,18 @@ func run(args []string) int {
 		outDir  = fs.String("o", "", "directory for DIMACS dumps (with -stage cnf)")
 		timeout = fs.Duration("timeout", 0, "wall-clock deadline for verification (0 = none)")
 		maxConf = fs.Uint64("max-conflicts", 0, "SAT conflict budget per solver call (0 = unlimited)")
+		jobs    = fs.Int("j", 0, "assertion-level worker count (0 = sequential)")
+		verbose = fs.Bool("v", false, "print per-stage wall time to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "xbmc: exactly one PHP file expected")
+		return 2
+	}
+	if *jobs < 0 {
+		fmt.Fprintf(os.Stderr, "xbmc: -j must be ≥ 0, got %d\n", *jobs)
 		return 2
 	}
 	file := fs.Arg(0)
@@ -63,6 +72,7 @@ func run(args []string) int {
 		LoopUnroll: *unroll,
 		Loader:     os.ReadFile,
 	}
+	frontStart := time.Now()
 	prog, errs := flow.BuildSource(file, src, fopts)
 	for _, err := range errs {
 		fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
@@ -144,14 +154,22 @@ func run(args []string) int {
 		defer cancel()
 	}
 	copts := core.Options{
-		Flow:   fopts,
-		Ctx:    ctx,
-		Solver: sat.Options{MaxConflicts: *maxConf},
+		Flow:        fopts,
+		Ctx:         ctx,
+		Solver:      sat.Options{MaxConflicts: *maxConf},
+		Parallelism: *jobs,
 	}
-	res, err := core.VerifyAI(prog, copts)
+	compiled, err := core.CompileAI(prog)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
 		return 2
+	}
+	compileTime := time.Since(frontStart)
+	solveStart := time.Now()
+	res := core.Solve(ctx, compiled, copts)
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "xbmc: %s: compile %v, solve %v (%d assertion(s))\n",
+			file, compileTime, time.Since(solveStart), len(res.PerAssert))
 	}
 	unsafeCount, unknownCount := 0, 0
 	for i, ar := range res.PerAssert {

@@ -1,0 +1,101 @@
+package core
+
+// This file is the engine's front end: everything in the pipeline before
+// the SAT solver — parse, include resolution, filter F(p), abstract
+// interpretation AI(F(p)), single-assignment renaming ρ, and constraint
+// generation C(c,g). The front end is deterministic and solver-free, and
+// its output is a durable Program artifact that Solve (the back end) can
+// consume any number of times, concurrently.
+
+import (
+	"webssari/internal/ai"
+	"webssari/internal/constraint"
+	"webssari/internal/flow"
+	"webssari/internal/php/ast"
+	"webssari/internal/php/parser"
+	"webssari/internal/rename"
+)
+
+// Program is the compiled form of one verification unit: the abstract
+// interpretation together with its renamed form and generated constraint
+// system.
+//
+// Invariants: a Program is immutable after Compile returns — no stage of
+// Solve writes into AI, Renamed, or System — so one Program may be solved
+// by any number of goroutines concurrently and may be cached and reused
+// across Verify/Patch calls. Solve copies the slices it extends
+// (warnings, parse errors) rather than appending to the Program's.
+type Program struct {
+	// AI is the abstract interpretation AI(F(p)).
+	AI *ai.Program
+	// Renamed is AI under the single-assignment renaming ρ.
+	Renamed *rename.Program
+	// System is the generated constraint system C(c,g).
+	System *constraint.System
+	// ParseErrors records syntax errors the parser recovered from; a
+	// non-empty list makes every Result solved from this Program
+	// Incomplete.
+	ParseErrors []string
+}
+
+// Compile parses, filters, and compiles one PHP source text into a
+// Program. A panic in the parser or filter is recovered into a
+// *StageError; recoverable syntax errors are recorded on the Program
+// (making its results Incomplete) and also returned for callers that want
+// them as errors. On a nil Program the error list explains why.
+func Compile(name string, src []byte, opts Options) (*Program, []error) {
+	var (
+		parsed *parser.Result
+		errs   []error
+	)
+	if err := guard("parse", func() { parsed = parser.Parse(name, src) }); err != nil {
+		return nil, []error{err}
+	}
+	errs = append(errs, parsed.Errs...)
+
+	var (
+		prog     *ai.Program
+		buildErr error
+	)
+	if err := guard("flow", func() { prog, buildErr = flow.Build(parsed.File, opts.Flow) }); err != nil {
+		return nil, append([]error{err}, errs...)
+	}
+	if buildErr != nil {
+		return nil, append([]error{buildErr}, errs...)
+	}
+
+	p, err := CompileAI(prog)
+	if err != nil {
+		return nil, append(errs, err)
+	}
+	for _, perr := range parsed.Errs {
+		p.ParseErrors = append(p.ParseErrors, perr.Error())
+	}
+	return p, errs
+}
+
+// CompileFile compiles an already-parsed file.
+func CompileFile(file *ast.File, opts Options) (*Program, error) {
+	prog, err := flow.Build(file, opts.Flow)
+	if err != nil {
+		return nil, err
+	}
+	return CompileAI(prog)
+}
+
+// CompileAI runs the back half of the front end — renaming and constraint
+// generation — over an existing abstract interpretation. A panic is
+// recovered into a *StageError.
+func CompileAI(prog *ai.Program) (*Program, error) {
+	var (
+		ren *rename.Program
+		sys *constraint.System
+	)
+	if err := guard("constraint", func() {
+		ren = rename.Rename(prog)
+		sys = constraint.Build(ren)
+	}); err != nil {
+		return nil, err
+	}
+	return &Program{AI: prog, Renamed: ren, System: sys}, nil
+}

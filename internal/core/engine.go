@@ -14,7 +14,6 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"sort"
 
@@ -24,7 +23,6 @@ import (
 	"webssari/internal/flow"
 	"webssari/internal/lattice"
 	"webssari/internal/php/ast"
-	"webssari/internal/php/parser"
 	"webssari/internal/rename"
 	"webssari/internal/sat"
 )
@@ -67,6 +65,19 @@ type Options struct {
 	MaxCounterexamples int
 	// Solver tunes the SAT solver (ablations).
 	Solver sat.Options
+	// Parallelism bounds how many assertions one Solve checks
+	// concurrently. Zero or one means sequential (the default, which
+	// reproduces the paper's loop exactly); results are identical either
+	// way because each assertion's check is deterministic and results are
+	// assembled in assertion order.
+	Parallelism int
+	// Workers, when set, is a slot pool shared with the caller (project
+	// verification shares one pool between its file-level fan-out and each
+	// file's assertion-level fan-out). The caller is assumed to already
+	// hold one slot; Solve takes extra slots with TryAcquire only and
+	// always works inline on the caller's slot, so the sharing cannot
+	// deadlock. Workers takes precedence over Parallelism.
+	Workers *Pool
 }
 
 // DefaultMaxCEX bounds counterexample enumeration per assertion.
@@ -307,312 +318,35 @@ func (r *Result) IncompleteCauses() []string {
 	return out
 }
 
-// VerifySource parses, filters, and verifies one PHP source text. A
-// panic in the parser or the filter is recovered into a *StageError;
-// recoverable syntax errors are recorded on the Result (making it
-// Incomplete) and also returned for callers that want them as errors.
+// VerifySource parses, filters, and verifies one PHP source text: it is
+// Compile followed by Solve. A panic in the parser or the filter is
+// recovered into a *StageError; recoverable syntax errors are recorded on
+// the Result (making it Incomplete) and also returned for callers that
+// want them as errors.
 func VerifySource(name string, src []byte, opts Options) (*Result, []error) {
-	var (
-		parsed *parser.Result
-		errs   []error
-	)
-	if err := guard("parse", func() { parsed = parser.Parse(name, src) }); err != nil {
-		return nil, []error{err}
+	p, errs := Compile(name, src, opts)
+	if p == nil {
+		return nil, errs
 	}
-	errs = append(errs, parsed.Errs...)
-
-	var (
-		prog     *ai.Program
-		buildErr error
-	)
-	if err := guard("flow", func() { prog, buildErr = flow.Build(parsed.File, opts.Flow) }); err != nil {
-		return nil, append([]error{err}, errs...)
-	}
-	if buildErr != nil {
-		return nil, append([]error{buildErr}, errs...)
-	}
-	res, err := VerifyAI(prog, opts)
-	if err != nil {
-		errs = append(errs, err)
-	}
-	if res != nil {
-		for _, perr := range parsed.Errs {
-			res.ParseErrors = append(res.ParseErrors, perr.Error())
-		}
-	}
-	return res, errs
+	return Solve(opts.context(), p, opts), errs
 }
 
 // VerifyFile verifies an already-parsed file.
 func VerifyFile(file *ast.File, opts Options) (*Result, error) {
-	prog, err := flow.Build(file, opts.Flow)
+	p, err := CompileFile(file, opts)
 	if err != nil {
 		return nil, err
 	}
-	return VerifyAI(prog, opts)
+	return Solve(opts.context(), p, opts), nil
 }
 
-// VerifyAI runs the model checker over an abstract interpretation.
-//
-// Faults are isolated per assertion: a tripped resource ceiling, an
-// exhausted budget, an expired deadline, or a recovered panic degrades
-// that assertion to Unknown (with its cause) and the loop moves on, so
-// one pathological assertion can neither hang nor blank the rest of the
-// result. The returned error is non-nil only when a whole pipeline
-// stage fails (constraint construction panicking).
+// VerifyAI runs the model checker over an abstract interpretation: it is
+// CompileAI followed by Solve. The returned error is non-nil only when a
+// whole pipeline stage fails (constraint construction panicking).
 func VerifyAI(prog *ai.Program, opts Options) (*Result, error) {
-	if opts.MaxCounterexamples <= 0 {
-		opts.MaxCounterexamples = DefaultMaxCEX
-	}
-	ctx := opts.context()
-
-	var (
-		ren *rename.Program
-		sys *constraint.System
-	)
-	if err := guard("constraint", func() {
-		ren = rename.Rename(prog)
-		sys = constraint.Build(ren)
-	}); err != nil {
-		return nil, err
-	}
-	res := &Result{
-		AI:       prog,
-		Renamed:  ren,
-		System:   sys,
-		Warnings: prog.Warnings,
-	}
-	for i := range sys.Checks {
-		if err := ctx.Err(); err != nil {
-			// Deadline expired mid-run: degrade every remaining
-			// assertion instead of aborting, so the report still has one
-			// entry per assertion and callers can see exactly what went
-			// unchecked.
-			for j := i; j < len(sys.Checks); j++ {
-				res.PerAssert = append(res.PerAssert, &AssertResult{
-					Assert:  sys.Checks[j].Origin,
-					Unknown: true,
-					Cause:   CauseDeadline,
-				})
-			}
-			res.Warnings = append(res.Warnings, fmt.Sprintf(
-				"deadline expired before assert_%d: %d assertion(s) unchecked", i, len(sys.Checks)-i))
-			break
-		}
-		ar, err := checkAssertion(ctx, sys, i, opts)
-		if err != nil {
-			// Fault isolation: a panic or internal error in one
-			// assertion's encode/solve degrades it to Unknown.
-			ar = &AssertResult{
-				Assert:  sys.Checks[i].Origin,
-				Unknown: true,
-				Cause:   CauseInternal,
-			}
-			res.Warnings = append(res.Warnings, fmt.Sprintf("assert_%d degraded: %v", i, err))
-		}
-		res.PerAssert = append(res.PerAssert, ar)
-	}
-	return res, nil
-}
-
-// checkAssertion runs the per-assertion enumeration loop of §3.3.2. A
-// panic anywhere in encode/solve/replay is recovered into a *StageError
-// so the caller can degrade just this assertion.
-func checkAssertion(ctx context.Context, sys *constraint.System, idx int, opts Options) (ar *AssertResult, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			ar, err = nil, &StageError{Stage: "solve", Err: fmt.Errorf("panic: %v", r)}
-		}
-	}()
-	if opts.Hooks.BeforeAssert != nil {
-		opts.Hooks.BeforeAssert(idx)
-	}
-	check := sys.Checks[idx]
-	ar = &AssertResult{Assert: check.Origin}
-
-	encoded, err := cnf.EncodeCheck(sys, idx, opts.cnfOptions())
-	var lim *cnf.LimitError
-	if errors.As(err, &lim) {
-		ar.Unknown = true
-		ar.Cause = fmt.Sprintf("%s (%s)", CauseCNFCeiling, lim.Error())
-		return ar, nil
-	}
+	p, err := CompileAI(prog)
 	if err != nil {
 		return nil, err
 	}
-	ar.EncodedVars = encoded.F.NumVars
-	ar.EncodedClauses = len(encoded.F.Clauses)
-	if encoded.Trivial == cnf.TrivialUnsat {
-		return ar, nil
-	}
-
-	sopts := opts.Solver
-	sopts.Interrupt = interruptFor(ctx, opts.Solver.Interrupt)
-	solver := sat.NewWith(sopts)
-	if !encoded.F.LoadInto(solver) {
-		return ar, nil
-	}
-
-	seen := make(map[string]bool)
-	for iteration := 0; ; iteration++ {
-		if opts.Hooks.BeforeSolve != nil {
-			opts.Hooks.BeforeSolve(idx, iteration)
-		}
-		if ctx.Err() != nil {
-			ar.Unknown = true
-			ar.Cause = CauseDeadline
-			return ar, nil
-		}
-		verdict := solver.Solve()
-		ar.SolverStats = solver.Stats()
-		if verdict == sat.Unsat {
-			return ar, nil
-		}
-		if verdict != sat.Sat {
-			// The solver gave up: either the wall-clock deadline fired
-			// through the interrupt, or the conflict budget ran out. An
-			// undecided assertion must never read as "no counterexample",
-			// so mark it Unknown rather than silently returning.
-			ar.Unknown = true
-			if ctx.Err() != nil {
-				ar.Cause = CauseDeadline
-			} else {
-				ar.Cause = CauseConflictBudget
-			}
-			return ar, nil
-		}
-		model := solver.Model()
-		branches := encoded.DecodeBranches(model)
-
-		cex := replayTrace(sys.Renamed, check.Origin, branches)
-		if cex != nil && !seen[cex.Key()] {
-			seen[cex.Key()] = true
-			ar.Counterexamples = append(ar.Counterexamples, cex)
-			if len(ar.Counterexamples) >= opts.MaxCounterexamples {
-				ar.Truncated = true
-				return ar, nil
-			}
-		}
-
-		// Make B_i more restrictive: B_i^{j+1} = B_i^j ∧ N_i^j.
-		var blocking []sat.Lit
-		if opts.BlockAllBN || cex == nil {
-			blocking = encoded.BlockingClause(model, nil)
-		} else {
-			blocking = encoded.BlockingClause(model, cex.Branches)
-		}
-		if len(blocking) == 0 {
-			// No branch variables: the single model class is exhausted.
-			return ar, nil
-		}
-		if !solver.AddClause(blocking...) {
-			return ar, nil
-		}
-	}
-}
-
-// interruptFor combines context cancellation with any caller-supplied
-// solver interrupt, returning nil when neither can ever fire.
-func interruptFor(ctx context.Context, prev func() bool) func() bool {
-	if ctx.Done() == nil {
-		return prev
-	}
-	if prev == nil {
-		return func() bool { return ctx.Err() != nil }
-	}
-	return func() bool { return ctx.Err() != nil || prev() }
-}
-
-// replayTrace walks the renamed program along the given branch decisions,
-// recording the executed single assignments, and checks the target
-// assertion. It returns nil when the path does not actually violate the
-// assertion (possible only in BlockAllBN mode quirks or when the path
-// stops early).
-func replayTrace(p *rename.Program, target *rename.Assert, branches map[int]bool) *Counterexample {
-	cex := &Counterexample{
-		Assert:   target,
-		Branches: make(map[int]bool),
-	}
-	env := make(map[string]lattice.Elem)
-	typeOf := func(v rename.SSAVar) lattice.Elem {
-		if t, ok := env[v.Name]; ok {
-			return t
-		}
-		return p.AI.InitialType(v.Name)
-	}
-	var evalExpr func(e rename.Expr) lattice.Elem
-	evalExpr = func(e rename.Expr) lattice.Elem {
-		switch e := e.(type) {
-		case rename.Const:
-			return e.Type
-		case rename.Ref:
-			return typeOf(e.V)
-		case rename.Join:
-			acc := p.AI.Lat.Bottom()
-			for _, part := range e.Parts {
-				acc = p.AI.Lat.Join(acc, evalExpr(part))
-			}
-			return acc
-		default:
-			return p.AI.Lat.Top()
-		}
-	}
-
-	found := false
-	var walk func(cmds []rename.Cmd) bool // returns false on stop/target
-	walk = func(cmds []rename.Cmd) bool {
-		for _, c := range cmds {
-			switch c := c.(type) {
-			case *rename.Set:
-				val := evalExpr(c.RHS)
-				env[c.V.Name] = val
-				cex.Steps = append(cex.Steps, Step{Set: c, Value: val})
-			case *rename.Assert:
-				if c != target {
-					continue
-				}
-				for i, arg := range c.Args {
-					t := evalExpr(arg.Expr)
-					if !p.AI.Lat.Lt(t, c.Bound) {
-						cex.FailingArgs = append(cex.FailingArgs, i)
-						for _, ref := range rename.ExprRefs(arg.Expr) {
-							if !p.AI.Lat.Lt(typeOf(ref), c.Bound) {
-								cex.Violating = append(cex.Violating, ref)
-							}
-						}
-					}
-				}
-				found = len(cex.FailingArgs) > 0
-				return false
-			case *rename.If:
-				taken := branches[c.ID]
-				cex.Branches[c.ID] = taken
-				arm := c.Then
-				if !taken {
-					arm = c.Else
-				}
-				if !walk(arm) {
-					return false
-				}
-			case *rename.Stop:
-				return false
-			}
-		}
-		return true
-	}
-	walk(p.Cmds)
-	if !found {
-		return nil
-	}
-	// Deduplicate violating variables.
-	uniq := cex.Violating[:0]
-	seen := make(map[rename.SSAVar]bool)
-	for _, v := range cex.Violating {
-		if !seen[v] {
-			seen[v] = true
-			uniq = append(uniq, v)
-		}
-	}
-	cex.Violating = uniq
-	return cex
+	return Solve(opts.context(), p, opts), nil
 }

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"context"
+	"runtime"
+)
+
+// Pool is a bounded worker-slot semaphore shared between the file-level
+// fan-out of a project run and the assertion-level fan-out inside each
+// file's Solve. Its discipline is what makes the sharing deadlock-free:
+//
+//   - file-level workers use the blocking Acquire, and
+//   - assertion-level workers inside a Solve use only TryAcquire, with the
+//     calling goroutine always working inline on its own slot,
+//
+// so a goroutine holding a slot never blocks waiting for another slot and
+// no circular wait can form.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool returns a pool of n slots; n <= 0 means GOMAXPROCS.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, n)}
+}
+
+// Acquire blocks until a slot is free or ctx is done, returning ctx's
+// error in the latter case.
+func (p *Pool) Acquire(ctx context.Context) error {
+	select {
+	case p.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TryAcquire takes a slot only if one is free right now.
+func (p *Pool) TryAcquire() bool {
+	select {
+	case p.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a slot taken by Acquire or TryAcquire.
+func (p *Pool) Release() { <-p.sem }
+
+// Cap returns the pool's slot count.
+func (p *Pool) Cap() int { return cap(p.sem) }

@@ -3,7 +3,9 @@ package core
 import (
 	"context"
 	"fmt"
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"webssari/internal/flow"
@@ -123,6 +125,55 @@ func TestHookPanicDegradesAssertion(t *testing.T) {
 	}
 	if !res.Incomplete() {
 		t.Fatal("result with an internal fault not marked Incomplete")
+	}
+}
+
+// TestConcurrentHookPanicsIsolated injects panics from two workers at
+// once: a synchronization barrier holds both workers inside their
+// BeforeAssert hook until both have arrived, then both panic
+// simultaneously. Each fault must degrade only its own assertion — with
+// no shared mutable hook state to corrupt — and the remaining assertions
+// must still verify.
+func TestConcurrentHookPanicsIsolated(t *testing.T) {
+	prog := compileSrc(t, multiAssert(4))
+	opts := NewOptions(flow.Options{Prelude: prelude.Default()})
+	opts.Parallelism = 2
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	opts.Hooks.BeforeAssert = func(idx int) {
+		if idx < 2 {
+			barrier.Done()
+			barrier.Wait() // both workers are now mid-flight together
+			panic(fmt.Sprintf("injected concurrent fault %d", idx))
+		}
+	}
+	res := Solve(context.Background(), prog, opts)
+	if len(res.PerAssert) != 4 {
+		t.Fatalf("asserts = %d, want 4", len(res.PerAssert))
+	}
+	for i := 0; i < 2; i++ {
+		if ar := res.PerAssert[i]; !ar.Unknown || ar.Cause != CauseInternal {
+			t.Fatalf("faulted assert %d: Unknown=%v Cause=%q, want Unknown/%s",
+				i, ar.Unknown, ar.Cause, CauseInternal)
+		}
+	}
+	for i := 2; i < 4; i++ {
+		if ar := res.PerAssert[i]; ar.Unknown {
+			t.Fatalf("assert %d degraded (%s) despite faults being isolated to 0 and 1", i, ar.Cause)
+		}
+	}
+	var degradeMsgs []string
+	for _, w := range res.Warnings {
+		if strings.Contains(w, "degraded") {
+			degradeMsgs = append(degradeMsgs, w)
+		}
+	}
+	want := []string{
+		"assert_0 degraded: solve stage: panic: injected concurrent fault 0",
+		"assert_1 degraded: solve stage: panic: injected concurrent fault 1",
+	}
+	if !reflect.DeepEqual(degradeMsgs, want) {
+		t.Fatalf("degradation warnings = %v, want %v (deterministic order)", degradeMsgs, want)
 	}
 }
 

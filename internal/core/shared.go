@@ -1,12 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"webssari/internal/ai"
 	"webssari/internal/cnf"
 	"webssari/internal/constraint"
-	"webssari/internal/rename"
 	"webssari/internal/sat"
 )
 
@@ -17,27 +17,45 @@ import (
 // rebuild loop, measured in BenchmarkSharedSolver.
 
 // VerifyAIShared verifies every assertion with a single incremental
-// solver. It produces the same counterexample sets as VerifyAI in its
-// default configuration; AssumePriorAsserts is not supported in this mode.
+// solver: CompileAI followed by SolveShared. It produces the same
+// counterexample sets as VerifyAI in its default configuration;
+// AssumePriorAsserts is not supported in this mode.
 func VerifyAIShared(prog *ai.Program, opts Options) (*Result, error) {
+	p, err := CompileAI(prog)
+	if err != nil {
+		return nil, err
+	}
+	return SolveShared(opts.context(), p, opts)
+}
+
+// SolveShared is the shared-solver back end over a compiled Program.
+// Unlike Solve it is inherently sequential — the incremental solver's
+// learnt-clause state is serial — but like Solve it never writes into the
+// Program, so it can run beside concurrent Solves of the same artifact.
+func SolveShared(ctx context.Context, p *Program, opts Options) (*Result, error) {
 	if opts.AssumePriorAsserts {
 		return nil, fmt.Errorf("core: shared-solver mode does not support AssumePriorAsserts")
 	}
+	if ctx == nil {
+		ctx = opts.context()
+	}
+	opts.Ctx = ctx
 	if opts.MaxCounterexamples <= 0 {
 		opts.MaxCounterexamples = DefaultMaxCEX
 	}
-	ren := rename.Rename(prog)
-	sys := constraint.Build(ren)
+	sys := p.System
 	res := &Result{
-		AI:       prog,
-		Renamed:  ren,
-		System:   sys,
-		Warnings: prog.Warnings,
+		AI:      p.AI,
+		Renamed: p.Renamed,
+		System:  sys,
+		// Copied, not aliased: the Program may be shared across solves.
+		Warnings:    append([]string(nil), p.AI.Warnings...),
+		ParseErrors: append([]string(nil), p.ParseErrors...),
 	}
 
 	encoded := cnf.EncodeAllChecks(sys)
 	sopts := opts.Solver
-	sopts.Interrupt = interruptFor(opts.context(), opts.Solver.Interrupt)
+	sopts.Interrupt = interruptFor(ctx, opts.Solver.Interrupt)
 	solver := sat.NewWith(sopts)
 	loaded := encoded.F.LoadInto(solver)
 

@@ -12,6 +12,8 @@ package prelude
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"webssari/internal/lattice"
 )
@@ -165,6 +167,55 @@ func (p *Prelude) Sanitizers() []Sanitizer {
 	out := make([]Sanitizer, 0, len(p.sanitizers))
 	for _, s := range p.sanitizers {
 		out = append(out, s)
+	}
+	return out
+}
+
+// Fingerprint returns a deterministic rendering of the whole trust
+// environment — lattice structure, sources, sinks (with checked argument
+// positions), sanitizers, and initial variable types — suitable as a
+// compile-cache key component: two preludes with the same fingerprint
+// produce identical abstract interpretations for the same source.
+func (p *Prelude) Fingerprint() string {
+	var b strings.Builder
+	b.WriteString("lat:")
+	for _, e := range p.lat.Elems() {
+		fmt.Fprintf(&b, "%d=%s,", e, p.lat.Name(e))
+		for _, f := range p.lat.Elems() {
+			if p.lat.Leq(e, f) {
+				fmt.Fprintf(&b, "%d<=%d;", e, f)
+			}
+		}
+	}
+	section := func(label string, keys []string, render func(k string)) {
+		sort.Strings(keys)
+		b.WriteString("\n" + label + ":")
+		for _, k := range keys {
+			render(k)
+		}
+	}
+	section("sources", mapKeys(p.sources), func(k string) {
+		s := p.sources[k]
+		fmt.Fprintf(&b, "%s=%d;", k, s.Type)
+	})
+	section("sinks", mapKeys(p.sinks), func(k string) {
+		s := p.sinks[k]
+		fmt.Fprintf(&b, "%s=%d@%v;", k, s.Bound, s.Args)
+	})
+	section("sanitizers", mapKeys(p.sanitizers), func(k string) {
+		s := p.sanitizers[k]
+		fmt.Fprintf(&b, "%s=%d;", k, s.Type)
+	})
+	section("vars", mapKeys(p.varTypes), func(k string) {
+		fmt.Fprintf(&b, "%s=%d;", k, p.varTypes[k])
+	})
+	return b.String()
+}
+
+func mapKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
 	}
 	return out
 }

@@ -53,19 +53,18 @@ type Report struct {
 func Build(res *core.Result, analysis *fixing.Analysis) *Report {
 	limits := res.IncompleteCauses()
 	r := &Report{
-		File:       res.AI.File,
-		Lat:        res.AI.Lat,
+		File: res.AI.File,
+		Lat:  res.AI.Lat,
+		// Copy rather than alias: results may be shared across
+		// goroutines, and a report must never write into one.
+		Warnings:   append([]string(nil), res.Warnings...),
 		TSReports:  typestate.Check(res.AI),
-		Warnings:   res.Warnings,
 		Safe:       res.Safe() && len(limits) == 0,
 		Incomplete: len(limits) > 0,
 		Limits:     limits,
 	}
-	if len(res.ParseErrors) > 0 {
-		r.Warnings = append([]string(nil), res.Warnings...)
-		for _, perr := range res.ParseErrors {
-			r.Warnings = append(r.Warnings, "parse: "+perr)
-		}
+	for _, perr := range res.ParseErrors {
+		r.Warnings = append(r.Warnings, "parse: "+perr)
 	}
 
 	fix := analysis.GreedyMinimalFix()

@@ -37,7 +37,10 @@ type Options struct {
 	// and periodically between decisions); when it returns true, Solve
 	// stops and reports Unknown. It plumbs wall-clock deadlines and
 	// context cancellation into the search loop without a watchdog
-	// goroutine; the solver remains usable afterwards.
+	// goroutine; the solver remains usable afterwards. One callback may
+	// be shared by solver instances running on concurrent goroutines
+	// (core.Solve's parallel assertion fan-out does exactly that), so it
+	// must be safe to call concurrently — a ctx.Err() check qualifies.
 	Interrupt func() bool
 }
 

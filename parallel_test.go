@@ -1,0 +1,177 @@
+package webssari_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"webssari"
+	"webssari/internal/corpus"
+)
+
+// writeProject materializes a deterministic synthetic corpus project on
+// disk and returns its directory.
+func writeProject(t testing.TB, prof corpus.Profile, seed uint64) string {
+	t.Helper()
+	dir := t.TempDir()
+	proj := corpus.Generate(prof, seed)
+	for _, name := range proj.FileNames() {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, proj.Sources[name], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// projectJSON renders a ProjectReport the way the CLI's -json mode does,
+// making "byte-identical" a meaningful comparison.
+func projectJSON(t *testing.T, pr *webssari.ProjectReport) string {
+	t.Helper()
+	data, err := json.MarshalIndent(pr, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestParallelVerifyDirDeterminism is the PR's central acceptance test:
+// VerifyDir with 8 workers over a corpus project produces byte-identical
+// ProjectReport JSON to the fully sequential run — including the cache
+// hit/miss counters, which stay deterministic because concurrent compiles
+// of identical content coalesce. The cache is reset before each run so
+// both start cold.
+func TestParallelVerifyDirDeterminism(t *testing.T) {
+	dir := writeProject(t, corpus.Profile{
+		Name: "determinism", TS: 14, BMC: 5, Files: 8, Statements: 400,
+	}, 2004)
+	// An unparseable file exercises failure determinism too.
+	if err := os.WriteFile(filepath.Join(dir, "broken.php"), []byte("<?php if ("), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	webssari.ResetCompileCache()
+	seq, err := webssari.VerifyDir(dir, webssari.WithParallelism(1))
+	if err != nil {
+		t.Fatalf("sequential VerifyDir: %v", err)
+	}
+	seqJSON := projectJSON(t, seq)
+
+	webssari.ResetCompileCache()
+	par, err := webssari.VerifyDir(dir, webssari.WithParallelism(8))
+	if err != nil {
+		t.Fatalf("parallel VerifyDir: %v", err)
+	}
+	parJSON := projectJSON(t, par)
+
+	if seqJSON != parJSON {
+		t.Fatalf("parallel report differs from sequential:\n--- sequential ---\n%s\n--- parallel (j=8) ---\n%s",
+			seqJSON, parJSON)
+	}
+	if len(seq.Files) == 0 || seq.VulnerableFiles == 0 {
+		t.Fatalf("degenerate corpus: %d files, %d vulnerable — determinism check proved nothing",
+			len(seq.Files), seq.VulnerableFiles)
+	}
+	if par.CacheMisses == 0 {
+		t.Fatal("cold parallel run recorded zero cache misses")
+	}
+}
+
+// TestParallelVerifyDirDeadlineDegrades: per-file deadlines expiring
+// while the pool is running 8 workers must degrade every file to an
+// Incomplete verdict (the CLI's exit code 3) — never deadlock, never
+// claim Safe, never error out the project.
+func TestParallelVerifyDirDeadlineDegrades(t *testing.T) {
+	dir := writeProject(t, corpus.Profile{
+		Name: "deadline", TS: 10, BMC: 4, Files: 6, Statements: 300,
+	}, 7)
+
+	done := make(chan struct{})
+	var pr *webssari.ProjectReport
+	var err error
+	go func() {
+		defer close(done)
+		pr, err = webssari.VerifyDir(dir,
+			webssari.WithParallelism(8),
+			webssari.WithDeadline(time.Nanosecond))
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("VerifyDir deadlocked under mid-pool deadline expiry")
+	}
+	if err != nil {
+		t.Fatalf("VerifyDir errored instead of degrading: %v", err)
+	}
+	if got := pr.Verdict(); got != webssari.VerdictIncomplete {
+		t.Fatalf("project verdict = %q, want %q (exit code 3)", got, webssari.VerdictIncomplete)
+	}
+	if pr.VulnerableFiles != 0 {
+		t.Fatalf("%d files reported vulnerable though no assertion was ever decided", pr.VulnerableFiles)
+	}
+	// Every file with assertions must have degraded; only sink-free filler
+	// files may legitimately still read Safe.
+	if pr.IncompleteFiles == 0 {
+		t.Fatal("no file degraded to Incomplete under an instantly-expired deadline")
+	}
+}
+
+// TestParallelVerifyDirCancelledBeforeDispatch: a parent context already
+// cancelled when dispatch begins records every file as a deadline failure
+// instead of blocking on pool slots — the PR-1 fault-isolation contract
+// under the new concurrent dispatcher.
+func TestParallelVerifyDirCancelledBeforeDispatch(t *testing.T) {
+	dir := writeProject(t, corpus.Profile{
+		Name: "cancelmid", TS: 8, BMC: 3, Files: 12, Statements: 400,
+	}, 11)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pr, err := webssari.VerifyDirContext(ctx, dir, webssari.WithParallelism(4))
+	if err != nil {
+		t.Fatalf("cancelled VerifyDirContext errored: %v", err)
+	}
+	if len(pr.Failures) == 0 {
+		t.Fatal("cancelled run recorded no failures")
+	}
+	for _, fail := range pr.Failures {
+		if fail.Stage != "deadline" {
+			t.Fatalf("failure stage = %q, want deadline: %+v", fail.Stage, fail)
+		}
+	}
+	if got := pr.Verdict(); got != webssari.VerdictIncomplete {
+		t.Fatalf("verdict = %q, want %q", got, webssari.VerdictIncomplete)
+	}
+}
+
+// TestVerifyParallelAssertionsMatchesSequential covers the single-file
+// fan-out: one file with many independent assertions verified at -j 8
+// must produce the identical report to the sequential run.
+func TestVerifyParallelAssertionsMatchesSequential(t *testing.T) {
+	src := "<?php\n"
+	for i := 0; i < 10; i++ {
+		src += fmt.Sprintf("$v%d = $_GET['k%d'];\nif ($c%d) { $v%d = htmlspecialchars($v%d); }\necho $v%d;\n",
+			i, i, i, i, i, i)
+	}
+	webssari.ResetCompileCache()
+	seq, err := webssari.Verify([]byte(src), "many.php")
+	if err != nil {
+		t.Fatal(err)
+	}
+	webssari.ResetCompileCache()
+	par, err := webssari.Verify([]byte(src), "many.php", webssari.WithParallelism(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqJSON, _ := json.Marshal(seq)
+	parJSON, _ := json.Marshal(par)
+	if string(seqJSON) != string(parJSON) {
+		t.Fatalf("parallel single-file report differs:\n%s\nvs\n%s", seqJSON, parJSON)
+	}
+}

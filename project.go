@@ -9,6 +9,10 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+	"time"
+
+	"webssari/internal/core"
 )
 
 // FileFailure records one file whose analysis could not produce a report
@@ -44,6 +48,16 @@ type ProjectReport struct {
 	// Failures records files whose analysis failed outright; the
 	// remaining files are still verified and reported.
 	Failures []FileFailure `json:"failures,omitempty"`
+	// CacheHits and CacheMisses count how many files' front ends were
+	// served from the compile cache vs compiled fresh during this run.
+	// With a cold cache the counts are deterministic at any parallelism
+	// (concurrent compiles of identical content coalesce).
+	CacheHits   int `json:"cache_hits"`
+	CacheMisses int `json:"cache_misses"`
+	// CompileWall and SolveWall sum the per-file stage wall-clock times.
+	// Excluded from JSON so project reports stay byte-comparable.
+	CompileWall time.Duration `json:"-"`
+	SolveWall   time.Duration `json:"-"`
 }
 
 // Safe reports whether every file verified safe: no vulnerable files, no
@@ -79,7 +93,14 @@ func VerifyDir(dir string, opts ...Option) (*ProjectReport, error) {
 // ProjectReport.Failures and every other file is still verified. The
 // only non-nil error is failing to walk the root directory itself. A
 // WithDeadline budget applies to each file separately; ctx cancellation
-// stops the walk and records the unvisited files as failures.
+// stops the dispatch and records the unstarted files as failures.
+//
+// Files are verified concurrently on a bounded worker pool
+// (WithParallelism, default GOMAXPROCS); each file's front end comes from
+// the process-wide compile cache and its assertions fan out across the
+// same pool. The report is identical at any parallelism: every file's
+// analysis is deterministic and results are assembled in sorted file
+// order.
 func VerifyDirContext(ctx context.Context, dir string, opts ...Option) (*ProjectReport, error) {
 	pr := &ProjectReport{Dir: dir}
 	var phpFiles []string
@@ -105,38 +126,76 @@ func VerifyDirContext(ctx context.Context, dir string, opts ...Option) (*Project
 	}
 	sort.Strings(phpFiles)
 
+	parallelism := 0 // NewPool treats <= 0 as GOMAXPROCS
+	if cfg, err := buildConfig(opts); err == nil && cfg.parallelism > 0 {
+		parallelism = cfg.parallelism
+	}
+	pool := core.NewPool(parallelism)
+
+	// Workers write only their own index; pr is assembled afterwards in
+	// sorted file order so the report is independent of scheduling.
+	reps := make([]*Report, len(phpFiles))
+	fails := make([]*FileFailure, len(phpFiles))
+	var wg sync.WaitGroup
 	for i, file := range phpFiles {
-		if ctx.Err() != nil {
-			for _, rest := range phpFiles[i:] {
-				pr.Failures = append(pr.Failures, FileFailure{
-					File: rest, Stage: "deadline", Cause: ctx.Err().Error(),
-				})
+		if ctx.Err() != nil || pool.Acquire(ctx) != nil {
+			// Deadline expired before this file was dispatched: everything
+			// not yet started degrades to a recorded failure, and workers
+			// already running wind down through their own ctx checks — the
+			// pool can never deadlock on an expired context.
+			for j := i; j < len(phpFiles); j++ {
+				fails[j] = &FileFailure{
+					File: phpFiles[j], Stage: "deadline", Cause: ctx.Err().Error(),
+				}
 			}
 			break
 		}
-		fileOpts := append([]Option{WithDir(dir)}, opts...)
-		src, err := os.ReadFile(file)
-		if err != nil {
-			pr.Failures = append(pr.Failures, FileFailure{
-				File: file, Stage: "read", Cause: err.Error(),
-			})
+		wg.Add(1)
+		go func(i int, file string) {
+			defer wg.Done()
+			defer pool.Release()
+			src, err := os.ReadFile(file)
+			if err != nil {
+				fails[i] = &FileFailure{File: file, Stage: "read", Cause: err.Error()}
+				return
+			}
+			// This worker holds one pool slot; withWorkers lets the file's
+			// assertion fan-out borrow further free slots (non-blocking).
+			fileOpts := append([]Option{WithDir(dir), withWorkers(pool)}, opts...)
+			rep, err := VerifyContext(ctx, src, file, fileOpts...)
+			if err != nil {
+				stage := "analysis"
+				var ee *EngineError
+				if errors.As(err, &ee) {
+					stage = ee.Stage
+				}
+				fails[i] = &FileFailure{File: file, Stage: stage, Cause: err.Error()}
+				return
+			}
+			reps[i] = rep
+		}(i, file)
+	}
+	wg.Wait()
+
+	for i := range phpFiles {
+		if fail := fails[i]; fail != nil {
+			pr.Failures = append(pr.Failures, *fail)
 			continue
 		}
-		rep, err := VerifyContext(ctx, src, file, fileOpts...)
-		if err != nil {
-			stage := "analysis"
-			var ee *EngineError
-			if errors.As(err, &ee) {
-				stage = ee.Stage
-			}
-			pr.Failures = append(pr.Failures, FileFailure{
-				File: file, Stage: stage, Cause: err.Error(),
-			})
+		rep := reps[i]
+		if rep == nil {
 			continue
 		}
 		pr.Files = append(pr.Files, rep)
 		pr.Symptoms += rep.Symptoms
 		pr.Groups += rep.Groups
+		pr.CompileWall += rep.CompileTime
+		pr.SolveWall += rep.SolveTime
+		if rep.CacheHit {
+			pr.CacheHits++
+		} else {
+			pr.CacheMisses++
+		}
 		if rep.Verdict == VerdictUnsafe {
 			pr.VulnerableFiles++
 		} else if rep.Incomplete {

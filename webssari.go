@@ -168,23 +168,34 @@ type Report struct {
 	Warnings []string `json:"warnings,omitempty"`
 	// Text is the rendered human-readable report.
 	Text string `json:"-"`
+	// CompileTime and SolveTime are the wall-clock durations of the two
+	// engine stages (front end and SAT back end). They are excluded from
+	// JSON so reports stay byte-comparable across runs and parallelism
+	// levels.
+	CompileTime time.Duration `json:"-"`
+	SolveTime   time.Duration `json:"-"`
+	// CacheHit reports whether the front end came from the compile cache
+	// instead of being recompiled. Excluded from JSON for the same reason.
+	CacheHit bool `json:"-"`
 }
 
 // Option configures Verify and Patch.
 type Option func(*config) error
 
 type config struct {
-	pre       *prelude.Prelude
-	loader    func(string) ([]byte, error)
-	dir       string
-	unroll    int
-	paperMode bool
-	blockAll  bool
-	routine   string
-	solver    sat.Options
-	maxCEX    int
-	deadline  time.Duration
-	limits    ResourceLimits
+	pre         *prelude.Prelude
+	loader      func(string) ([]byte, error)
+	dir         string
+	unroll      int
+	paperMode   bool
+	blockAll    bool
+	routine     string
+	solver      sat.Options
+	maxCEX      int
+	deadline    time.Duration
+	limits      ResourceLimits
+	parallelism int
+	workers     *core.Pool
 }
 
 // WithPrelude replaces the default trust environment with a prelude parsed
@@ -404,6 +415,32 @@ func WithResourceLimits(l ResourceLimits) Option {
 	}
 }
 
+// WithParallelism bounds the worker pool used by project verification
+// (VerifyDir) and by the per-assertion fan-out inside each file. The
+// default (unset) is GOMAXPROCS for VerifyDir and sequential for
+// single-file Verify/Patch; 1 forces a fully sequential run. Reports are
+// identical at every parallelism level — every stage is deterministic and
+// results are assembled in file/assertion order.
+func WithParallelism(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("webssari: parallelism must be ≥ 1, got %d", n)
+		}
+		c.parallelism = n
+		return nil
+	}
+}
+
+// withWorkers hands a file-level worker's shared pool down to its
+// assertion-level fan-out (see core.Options.Workers for the non-blocking
+// discipline that makes the sharing deadlock-free).
+func withWorkers(p *core.Pool) Option {
+	return func(c *config) error {
+		c.workers = p
+		return nil
+	}
+}
+
 func buildConfig(opts []Option) (*config, error) {
 	c := &config{}
 	for _, opt := range opts {
@@ -433,6 +470,8 @@ func (c *config) engineOptions(ctx context.Context) core.Options {
 		BlockAllBN:         c.blockAll,
 		MaxCounterexamples: c.maxCEX,
 		Solver:             c.solver,
+		Parallelism:        c.parallelism,
+		Workers:            c.workers,
 	}
 }
 
@@ -456,23 +495,61 @@ func engineErr(name string, errs []error) error {
 	return &EngineError{Stage: "analysis", File: name, Err: errs[0]}
 }
 
-// runAnalysis drives the core pipeline and the counterexample analysis
-// under ctx, recovering any panic that escapes a stage boundary into a
-// structured *EngineError so a single pathological input can never crash
-// a project-wide run.
-func runAnalysis(ctx context.Context, src []byte, name string, cfg *config) (res *core.Result, analysis *fixing.Analysis, err error) {
+// defaultCompileCache memoizes the engine front end across every
+// Verify/Patch/VerifyDir call in the process: repeated verification of
+// unchanged source (a Verify followed by a Patch, a project re-scan)
+// skips parse/filter/rename/constraint generation entirely.
+var defaultCompileCache = core.NewCompileCache(0)
+
+// CompileCacheStats returns the process-wide compile cache's cumulative
+// hit and miss counts.
+func CompileCacheStats() (hits, misses int64) { return defaultCompileCache.Stats() }
+
+// ResetCompileCache empties the process-wide compile cache and zeroes its
+// counters. Verification results never depend on cache state; resetting
+// only affects performance and the Stats counters.
+func ResetCompileCache() { defaultCompileCache.Reset() }
+
+// analysisStats carries per-call stage timings and cache provenance from
+// runAnalysis to the Report.
+type analysisStats struct {
+	compileTime time.Duration
+	solveTime   time.Duration
+	cacheHit    bool
+}
+
+// runAnalysis drives the core pipeline — a cached Compile followed by
+// Solve — and the counterexample analysis under ctx, recovering any panic
+// that escapes a stage boundary into a structured *EngineError so a
+// single pathological input can never crash a project-wide run.
+func runAnalysis(ctx context.Context, src []byte, name string, cfg *config) (res *core.Result, analysis *fixing.Analysis, st analysisStats, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, analysis = nil, nil
 			err = &EngineError{Stage: "analysis", File: name, Err: fmt.Errorf("panic: %v", r)}
 		}
 	}()
-	res, errs := core.VerifySource(name, src, cfg.engineOptions(ctx))
-	if res == nil {
-		return nil, nil, engineErr(name, errs)
+	eopts := cfg.engineOptions(ctx)
+	start := time.Now()
+	prog, errs, hit := defaultCompileCache.Compile(name, src, eopts)
+	st.compileTime = time.Since(start)
+	st.cacheHit = hit
+	if prog == nil {
+		return nil, nil, st, engineErr(name, errs)
 	}
+	start = time.Now()
+	res = core.Solve(ctx, prog, eopts)
+	st.solveTime = time.Since(start)
 	analysis = fixing.Analyze(res)
-	return res, analysis, nil
+	return res, analysis, st, nil
+}
+
+// stamp copies the stage timings and cache provenance onto a report.
+func (st analysisStats) stamp(rep *Report) *Report {
+	rep.CompileTime = st.compileTime
+	rep.SolveTime = st.solveTime
+	rep.CacheHit = st.cacheHit
+	return rep
 }
 
 // Verify analyzes one PHP source text and returns its report. A non-nil
@@ -493,11 +570,11 @@ func VerifyContext(ctx context.Context, src []byte, name string, opts ...Option)
 	}
 	ctx, cancel := cfg.applyDeadline(ctx)
 	defer cancel()
-	res, analysis, err := runAnalysis(ctx, src, name, cfg)
+	res, analysis, st, err := runAnalysis(ctx, src, name, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return buildReport(res, analysis), nil
+	return st.stamp(buildReport(res, analysis)), nil
 }
 
 // Patch verifies the source and, when vulnerable, returns a secured
@@ -515,11 +592,14 @@ func PatchContext(ctx context.Context, src []byte, name string, opts ...Option) 
 	}
 	ctx, cancel := cfg.applyDeadline(ctx)
 	defer cancel()
-	res, analysis, err := runAnalysis(ctx, src, name, cfg)
+	// The front end comes from the compile cache, so a Patch directly
+	// after a Verify of the same source re-uses the compiled Program and
+	// only re-runs the solver and fixing analysis.
+	res, analysis, st, err := runAnalysis(ctx, src, name, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	rep := buildReport(res, analysis)
+	rep := st.stamp(buildReport(res, analysis))
 	if res.Safe() {
 		return src, rep, nil
 	}
@@ -540,7 +620,7 @@ func VerifyToHTML(src []byte, name string, w io.Writer, opts ...Option) (*Report
 	}
 	ctx, cancel := cfg.applyDeadline(context.Background())
 	defer cancel()
-	res, analysis, err := runAnalysis(ctx, src, name, cfg)
+	res, analysis, st, err := runAnalysis(ctx, src, name, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -548,7 +628,7 @@ func VerifyToHTML(src []byte, name string, w io.Writer, opts ...Option) (*Report
 	if err := rep.WriteHTML(w, map[string][]byte{name: src}); err != nil {
 		return nil, &EngineError{Stage: "report", File: name, Err: err}
 	}
-	return buildReport(res, analysis), nil
+	return st.stamp(buildReport(res, analysis)), nil
 }
 
 // SymptomCount runs only the fast TS baseline and returns its error count.
