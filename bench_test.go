@@ -526,4 +526,20 @@ func BenchmarkParallelVerifyDir(b *testing.B) {
 			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
 		})
 	}
+	// The same saturated run with a live metrics registry and tracer
+	// attached bounds the fully instrumented cost of a project sweep.
+	b.Run("j=8+telemetry", func(b *testing.B) {
+		var vuln int
+		for i := 0; i < b.N; i++ {
+			webssari.ResetCompileCache()
+			pr, err := webssari.VerifyDir(dir,
+				webssari.WithParallelism(8), webssari.WithTelemetry(webssari.NewTelemetry()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			vuln = pr.VulnerableFiles
+		}
+		b.ReportMetric(float64(vuln), "vuln-files")
+		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+	})
 }

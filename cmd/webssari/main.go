@@ -19,7 +19,11 @@
 //	-timeout D        wall-clock deadline per verification unit (e.g. 30s)
 //	-max-conflicts N  SAT conflict budget per solver call (0 = unlimited)
 //	-j N              verification worker count (default GOMAXPROCS)
-//	-v                print per-stage wall time and compile-cache stats
+//	-v                print the run profile (stage wall times, solver
+//	                  effort, cache and pool stats) to stderr
+//	-trace FILE       write Chrome trace-event JSON of every pipeline span
+//	-metrics-addr A   serve Prometheus /metrics (plus /debug/vars and
+//	                  /debug/pprof/) on A for the run; ":0" picks a port
 //	-figure10         run TS and BMC over the synthetic Figure 10 corpus
 //	-scale F          corpus statement-scale for -figure10 (default 0.02)
 //	-seed N           corpus generation seed
@@ -90,7 +94,9 @@ func run(args []string) int {
 		timeout  = fs.Duration("timeout", 0, "wall-clock deadline per verification unit (0 = none)")
 		maxConf  = fs.Uint64("max-conflicts", 0, "SAT conflict budget per solver call (0 = unlimited)")
 		jobs     = fs.Int("j", 0, "verification worker count (0 = GOMAXPROCS)")
-		verbose  = fs.Bool("v", false, "print per-stage wall time and compile-cache stats to stderr")
+		verbose  = fs.Bool("v", false, "print the run profile to stderr")
+		traceF   = fs.String("trace", "", "write Chrome trace-event JSON to this file")
+		metrics  = fs.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address (\":0\" picks a free port)")
 		fig10    = fs.Bool("figure10", false, "regenerate the Figure 10 table")
 		scale    = fs.Float64("scale", 0.02, "corpus statement scale for -figure10")
 		seed     = fs.Uint64("seed", 2004, "corpus generation seed")
@@ -114,6 +120,34 @@ func run(args []string) int {
 	}
 
 	opts := []webssari.Option{webssari.WithLoopUnroll(*unroll)}
+	var tel *webssari.Telemetry
+	if *traceF != "" || *metrics != "" {
+		tel = webssari.NewTelemetry()
+		opts = append(opts, webssari.WithTelemetry(tel))
+	}
+	if *metrics != "" {
+		srv, err := webssari.ServeMetrics(*metrics, tel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "webssari: %v\n", err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "webssari: metrics served at http://%s/metrics\n", srv.Addr)
+	}
+	if *traceF != "" {
+		defer func() {
+			f, err := os.Create(*traceF)
+			if err == nil {
+				err = webssari.WriteTrace(tel, f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "webssari: %v\n", err)
+			}
+		}()
+	}
 	if *jobs > 0 {
 		opts = append(opts, webssari.WithParallelism(*jobs))
 	}
@@ -173,10 +207,8 @@ func run(args []string) int {
 			fmt.Printf("project %s: %d file(s), %d vulnerable, %d incomplete, %d failed; TS symptoms %d, BMC groups %d\n",
 				file, len(pr.Files), pr.VulnerableFiles, pr.IncompleteFiles,
 				len(pr.Failures), pr.Symptoms, pr.Groups)
-			if *verbose {
-				fmt.Fprintf(os.Stderr,
-					"webssari: %s: compile cache %d hit(s) / %d miss(es); compile %v, solve %v (summed per-file wall time)\n",
-					file, pr.CacheHits, pr.CacheMisses, pr.CompileWall, pr.SolveWall)
+			if *verbose && pr.Profile != nil {
+				fmt.Fprintf(os.Stderr, "webssari: %s: %s\n", file, pr.Profile)
 			}
 			exit = worse(exit, verdictExit(pr.Verdict()))
 			continue
@@ -252,15 +284,13 @@ func run(args []string) int {
 	return exit
 }
 
-// printStats writes one file's per-stage wall time and compile-cache
-// provenance to stderr (the -v summary).
+// printStats writes one file's run profile — stage wall times, solver
+// effort, cache provenance — to stderr (the -v summary).
 func printStats(file string, rep *webssari.Report) {
-	cache := "miss"
-	if rep.CacheHit {
-		cache = "hit"
+	if rep.Profile == nil {
+		return
 	}
-	fmt.Fprintf(os.Stderr, "webssari: %s: compile %v (cache %s), solve %v\n",
-		file, rep.CompileTime, cache, rep.SolveTime)
+	fmt.Fprintf(os.Stderr, "webssari: %s: %s\n", file, rep.Profile)
 }
 
 func dirOf(file string) string {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -204,5 +205,40 @@ func TestDirectoryArgument(t *testing.T) {
 	}
 	if code := run([]string{clean}); code != 0 {
 		t.Fatalf("clean project exit = %d, want 0", code)
+	}
+}
+
+// TestTraceAndMetricsFlags checks the CLI's observability wiring: the
+// trace file is valid Chrome trace-event JSON covering the pipeline, and
+// the metrics server accepts an ephemeral bind.
+func TestTraceAndMetricsFlags(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.php"), []byte(`<?php echo $_GET['x'];`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(t.TempDir(), "out.json")
+	if code := run([]string{"-trace", tracePath, "-metrics-addr", ":0", "-v", dir}); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	names := map[string]int{}
+	for _, ev := range trace.TraceEvents {
+		names[ev.Name]++
+	}
+	for _, stage := range []string{"parse", "solve", "verify_file", "verify_dir"} {
+		if names[stage] == 0 {
+			t.Errorf("no %q spans in trace (%v)", stage, names)
+		}
 	}
 }

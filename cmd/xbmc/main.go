@@ -6,6 +6,7 @@
 //	xbmc -stage constraints file.php print the Figure 5 constraint system
 //	xbmc -stage cnf file.php         print per-assertion CNF sizes (DIMACS to -o)
 //	xbmc file.php                    verify and print per-assertion results
+//	xbmc dir/                        verify every PHP file under a directory
 //
 // The -naive flag switches to the xBMC0.1 location-variable encoding
 // (§3.3.1) so its blow-up can be inspected directly.
@@ -14,7 +15,13 @@
 // left undecided prints UNKNOWN with its cause and the command exits 3
 // (incomplete) instead of claiming the program safe. The -j flag fans
 // independent assertions out across a worker pool, and -v prints the
-// compile/solve wall time of the two engine stages.
+// run profile (per-stage wall time and solver effort) to stderr.
+//
+// Observability: -trace FILE writes a Chrome trace-event JSON of every
+// pipeline span (load it in chrome://tracing or Perfetto), and
+// -metrics-addr ADDR serves a Prometheus /metrics page plus
+// /debug/vars and /debug/pprof/ for the duration of the run (":0"
+// picks a free port; the chosen address is printed to stderr).
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"os"
 	"time"
 
+	"webssari"
 	"webssari/internal/cnf"
 	"webssari/internal/constraint"
 	"webssari/internal/core"
@@ -31,6 +39,7 @@ import (
 	"webssari/internal/prelude"
 	"webssari/internal/rename"
 	"webssari/internal/sat"
+	"webssari/internal/telemetry"
 )
 
 func main() {
@@ -40,28 +49,60 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("xbmc", flag.ContinueOnError)
 	var (
-		stage   = fs.String("stage", "", "dump a pipeline stage: ai | renamed | constraints | cnf")
-		naive   = fs.Bool("naive", false, "use the xBMC0.1 location-variable encoding")
-		unroll  = fs.Int("unroll", 1, "loop deconstruction factor")
-		outDir  = fs.String("o", "", "directory for DIMACS dumps (with -stage cnf)")
-		timeout = fs.Duration("timeout", 0, "wall-clock deadline for verification (0 = none)")
-		maxConf = fs.Uint64("max-conflicts", 0, "SAT conflict budget per solver call (0 = unlimited)")
-		jobs    = fs.Int("j", 0, "assertion-level worker count (0 = sequential)")
-		verbose = fs.Bool("v", false, "print per-stage wall time to stderr")
+		stage       = fs.String("stage", "", "dump a pipeline stage: ai | renamed | constraints | cnf")
+		naive       = fs.Bool("naive", false, "use the xBMC0.1 location-variable encoding")
+		unroll      = fs.Int("unroll", 1, "loop deconstruction factor")
+		outDir      = fs.String("o", "", "directory for DIMACS dumps (with -stage cnf)")
+		timeout     = fs.Duration("timeout", 0, "wall-clock deadline for verification (0 = none)")
+		maxConf     = fs.Uint64("max-conflicts", 0, "SAT conflict budget per solver call (0 = unlimited)")
+		jobs        = fs.Int("j", 0, "assertion-level worker count (0 = sequential)")
+		verbose     = fs.Bool("v", false, "print the run profile to stderr")
+		traceFile   = fs.String("trace", "", "write Chrome trace-event JSON to this file")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address (\":0\" picks a free port)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "xbmc: exactly one PHP file expected")
+		fmt.Fprintln(os.Stderr, "xbmc: exactly one PHP file or directory expected")
 		return 2
 	}
 	if *jobs < 0 {
 		fmt.Fprintf(os.Stderr, "xbmc: -j must be ≥ 0, got %d\n", *jobs)
 		return 2
 	}
-	file := fs.Arg(0)
-	src, err := os.ReadFile(file)
+
+	var tel *telemetry.Telemetry
+	if *traceFile != "" || *metricsAddr != "" {
+		tel = telemetry.New()
+	}
+	if *metricsAddr != "" {
+		srv, err := telemetry.Serve(*metricsAddr, tel.Metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "xbmc: metrics served at http://%s/metrics\n", srv.Addr)
+	}
+	if *traceFile != "" {
+		defer func() {
+			if err := writeTraceFile(*traceFile, tel); err != nil {
+				fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
+			}
+		}()
+	}
+
+	target := fs.Arg(0)
+	if info, err := os.Stat(target); err == nil && info.IsDir() {
+		if *stage != "" || *naive {
+			fmt.Fprintln(os.Stderr, "xbmc: -stage and -naive need a single PHP file, not a directory")
+			return 2
+		}
+		return verifyDir(target, *unroll, *timeout, *maxConf, *jobs, *verbose, tel)
+	}
+
+	src, err := os.ReadFile(target)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
 		return 2
@@ -72,63 +113,61 @@ func run(args []string) int {
 		LoopUnroll: *unroll,
 		Loader:     os.ReadFile,
 	}
-	frontStart := time.Now()
-	prog, errs := flow.BuildSource(file, src, fopts)
-	for _, err := range errs {
-		fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
-	}
-	if prog == nil {
-		return 2
-	}
 
-	switch *stage {
-	case "ai":
-		fmt.Print(prog.String())
-		fmt.Printf("diameter=%d size=%d branches=%d asserts=%d\n",
-			prog.Diameter(), prog.Size(), prog.Branches, len(prog.Asserts()))
-		return 0
-	case "renamed":
-		fmt.Print(rename.Rename(prog).String())
-		return 0
-	case "constraints":
-		fmt.Print(constraint.Build(rename.Rename(prog)).String())
-		return 0
-	case "cnf":
-		sys := constraint.Build(rename.Rename(prog))
-		for i := range sys.Checks {
-			enc, err := cnf.EncodeCheck(sys, i, cnf.Options{})
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
-				return 2
-			}
-			fmt.Printf("assert_%d: %d vars, %d clauses, %d branch vars\n",
-				i, enc.F.NumVars, len(enc.F.Clauses), len(enc.BranchVars))
-			if *outDir != "" {
-				path := fmt.Sprintf("%s/assert_%d.cnf", *outDir, i)
-				f, err := os.Create(path)
+	if *stage != "" || *naive {
+		prog, errs := flow.BuildSource(target, src, fopts)
+		for _, err := range errs {
+			fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
+		}
+		if prog == nil {
+			return 2
+		}
+		switch *stage {
+		case "ai":
+			fmt.Print(prog.String())
+			fmt.Printf("diameter=%d size=%d branches=%d asserts=%d\n",
+				prog.Diameter(), prog.Size(), prog.Branches, len(prog.Asserts()))
+			return 0
+		case "renamed":
+			fmt.Print(rename.Rename(prog).String())
+			return 0
+		case "constraints":
+			fmt.Print(constraint.Build(rename.Rename(prog)).String())
+			return 0
+		case "cnf":
+			sys := constraint.Build(rename.Rename(prog))
+			for i := range sys.Checks {
+				enc, err := cnf.EncodeCheck(sys, i, cnf.Options{})
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
 					return 2
 				}
-				if err := enc.F.WriteDIMACS(f); err != nil {
-					fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
-					return 2
-				}
-				if err := f.Close(); err != nil {
-					fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
-					return 2
+				fmt.Printf("assert_%d: %d vars, %d clauses, %d branch vars\n",
+					i, enc.F.NumVars, len(enc.F.Clauses), len(enc.BranchVars))
+				if *outDir != "" {
+					path := fmt.Sprintf("%s/assert_%d.cnf", *outDir, i)
+					f, err := os.Create(path)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
+						return 2
+					}
+					if err := enc.F.WriteDIMACS(f); err != nil {
+						fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
+						return 2
+					}
+					if err := f.Close(); err != nil {
+						fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
+						return 2
+					}
 				}
 			}
+			return 0
+		case "":
+			// -naive verification below
+		default:
+			fmt.Fprintf(os.Stderr, "xbmc: unknown stage %q\n", *stage)
+			return 2
 		}
-		return 0
-	case "":
-		// fall through to verification
-	default:
-		fmt.Fprintf(os.Stderr, "xbmc: unknown stage %q\n", *stage)
-		return 2
-	}
-
-	if *naive {
 		exit := 0
 		for i, a := range prog.Asserts() {
 			violated, enc, err := core.VerifyAssertNaive(prog, a, sat.Options{})
@@ -147,29 +186,43 @@ func run(args []string) int {
 		}
 		return exit
 	}
+
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	ctx = telemetry.WithTelemetry(ctx, tel)
+	ctx, fsp := telemetry.StartRootSpan(ctx, "verify_file", "file", target)
 	copts := core.Options{
 		Flow:        fopts,
 		Ctx:         ctx,
 		Solver:      sat.Options{MaxConflicts: *maxConf},
 		Parallelism: *jobs,
 	}
-	compiled, err := core.CompileAI(prog)
-	if err != nil {
+	compileStart := time.Now()
+	compiled, errs := core.Compile(target, src, copts)
+	for _, err := range errs {
 		fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
+	}
+	if compiled == nil {
+		fsp.End()
 		return 2
 	}
-	compileTime := time.Since(frontStart)
+	compileTime := time.Since(compileStart)
 	solveStart := time.Now()
 	res := core.Solve(ctx, compiled, copts)
+	fsp.End()
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "xbmc: %s: compile %v, solve %v (%d assertion(s))\n",
-			file, compileTime, time.Since(solveStart), len(res.PerAssert))
+			target, compileTime, time.Since(solveStart), len(res.PerAssert))
+		cs := compiled.Stats
+		fmt.Fprintf(os.Stderr, "xbmc: stages: parse %v, flow %v, rename %v, constraints %v\n",
+			time.Duration(cs.ParseNS).Round(time.Microsecond),
+			time.Duration(cs.FlowNS).Round(time.Microsecond),
+			time.Duration(cs.RenameNS).Round(time.Microsecond),
+			time.Duration(cs.ConstraintsNS).Round(time.Microsecond))
 	}
 	unsafeCount, unknownCount := 0, 0
 	for i, ar := range res.PerAssert {
@@ -185,6 +238,10 @@ func run(args []string) int {
 		fmt.Printf("assert_%d %s at %s: %s  [%d vars, %d clauses; %s]\n",
 			i, ar.Assert.Origin.Fn, ar.Assert.Origin.Site.Pos, verdict,
 			ar.EncodedVars, ar.EncodedClauses, ar.SolverStats)
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "xbmc: assert_%d: encode %v, search %v\n",
+				i, ar.EncodeTime.Round(time.Microsecond), ar.SearchTime.Round(time.Microsecond))
+		}
 	}
 	switch {
 	case unsafeCount > 0:
@@ -196,4 +253,61 @@ func run(args []string) int {
 		fmt.Println("VERIFIED: program is safe")
 		return 0
 	}
+}
+
+// verifyDir checks every PHP file under dir through the public engine —
+// the whole-project path exercises the compile cache and both fan-out
+// levels, so it is where traces and metrics are most interesting.
+func verifyDir(dir string, unroll int, timeout time.Duration, maxConf uint64, jobs int, verbose bool, tel *telemetry.Telemetry) int {
+	opts := []webssari.Option{webssari.WithLoopUnroll(unroll)}
+	if jobs > 0 {
+		opts = append(opts, webssari.WithParallelism(jobs))
+	}
+	if timeout > 0 {
+		opts = append(opts, webssari.WithDeadline(timeout))
+	}
+	if maxConf > 0 {
+		opts = append(opts, webssari.WithBudget(maxConf))
+	}
+	if tel != nil {
+		opts = append(opts, webssari.WithTelemetry(tel))
+	}
+	pr, err := webssari.VerifyDir(dir, opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
+		return 2
+	}
+	for _, rep := range pr.Files {
+		fmt.Printf("%s: %s (%d group(s), %d symptom(s))\n",
+			rep.File, rep.Verdict, rep.Groups, rep.Symptoms)
+	}
+	for _, fail := range pr.Failures {
+		fmt.Fprintf(os.Stderr, "xbmc: %s: %s stage: %s\n", fail.File, fail.Stage, fail.Cause)
+	}
+	fmt.Printf("project %s: %d file(s), %d vulnerable, %d incomplete, %d failed\n",
+		dir, len(pr.Files), pr.VulnerableFiles, pr.IncompleteFiles, len(pr.Failures))
+	if verbose && pr.Profile != nil {
+		fmt.Fprintf(os.Stderr, "xbmc: %s: %s\n", dir, pr.Profile)
+	}
+	switch pr.Verdict() {
+	case webssari.VerdictUnsafe:
+		return 1
+	case webssari.VerdictIncomplete:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// writeTraceFile dumps the collected spans as Chrome trace-event JSON.
+func writeTraceFile(path string, tel *telemetry.Telemetry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tel.Tracer.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

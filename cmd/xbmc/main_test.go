@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -71,5 +72,75 @@ func TestUsageErrors(t *testing.T) {
 	}
 	if code := run([]string{"-stage", "bogus", writePHP(t, vulnSrc)}); code != 2 {
 		t.Fatalf("bad stage: exit = %d", code)
+	}
+}
+
+// TestTraceAndMetricsFlags drives the observability path end to end:
+// single-file and directory modes both write a parseable Chrome
+// trace-event JSON with the expected pipeline spans, with the metrics
+// server bound to an ephemeral port.
+func TestTraceAndMetricsFlags(t *testing.T) {
+	spanNames := func(tracePath string) map[string]int {
+		t.Helper()
+		data, err := os.ReadFile(tracePath)
+		if err != nil {
+			t.Fatalf("trace not written: %v", err)
+		}
+		var trace struct {
+			TraceEvents []struct {
+				Name string `json:"name"`
+				Ph   string `json:"ph"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(data, &trace); err != nil {
+			t.Fatalf("trace is not valid JSON: %v", err)
+		}
+		names := map[string]int{}
+		for _, ev := range trace.TraceEvents {
+			if ev.Ph != "X" {
+				t.Errorf("unexpected phase %q", ev.Ph)
+			}
+			names[ev.Name]++
+		}
+		return names
+	}
+
+	tracePath := filepath.Join(t.TempDir(), "single.json")
+	if code := run([]string{"-trace", tracePath, "-metrics-addr", ":0", "-v", writePHP(t, vulnSrc)}); code != 1 {
+		t.Fatalf("single-file exit = %d, want 1", code)
+	}
+	names := spanNames(tracePath)
+	for _, stage := range []string{"parse", "flow", "rename", "constraints", "solve", "verify_file"} {
+		if names[stage] != 1 {
+			t.Errorf("single file: %d %q spans, want 1 (%v)", names[stage], stage, names)
+		}
+	}
+
+	dir := t.TempDir()
+	for name, src := range map[string]string{
+		"a.php": `<?php echo $_GET['x'];`,
+		"b.php": `<?php echo 'safe';`,
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tracePath = filepath.Join(t.TempDir(), "dir.json")
+	if code := run([]string{"-trace", tracePath, "-metrics-addr", ":0", "-v", dir}); code != 1 {
+		t.Fatalf("directory exit = %d, want 1", code)
+	}
+	names = spanNames(tracePath)
+	if names["verify_dir"] != 1 || names["parse"] != 2 {
+		t.Errorf("directory spans = %v, want 1 verify_dir and 2 parse", names)
+	}
+}
+
+// TestDirectoryRejectsStageFlags pins the usage error.
+func TestDirectoryRejectsStageFlags(t *testing.T) {
+	if code := run([]string{"-stage", "ai", t.TempDir()}); code != 2 {
+		t.Fatalf("-stage on a directory: exit = %d, want 2", code)
+	}
+	if code := run([]string{"-naive", t.TempDir()}); code != 2 {
+		t.Fatalf("-naive on a directory: exit = %d, want 2", code)
 	}
 }

@@ -1,0 +1,12 @@
+<?php
+// Guestbook entry page: the classic two-cause page — one tainted name
+// flows into both an SQL INSERT and an echoed greeting.
+include 'header.php';
+$name = $_GET['name'];
+if (!$name) {
+    $name = $_COOKIE['name'];
+}
+$message = $_POST['message'];
+mysql_query("INSERT INTO guestbook (who, said) VALUES ('$name', '$message')");
+echo "<p>Thanks for signing, $name!</p>";
+?>

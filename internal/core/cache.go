@@ -7,6 +7,8 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sync"
+
+	"webssari/internal/telemetry"
 )
 
 // CompileCache memoizes the front end: repeated compilation of unchanged
@@ -30,12 +32,14 @@ import (
 // first caller compiles, the rest wait and count as hits, so hit/miss
 // totals for a fixed workload are the same at any parallelism.
 type CompileCache struct {
-	mu      sync.Mutex
-	entries map[string]*cacheEntry
-	lru     *list.List // front = most recently used; values are *cacheEntry
-	max     int
-	hits    int64
-	misses  int64
+	mu        sync.Mutex
+	entries   map[string]*cacheEntry
+	lru       *list.List // front = most recently used; values are *cacheEntry
+	max       int
+	hits      int64
+	misses    int64
+	evictions int64
+	stale     int64
 }
 
 type cacheEntry struct {
@@ -82,6 +86,9 @@ func (c *CompileCache) Compile(name string, src []byte, opts Options) (*Program,
 			// Stale include snapshot: drop the entry and recompile. The
 			// recompile goes through the cache again so concurrent callers
 			// still coalesce on the fresh entry.
+			c.mu.Lock()
+			c.stale++
+			c.mu.Unlock()
 			c.remove(key, e)
 			return c.Compile(name, src, opts)
 		}
@@ -99,6 +106,7 @@ func (c *CompileCache) Compile(name string, src []byte, opts Options) (*Program,
 		victim := oldest.Value.(*cacheEntry)
 		c.lru.Remove(oldest)
 		delete(c.entries, victim.key)
+		c.evictions++
 	}
 	c.mu.Unlock()
 
@@ -127,6 +135,20 @@ func (c *CompileCache) Stats() (hits, misses int64) {
 	return c.hits, c.misses
 }
 
+// StatsDetail returns the full cache profile: hits, misses, LRU
+// evictions, stale-include recompiles, and the current entry count.
+func (c *CompileCache) StatsDetail() telemetry.CacheProfile {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return telemetry.CacheProfile{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Stale:     c.stale,
+		Entries:   c.lru.Len(),
+	}
+}
+
 // Len returns the number of retained Programs.
 func (c *CompileCache) Len() int {
 	c.mu.Lock()
@@ -141,6 +163,7 @@ func (c *CompileCache) Reset() {
 	c.entries = make(map[string]*cacheEntry)
 	c.lru.Init()
 	c.hits, c.misses = 0, 0
+	c.evictions, c.stale = 0, 0
 }
 
 // includesCurrent revalidates a cached Program's include snapshot against

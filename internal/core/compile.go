@@ -8,12 +8,16 @@ package core
 // consume any number of times, concurrently.
 
 import (
+	"context"
+	"time"
+
 	"webssari/internal/ai"
 	"webssari/internal/constraint"
 	"webssari/internal/flow"
 	"webssari/internal/php/ast"
 	"webssari/internal/php/parser"
 	"webssari/internal/rename"
+	"webssari/internal/telemetry"
 )
 
 // Program is the compiled form of one verification unit: the abstract
@@ -36,6 +40,26 @@ type Program struct {
 	// non-empty list makes every Result solved from this Program
 	// Incomplete.
 	ParseErrors []string
+	// Stats is the front end's per-stage wall-time breakdown.
+	Stats CompileStats
+}
+
+// CompileStats records the front end's per-stage wall time. It is always
+// populated — the cost is two clock reads per stage — so run profiles
+// have a stage breakdown even when no telemetry sink is attached. (A
+// cached Program carries the stats of its original compile.)
+type CompileStats struct {
+	ParseNS       int64
+	FlowNS        int64
+	RenameNS      int64
+	ConstraintsNS int64
+}
+
+// observeStage records one stage duration into the context's stage
+// histogram (a no-op without telemetry).
+func observeStage(ctx context.Context, stage string, ns int64) {
+	telemetry.Histogram(ctx, telemetry.Name(telemetry.MetricStageSeconds, "stage", stage)).
+		Observe(float64(ns) / 1e9)
 }
 
 // Compile parses, filters, and compiles one PHP source text into a
@@ -43,12 +67,23 @@ type Program struct {
 // *StageError; recoverable syntax errors are recorded on the Program
 // (making its results Incomplete) and also returned for callers that want
 // them as errors. On a nil Program the error list explains why.
+//
+// Each stage is timed into the Program's CompileStats and, when opts.Ctx
+// carries a Telemetry, emitted as a trace span and histogram sample.
 func Compile(name string, src []byte, opts Options) (*Program, []error) {
+	ctx := opts.context()
+
 	var (
 		parsed *parser.Result
 		errs   []error
 	)
-	if err := guard("parse", func() { parsed = parser.Parse(name, src) }); err != nil {
+	start := time.Now()
+	_, sp := telemetry.StartSpan(ctx, "parse", "file", name)
+	err := guard("parse", func() { parsed = parser.Parse(name, src) })
+	sp.End()
+	parseNS := time.Since(start).Nanoseconds()
+	observeStage(ctx, "parse", parseNS)
+	if err != nil {
 		return nil, []error{err}
 	}
 	errs = append(errs, parsed.Errs...)
@@ -57,17 +92,25 @@ func Compile(name string, src []byte, opts Options) (*Program, []error) {
 		prog     *ai.Program
 		buildErr error
 	)
-	if err := guard("flow", func() { prog, buildErr = flow.Build(parsed.File, opts.Flow) }); err != nil {
+	start = time.Now()
+	_, sp = telemetry.StartSpan(ctx, "flow", "file", name)
+	err = guard("flow", func() { prog, buildErr = flow.Build(parsed.File, opts.Flow) })
+	sp.End()
+	flowNS := time.Since(start).Nanoseconds()
+	observeStage(ctx, "flow", flowNS)
+	if err != nil {
 		return nil, append([]error{err}, errs...)
 	}
 	if buildErr != nil {
 		return nil, append([]error{buildErr}, errs...)
 	}
 
-	p, err := CompileAI(prog)
-	if err != nil {
-		return nil, append(errs, err)
+	p, cerr := compileAI(ctx, prog)
+	if cerr != nil {
+		return nil, append(errs, cerr)
 	}
+	p.Stats.ParseNS = parseNS
+	p.Stats.FlowNS = flowNS
 	for _, perr := range parsed.Errs {
 		p.ParseErrors = append(p.ParseErrors, perr.Error())
 	}
@@ -76,26 +119,53 @@ func Compile(name string, src []byte, opts Options) (*Program, []error) {
 
 // CompileFile compiles an already-parsed file.
 func CompileFile(file *ast.File, opts Options) (*Program, error) {
+	ctx := opts.context()
+	start := time.Now()
+	_, sp := telemetry.StartSpan(ctx, "flow")
 	prog, err := flow.Build(file, opts.Flow)
+	sp.End()
+	flowNS := time.Since(start).Nanoseconds()
+	observeStage(ctx, "flow", flowNS)
 	if err != nil {
 		return nil, err
 	}
-	return CompileAI(prog)
+	p, err := compileAI(ctx, prog)
+	if err != nil {
+		return nil, err
+	}
+	p.Stats.FlowNS = flowNS
+	return p, nil
 }
 
 // CompileAI runs the back half of the front end — renaming and constraint
 // generation — over an existing abstract interpretation. A panic is
 // recovered into a *StageError.
 func CompileAI(prog *ai.Program) (*Program, error) {
+	return compileAI(context.Background(), prog)
+}
+
+func compileAI(ctx context.Context, prog *ai.Program) (*Program, error) {
 	var (
-		ren *rename.Program
-		sys *constraint.System
+		ren   *rename.Program
+		sys   *constraint.System
+		stats CompileStats
 	)
 	if err := guard("constraint", func() {
+		start := time.Now()
+		_, sp := telemetry.StartSpan(ctx, "rename")
 		ren = rename.Rename(prog)
+		sp.End()
+		stats.RenameNS = time.Since(start).Nanoseconds()
+		observeStage(ctx, "rename", stats.RenameNS)
+
+		start = time.Now()
+		_, sp = telemetry.StartSpan(ctx, "constraints")
 		sys = constraint.Build(ren)
+		sp.End()
+		stats.ConstraintsNS = time.Since(start).Nanoseconds()
+		observeStage(ctx, "constraints", stats.ConstraintsNS)
 	}); err != nil {
 		return nil, err
 	}
-	return &Program{AI: prog, Renamed: ren, System: sys}, nil
+	return &Program{AI: prog, Renamed: ren, System: sys, Stats: stats}, nil
 }

@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"webssari/internal/ai"
 	"webssari/internal/cnf"
@@ -246,6 +247,10 @@ type AssertResult struct {
 	EncodedClauses int
 	// SolverStats aggregates the SAT search effort for this assertion.
 	SolverStats sat.Stats
+	// EncodeTime and SearchTime split this assertion's wall time between
+	// CNF encoding and the SAT enumeration loop.
+	EncodeTime time.Duration
+	SearchTime time.Duration
 }
 
 // Result is a whole-program verification outcome.

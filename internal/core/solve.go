@@ -14,12 +14,14 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"webssari/internal/cnf"
 	"webssari/internal/constraint"
 	"webssari/internal/lattice"
 	"webssari/internal/rename"
 	"webssari/internal/sat"
+	"webssari/internal/telemetry"
 )
 
 // Solve runs the model checker over a compiled Program.
@@ -59,6 +61,8 @@ func Solve(ctx context.Context, p *Program, opts Options) *Result {
 	if n == 0 {
 		return res
 	}
+	ctx, ssp := telemetry.StartSpan(ctx, "solve", "asserts", n)
+	defer ssp.End()
 	results := make([]*AssertResult, n)
 	degraded := make([]string, n)
 	skipped := make([]bool, n)
@@ -138,7 +142,36 @@ func Solve(ctx context.Context, p *Program, opts Options) *Result {
 		res.Warnings = append(res.Warnings, fmt.Sprintf(
 			"deadline expired before assert_%d: %d assertion(s) unchecked", firstSkipped, skippedCount))
 	}
+	recordSolveMetrics(ctx, res)
 	return res
+}
+
+// recordSolveMetrics rolls one Result's counters into the context's
+// metrics registry. Called once per Solve, from the (single-threaded)
+// assembly path, so the per-assertion hot loops stay metric-free.
+func recordSolveMetrics(ctx context.Context, res *Result) {
+	reg := telemetry.From(ctx)
+	if reg == nil || reg.Metrics == nil {
+		return
+	}
+	m := reg.Metrics
+	var agg sat.Stats
+	var cexs int64
+	for _, ar := range res.PerAssert {
+		agg.Add(ar.SolverStats)
+		cexs += int64(len(ar.Counterexamples))
+		if ar.Unknown {
+			m.Counter(telemetry.Name(telemetry.MetricDegraded, "cause", telemetry.CauseLabel(ar.Cause))).Inc()
+		}
+	}
+	m.Counter(telemetry.MetricAssertionsChecked).Add(int64(len(res.PerAssert)))
+	m.Counter(telemetry.MetricCounterexamples).Add(cexs)
+	m.Counter(telemetry.MetricSolverDecisions).Add(int64(agg.Decisions))
+	m.Counter(telemetry.MetricSolverPropagations).Add(int64(agg.Propagations))
+	m.Counter(telemetry.MetricSolverConflicts).Add(int64(agg.Conflicts))
+	m.Counter(telemetry.MetricSolverRestarts).Add(int64(agg.Restarts))
+	m.Counter(telemetry.MetricSolverLearnt).Add(int64(agg.LearntClauses))
+	m.Counter(telemetry.MetricSolverDeleted).Add(int64(agg.DeletedClauses))
 }
 
 // extraWorkers decides how many goroutines to add beside the calling one
@@ -188,7 +221,18 @@ func checkAssertion(ctx context.Context, sys *constraint.System, idx int, opts O
 	check := sys.Checks[idx]
 	ar = &AssertResult{Assert: check.Origin}
 
+	// Concurrent assertion checks each get a fresh trace lane so their
+	// intervals never interleave on one timeline row; encode/search spans
+	// inherit the assertion's lane and nest under it.
+	ctx, asp := telemetry.StartRootSpan(ctx, "assert", "index", idx)
+	defer asp.End()
+
+	encStart := time.Now()
+	_, esp := telemetry.StartSpan(ctx, "encode")
 	encoded, err := cnf.EncodeCheck(sys, idx, opts.cnfOptions())
+	esp.End()
+	ar.EncodeTime = time.Since(encStart)
+	observeStage(ctx, "encode", ar.EncodeTime.Nanoseconds())
 	var lim *cnf.LimitError
 	if errors.As(err, &lim) {
 		ar.Unknown = true
@@ -200,6 +244,8 @@ func checkAssertion(ctx context.Context, sys *constraint.System, idx int, opts O
 	}
 	ar.EncodedVars = encoded.F.NumVars
 	ar.EncodedClauses = len(encoded.F.Clauses)
+	asp.SetArg("vars", ar.EncodedVars)
+	asp.SetArg("clauses", ar.EncodedClauses)
 	if encoded.Trivial == cnf.TrivialUnsat {
 		return ar, nil
 	}
@@ -207,6 +253,21 @@ func checkAssertion(ctx context.Context, sys *constraint.System, idx int, opts O
 	sopts := opts.Solver
 	sopts.Interrupt = interruptFor(ctx, opts.Solver.Interrupt)
 	solver := sat.NewWith(sopts)
+
+	// The search below has several exit paths (including clause loading
+	// detecting trivial unsatisfiability); a deferred close stamps the
+	// search span and duration on every one of them, keeping the trace
+	// consistent with the profile's per-assertion search count.
+	searchStart := time.Now()
+	_, srsp := telemetry.StartSpan(ctx, "search")
+	defer func() {
+		srsp.End()
+		if ar != nil {
+			ar.SearchTime = time.Since(searchStart)
+			observeStage(ctx, "search", ar.SearchTime.Nanoseconds())
+		}
+	}()
+
 	if !encoded.F.LoadInto(solver) {
 		return ar, nil
 	}

@@ -8,8 +8,8 @@ import (
 	"webssari/internal/core"
 	"webssari/internal/fixing"
 	"webssari/internal/flow"
-	"webssari/internal/instrument"
 	"webssari/internal/prelude"
+	"webssari/internal/telemetry/patch"
 )
 
 // setup verifies src (with DoSQL registered as a sink, as Figure 7 needs)
@@ -297,7 +297,7 @@ render($_POST['d']);`,
 		}
 		a := fixing.Analyze(res)
 		fix := a.GreedyMinimalFix()
-		patched, perrs := instrument.PatchSource("t.php", []byte(src), fix, "")
+		patched, perrs := patch.PatchSource("t.php", []byte(src), fix, "")
 		for _, err := range perrs {
 			t.Fatalf("source %d patch: %v", i, err)
 		}

@@ -1,171 +1,43 @@
-// Package instrument implements WebSSARI's automated patching: it inserts
-// runtime guards — calls to a sanitization routine — at the fix points the
-// counterexample analysis selected, producing "secured PHP" (Figure 9).
-// Patches wrap the offending source expression in place, so the original
-// formatting is preserved:
+// Package instrument is a deprecated façade over
+// webssari/internal/telemetry/patch, kept so existing imports keep
+// compiling. The implementation moved when the module gained a unified
+// observability layer: "instrumentation" now means the metrics/tracing
+// of internal/telemetry, while the PHP source patching that used to live
+// here is the telemetry tree's source-instrumentation half.
 //
-//	$iq = "SELECT * FROM groups WHERE sid=$sid";   // before
-//	$iq = websafe("SELECT * FROM groups WHERE sid=$sid");  // after
-//
-// Sanitization routines live in the prelude; users may supply their own,
-// as the paper describes.
+// Deprecated: import webssari/internal/telemetry/patch instead.
 package instrument
 
 import (
-	"fmt"
-	"sort"
-
 	"webssari/internal/fixing"
+	"webssari/internal/telemetry/patch"
 )
 
 // DefaultRoutine is the runtime guard wrapped around patched expressions.
-// The default prelude registers it as a sanitizer, so re-verifying patched
-// code proves the guards sufficient.
-const DefaultRoutine = "websafe"
-
-// insertion is one text splice.
-type insertion struct {
-	off  int
-	text string
-	// prio orders insertions at equal offsets: closing parentheses (0)
-	// come before opening ones (1), so adjacent spans nest correctly.
-	prio int
-}
+//
+// Deprecated: use patch.DefaultRoutine.
+const DefaultRoutine = patch.DefaultRoutine
 
 // Patcher accumulates fix points over (possibly) many files and applies
 // them to source texts.
-type Patcher struct {
-	routine string
-	// spans per file, deduplicated.
-	spans map[string]map[[2]int]bool
-}
+//
+// Deprecated: use patch.Patcher.
+type Patcher = patch.Patcher
 
-// New returns a Patcher wrapping patched spans in the given routine
-// (DefaultRoutine when empty).
-func New(routine string) *Patcher {
-	if routine == "" {
-		routine = DefaultRoutine
-	}
-	return &Patcher{
-		routine: routine,
-		spans:   make(map[string]map[[2]int]bool),
-	}
-}
+// New returns a Patcher wrapping patched spans in the given routine.
+//
+// Deprecated: use patch.New.
+func New(routine string) *Patcher { return patch.New(routine) }
 
-// Add schedules a fix point's span for patching.
-func (p *Patcher) Add(f *fixing.FixPoint) error {
-	pos, end := f.Span()
-	if !pos.IsValid() || end <= pos.Offset {
-		return fmt.Errorf("instrument: fix point %s has no patchable span", f.Describe())
-	}
-	file := pos.File
-	if p.spans[file] == nil {
-		p.spans[file] = make(map[[2]int]bool)
-	}
-	p.spans[file][[2]int{pos.Offset, end}] = true
-	return nil
-}
-
-// AddAll schedules every fix point, collecting per-point errors.
-func (p *Patcher) AddAll(fixes []*fixing.FixPoint) []error {
-	var errs []error
-	for _, f := range fixes {
-		if err := p.Add(f); err != nil {
-			errs = append(errs, err)
-		}
-	}
-	return errs
-}
-
-// Files returns the names of all files with scheduled patches.
-func (p *Patcher) Files() []string {
-	out := make([]string, 0, len(p.spans))
-	for f := range p.spans {
-		out = append(out, f)
-	}
-	sort.Strings(out)
-	return out
-}
-
-// PatchCount returns the number of distinct scheduled patches.
-func (p *Patcher) PatchCount() int {
-	n := 0
-	for _, spans := range p.spans {
-		n += len(spans)
-	}
-	return n
-}
-
-// Apply patches one file's source text. Files without scheduled patches
-// are returned unchanged.
-func (p *Patcher) Apply(file string, src []byte) []byte {
-	spans := p.spans[file]
-	if len(spans) == 0 {
-		return src
-	}
-	ins := make([]insertion, 0, 2*len(spans))
-	for span := range spans {
-		start, end := span[0], span[1]
-		if start < 0 || end > len(src) || start >= end {
-			continue
-		}
-		ins = append(ins, insertion{off: start, text: p.routine + "(", prio: 1})
-		ins = append(ins, insertion{off: end, text: ")", prio: 0})
-	}
-	// Apply back to front so earlier offsets stay valid; at equal offsets,
-	// closings before openings (higher prio applied first when splicing
-	// backwards means it ends up later in the text... order carefully):
-	// splicing from the end, an insertion applied later lands *before* one
-	// applied earlier at the same offset. We want ")" to precede
-	// "routine(" in the final text, so apply ")" after "routine(".
-	sort.Slice(ins, func(i, j int) bool {
-		if ins[i].off != ins[j].off {
-			return ins[i].off > ins[j].off
-		}
-		return ins[i].prio > ins[j].prio
-	})
-	out := append([]byte(nil), src...)
-	for _, in := range ins {
-		out = append(out[:in.off], append([]byte(in.text), out[in.off:]...)...)
-	}
-	return out
-}
-
-// ApplyAll patches a set of sources keyed by file name.
-func (p *Patcher) ApplyAll(files map[string][]byte) map[string][]byte {
-	out := make(map[string][]byte, len(files))
-	for name, src := range files {
-		out[name] = p.Apply(name, src)
-	}
-	return out
-}
-
-// PatchSource is a convenience: patch a single source text with the given
-// fix points and routine.
+// PatchSource patches a single source text with the given fix points and
+// routine.
+//
+// Deprecated: use patch.PatchSource.
 func PatchSource(file string, src []byte, fixes []*fixing.FixPoint, routine string) ([]byte, []error) {
-	p := New(routine)
-	errs := p.AddAll(fixes)
-	return p.Apply(file, src), errs
+	return patch.PatchSource(file, src, fixes, routine)
 }
 
-// RuntimeGuardPHP returns a PHP definition of the default runtime guard,
-// suitable for prepending to patched projects that do not define their
-// own. It HTML-escapes and SQL-escapes its argument, recursing into
-// arrays, mirroring the behaviour WebSSARI's prelude routines provided.
-func RuntimeGuardPHP(routine string) string {
-	if routine == "" {
-		routine = DefaultRoutine
-	}
-	return `<?php
-if (!function_exists('` + routine + `')) {
-    function ` + routine + `($v) {
-        if (is_array($v)) {
-            foreach ($v as $k => $x) { $v[$k] = ` + routine + `($x); }
-            return $v;
-        }
-        return htmlspecialchars(addslashes($v));
-    }
-}
-?>
-`
-}
+// RuntimeGuardPHP returns a PHP definition of the default runtime guard.
+//
+// Deprecated: use patch.RuntimeGuardPHP.
+func RuntimeGuardPHP(routine string) string { return patch.RuntimeGuardPHP(routine) }

@@ -6,6 +6,9 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
+
+	"webssari/internal/telemetry"
 )
 
 // WriteHTML renders the report as a self-contained cross-referenced HTML
@@ -30,6 +33,9 @@ h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.5em; }
 .hl { background: #ffe0e0; display: block; }
 .lineno { color: #999; user-select: none; }
 .warn { color: #850; }
+.profile { border-collapse: collapse; margin: 0.8em 0; font-size: 0.9em; }
+.profile th, .profile td { border: 1px solid #ccc; padding: 0.2em 0.6em; text-align: right; }
+.profile th { background: #f0f0f0; }
 a { color: #036; }
 </style></head><body>
 `)
@@ -120,9 +126,57 @@ a { color: #036; }
 		}
 		b.WriteString("</ul>\n")
 	}
+	writeProfileHTML(&b, r.Profile)
 	b.WriteString("</body></html>\n")
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// writeProfileHTML renders the run-profile section: stage wall times,
+// solver totals, cache/pool sections when present, and the per-assertion
+// breakdown with the solver's search-effort counters.
+func writeProfileHTML(b *strings.Builder, p *telemetry.RunProfile) {
+	if p == nil {
+		return
+	}
+	b.WriteString("<h2>Run profile</h2>\n")
+	fmt.Fprintf(b, "<p>compile %v, solve %v",
+		p.CompileWall().Round(time.Microsecond), p.SolveWall().Round(time.Microsecond))
+	if p.CacheHit {
+		b.WriteString(" (compile cached)")
+	}
+	s := p.Solver
+	fmt.Fprintf(b, "; solver: %d decisions, %d propagations, %d conflicts, %d restarts, %d learnt clauses</p>\n",
+		s.Decisions, s.Propagations, s.Conflicts, s.Restarts, s.LearntClauses)
+	if p.Cache != nil {
+		fmt.Fprintf(b, "<p>compile cache: %d hit(s), %d miss(es), %d evicted, %d stale, %d retained</p>\n",
+			p.Cache.Hits, p.Cache.Misses, p.Cache.Evictions, p.Cache.Stale, p.Cache.Entries)
+	}
+	if p.Pool != nil {
+		fmt.Fprintf(b, "<p>worker pool: %d/%d peak workers (%.0f%% utilization), %d peak waiters</p>\n",
+			p.Pool.MaxInUse, p.Pool.Capacity, 100*p.Pool.Utilization(), p.Pool.MaxWaiting)
+	}
+	if len(p.Stages) > 0 {
+		b.WriteString(`<table class="profile"><tr><th>stage</th><th>wall</th><th>count</th></tr>` + "\n")
+		for _, st := range p.Stages {
+			fmt.Fprintf(b, "<tr><td>%s</td><td>%v</td><td>%d</td></tr>\n",
+				html.EscapeString(st.Name), time.Duration(st.WallNS).Round(time.Microsecond), st.Count)
+		}
+		b.WriteString("</table>\n")
+	}
+	if len(p.Assertions) > 0 {
+		b.WriteString(`<table class="profile"><tr><th>assert</th><th>sink</th><th>site</th><th>vars</th><th>clauses</th><th>cex</th><th>encode</th><th>search</th><th>conflicts</th><th>restarts</th><th>learnt</th><th>cause</th></tr>` + "\n")
+		for _, a := range p.Assertions {
+			fmt.Fprintf(b, "<tr><td>%d</td><td>%s</td><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%v</td><td>%v</td><td>%d</td><td>%d</td><td>%d</td><td>%s</td></tr>\n",
+				a.Index, html.EscapeString(a.Sink), html.EscapeString(a.Site),
+				a.Vars, a.Clauses, a.Counterexamples,
+				time.Duration(a.EncodeNS).Round(time.Microsecond),
+				time.Duration(a.SearchNS).Round(time.Microsecond),
+				a.Solver.Conflicts, a.Solver.Restarts, a.Solver.LearntClauses,
+				html.EscapeString(a.Cause))
+		}
+		b.WriteString("</table>\n")
+	}
 }
 
 // excerptHTML renders the marked lines of a file with two lines of

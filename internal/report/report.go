@@ -15,6 +15,7 @@ import (
 	"webssari/internal/core"
 	"webssari/internal/fixing"
 	"webssari/internal/lattice"
+	"webssari/internal/telemetry"
 	"webssari/internal/typestate"
 )
 
@@ -46,6 +47,9 @@ type Report struct {
 	Incomplete bool
 	// Limits names the degradation causes of an Incomplete run.
 	Limits []string
+	// Profile, when set by the caller, adds a run-profile section (stage
+	// wall times, per-assertion solver effort) to the HTML rendering.
+	Profile *telemetry.RunProfile
 }
 
 // Build assembles a report from a verification result and its

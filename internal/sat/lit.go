@@ -100,7 +100,8 @@ func (b lbool) String() string {
 	}
 }
 
-// Stats collects solver counters for benchmarks and ablations.
+// Stats collects solver counters for benchmarks, ablations, and the
+// telemetry layer's per-assertion profiles.
 type Stats struct {
 	Decisions      uint64
 	Propagations   uint64
@@ -108,11 +109,30 @@ type Stats struct {
 	Restarts       uint64
 	LearntClauses  uint64
 	DeletedClauses uint64
-	MaxDepth       int
+	// MinimizedLits counts literals dropped from learned clauses by
+	// conflict-clause minimization — a direct measure of how much the
+	// minimization pass shrinks the learned database.
+	MinimizedLits uint64
+	MaxDepth      int
+}
+
+// Add accumulates o into s; MaxDepth takes the maximum. It is how
+// per-assertion stats roll up into a whole-run profile.
+func (s *Stats) Add(o Stats) {
+	s.Decisions += o.Decisions
+	s.Propagations += o.Propagations
+	s.Conflicts += o.Conflicts
+	s.Restarts += o.Restarts
+	s.LearntClauses += o.LearntClauses
+	s.DeletedClauses += o.DeletedClauses
+	s.MinimizedLits += o.MinimizedLits
+	if o.MaxDepth > s.MaxDepth {
+		s.MaxDepth = o.MaxDepth
+	}
 }
 
 // String summarizes the counters.
 func (s Stats) String() string {
-	return fmt.Sprintf("decisions=%d propagations=%d conflicts=%d restarts=%d learnt=%d deleted=%d",
-		s.Decisions, s.Propagations, s.Conflicts, s.Restarts, s.LearntClauses, s.DeletedClauses)
+	return fmt.Sprintf("decisions=%d propagations=%d conflicts=%d restarts=%d learnt=%d deleted=%d minimized=%d",
+		s.Decisions, s.Propagations, s.Conflicts, s.Restarts, s.LearntClauses, s.DeletedClauses, s.MinimizedLits)
 }

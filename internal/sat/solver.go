@@ -354,6 +354,7 @@ func (s *Solver) analyze(conflict *clause) ([]Lit, int) {
 			minimized = append(minimized, l)
 		}
 	}
+	s.stats.MinimizedLits += uint64(len(original) - len(minimized))
 	learnt = minimized
 
 	// Backjump level: the second-highest decision level in the clause.

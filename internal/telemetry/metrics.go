@@ -1,0 +1,296 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metric naming scheme: `webssari_<subsystem>_<unit-or-noun>[_total]`,
+// Prometheus conventions. Labels are encoded into the name with Name()
+// (`base{k="v"}`), so the registry stays a flat map and the hot path a
+// single atomic add. The constants below are the names the engine emits;
+// call sites and tests share them so renames cannot drift.
+const (
+	MetricFilesVerified      = "webssari_files_verified_total"
+	MetricFilesFailed        = "webssari_files_failed_total"
+	MetricAssertionsChecked  = "webssari_assertions_checked_total"
+	MetricCounterexamples    = "webssari_counterexamples_total"
+	MetricSolverDecisions    = "webssari_solver_decisions_total"
+	MetricSolverPropagations = "webssari_solver_propagations_total"
+	MetricSolverConflicts    = "webssari_solver_conflicts_total"
+	MetricSolverRestarts     = "webssari_solver_restarts_total"
+	MetricSolverLearnt       = "webssari_solver_learnt_clauses_total"
+	MetricSolverDeleted      = "webssari_solver_deleted_clauses_total"
+	MetricCacheHits          = "webssari_compile_cache_hits_total"
+	MetricCacheMisses        = "webssari_compile_cache_misses_total"
+	MetricCacheEvictions     = "webssari_compile_cache_evictions_total"
+	MetricCacheStale         = "webssari_compile_cache_stale_total"
+	MetricCacheEntries       = "webssari_compile_cache_entries"
+	MetricPoolInUse          = "webssari_pool_in_use"
+	MetricPoolInUseMax       = "webssari_pool_in_use_max"
+	MetricPoolWaiting        = "webssari_pool_waiting"
+	MetricPoolAcquires       = "webssari_pool_acquires_total"
+	MetricStageSeconds       = "webssari_stage_seconds"  // histogram, label stage
+	MetricDegraded           = "webssari_degraded_total" // counter, label cause
+)
+
+// Name encodes label pairs into a metric name: Name("x_seconds",
+// "stage", "parse") → `x_seconds{stage="parse"}`. The exposition writer
+// understands the encoding, so labeled series scrape correctly.
+func Name(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// splitName separates a Name()-encoded metric name into its base family
+// name and raw label string (without braces, "" when unlabeled).
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// CounterMetric is a monotonically increasing counter with an atomic hot
+// path. All methods are nil-safe no-ops, which is how disabled telemetry
+// costs nothing at the call site.
+type CounterMetric struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (negative n is ignored).
+func (c *CounterMetric) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *CounterMetric) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *CounterMetric) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// GaugeMetric is a settable instantaneous value. Nil-safe.
+type GaugeMetric struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *GaugeMetric) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta (either sign).
+func (g *GaugeMetric) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// SetMax raises the gauge to v if v is greater (a lock-free high-water
+// mark).
+func (g *GaugeMetric) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *GaugeMetric) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefaultDurationBuckets are the histogram bounds (seconds) used when no
+// explicit buckets are given: 10µs … 10s, roughly ×4 per step, matched
+// to the spread between a cache-hit compile and a budget-bounded solve.
+var DefaultDurationBuckets = []float64{
+	1e-5, 4e-5, 1.6e-4, 6.4e-4, 2.56e-3, 1.024e-2, 4.096e-2, 0.164, 0.655, 2.62, 10.5,
+}
+
+// HistogramMetric is a fixed-bucket histogram; observations, the running
+// sum, and the count are all atomics. Nil-safe.
+type HistogramMetric struct {
+	bounds []float64 // upper bounds, ascending; +Inf is implicit
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+func newHistogram(bounds []float64) *HistogramMetric {
+	if len(bounds) == 0 {
+		bounds = DefaultDurationBuckets
+	}
+	return &HistogramMetric{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample.
+func (h *HistogramMetric) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		want := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, want) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *HistogramMetric) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations (0 on nil).
+func (h *HistogramMetric) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Registry interns metrics by name. Lookup takes a mutex; the returned
+// metric's operations are lock-free, so call sites that update in a loop
+// should resolve once and reuse. A nil *Registry resolves every lookup
+// to nil (a no-op metric).
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*CounterMetric
+	gauges map[string]*GaugeMetric
+	hists  map[string]*HistogramMetric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*CounterMetric),
+		gauges: make(map[string]*GaugeMetric),
+		hists:  make(map[string]*HistogramMetric),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *CounterMetric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[name]
+	if !ok {
+		c = &CounterMetric{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *GaugeMetric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &GaugeMetric{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds (nil = DefaultDurationBuckets) on first use.
+// Bounds are fixed by the first caller; later callers share the series.
+func (r *Registry) Histogram(name string, bounds []float64) *HistogramMetric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns every scalar series (counters and gauges; histograms
+// contribute _count and _sum entries) as a name→value map — the expvar
+// view of the registry.
+func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.counts)+len(r.gauges)+2*len(r.hists))
+	for name, c := range r.counts {
+		out[name] = float64(c.Value())
+	}
+	for name, g := range r.gauges {
+		out[name] = float64(g.Value())
+	}
+	for name, h := range r.hists {
+		base, labels := splitName(name)
+		out[seriesName(base+"_count", labels)] = float64(h.Count())
+		out[seriesName(base+"_sum", labels)] = h.Sum()
+	}
+	return out
+}
+
+// seriesName re-attaches a raw label string to a (possibly suffixed)
+// base name.
+func seriesName(base, labels string) string {
+	if labels == "" {
+		return base
+	}
+	return base + "{" + labels + "}"
+}

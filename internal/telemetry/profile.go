@@ -1,0 +1,242 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// SolverProfile aggregates CDCL search-effort counters (the fields of
+// sat.Stats, duplicated here so the telemetry layer stays standalone).
+type SolverProfile struct {
+	Decisions      uint64 `json:"decisions"`
+	Propagations   uint64 `json:"propagations"`
+	Conflicts      uint64 `json:"conflicts"`
+	Restarts       uint64 `json:"restarts"`
+	LearntClauses  uint64 `json:"learnt_clauses"`
+	DeletedClauses uint64 `json:"deleted_clauses"`
+	MinimizedLits  uint64 `json:"minimized_lits"`
+	MaxDepth       int    `json:"max_depth"`
+}
+
+// Add accumulates o into s (MaxDepth takes the maximum).
+func (s *SolverProfile) Add(o SolverProfile) {
+	s.Decisions += o.Decisions
+	s.Propagations += o.Propagations
+	s.Conflicts += o.Conflicts
+	s.Restarts += o.Restarts
+	s.LearntClauses += o.LearntClauses
+	s.DeletedClauses += o.DeletedClauses
+	s.MinimizedLits += o.MinimizedLits
+	if o.MaxDepth > s.MaxDepth {
+		s.MaxDepth = o.MaxDepth
+	}
+}
+
+// AssertProfile is the per-assertion slice of a RunProfile: encoding
+// size, stage wall time, and the solver's search effort — the
+// observability counterpart of the per-assertion lines in the xbmc CLI.
+type AssertProfile struct {
+	Index           int           `json:"index"`
+	Sink            string        `json:"sink,omitempty"`
+	Site            string        `json:"site,omitempty"`
+	Vars            int           `json:"vars"`
+	Clauses         int           `json:"clauses"`
+	Counterexamples int           `json:"counterexamples"`
+	Unknown         bool          `json:"unknown,omitempty"`
+	Cause           string        `json:"cause,omitempty"`
+	EncodeNS        int64         `json:"encode_ns"`
+	SearchNS        int64         `json:"search_ns"`
+	Solver          SolverProfile `json:"solver"`
+}
+
+// StageProfile is the summed wall time of one pipeline stage.
+type StageProfile struct {
+	Name   string `json:"name"`
+	WallNS int64  `json:"wall_ns"`
+	Count  int64  `json:"count"`
+}
+
+// PoolProfile snapshots the shared worker pool at the end of a run.
+type PoolProfile struct {
+	Capacity         int   `json:"capacity"`
+	Acquires         int64 `json:"acquires"`
+	TryAcquireHits   int64 `json:"try_acquire_hits"`
+	TryAcquireMisses int64 `json:"try_acquire_misses"`
+	// MaxInUse is the in-use high-water mark; MaxInUse/Capacity is the
+	// peak utilization.
+	MaxInUse int64 `json:"max_in_use"`
+	// MaxWaiting is the queue-depth high-water mark: the most goroutines
+	// ever blocked in Acquire at once.
+	MaxWaiting int64 `json:"max_waiting"`
+}
+
+// Utilization returns the peak pool utilization in [0, 1].
+func (p *PoolProfile) Utilization() float64 {
+	if p == nil || p.Capacity == 0 {
+		return 0
+	}
+	return float64(p.MaxInUse) / float64(p.Capacity)
+}
+
+// CacheProfile reports compile-cache effectiveness over a run.
+type CacheProfile struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Stale     int64 `json:"stale"`
+	Entries   int   `json:"entries"`
+}
+
+// RunProfile is the exportable summary of one verification run — per
+// file (attached to Report) or per project (attached to ProjectReport,
+// where the per-file profiles are aggregated and the pool/cache sections
+// are populated). It marshals under the stable "profile" JSON key so
+// corpus scripts can consume timings; note its wall-clock fields are the
+// one intentionally nondeterministic part of a report.
+type RunProfile struct {
+	// CompileWallNS and SolveWallNS are the wall times of the two engine
+	// stages (front end / SAT back end) in nanoseconds.
+	CompileWallNS int64 `json:"compile_wall_ns"`
+	SolveWallNS   int64 `json:"solve_wall_ns"`
+	// CacheHit is set on per-file profiles served from the compile cache.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Stages holds finer-grained per-stage wall times (parse, flow,
+	// rename, constraints, encode, search), sorted by name.
+	Stages []StageProfile `json:"stages,omitempty"`
+	// Solver sums search effort across all assertions of the run.
+	Solver SolverProfile `json:"solver"`
+	// Assertions is the per-assertion breakdown (per-file profiles only).
+	Assertions []AssertProfile `json:"assertions,omitempty"`
+	// Degraded counts degradation causes (deadline, conflict budget, CNF
+	// ceiling, …) across the run.
+	Degraded map[string]int64 `json:"degraded,omitempty"`
+	// Files counts aggregated per-file profiles (project profiles only).
+	Files int `json:"files,omitempty"`
+	// Cache and Pool are populated on project profiles.
+	Cache *CacheProfile `json:"cache,omitempty"`
+	Pool  *PoolProfile  `json:"pool,omitempty"`
+}
+
+// CompileWall returns the front-end wall time as a Duration.
+func (p *RunProfile) CompileWall() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return time.Duration(p.CompileWallNS)
+}
+
+// SolveWall returns the back-end wall time as a Duration.
+func (p *RunProfile) SolveWall() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return time.Duration(p.SolveWallNS)
+}
+
+// AddStage accumulates d into the named stage.
+func (p *RunProfile) AddStage(name string, d time.Duration) {
+	p.addStage(name, d.Nanoseconds(), 1)
+}
+
+func (p *RunProfile) addStage(name string, wallNS, count int64) {
+	for i := range p.Stages {
+		if p.Stages[i].Name == name {
+			p.Stages[i].WallNS += wallNS
+			p.Stages[i].Count += count
+			return
+		}
+	}
+	p.Stages = append(p.Stages, StageProfile{Name: name, WallNS: wallNS, Count: count})
+	sort.Slice(p.Stages, func(i, j int) bool { return p.Stages[i].Name < p.Stages[j].Name })
+}
+
+// CauseLabel reduces a degradation cause to its base constant — some
+// causes (the CNF ceiling) carry a parenthesized detail suffix that
+// would explode label cardinality and Degraded-map keys.
+func CauseLabel(cause string) string {
+	if cause == "" {
+		return "unknown"
+	}
+	if i := strings.IndexByte(cause, ' '); i > 0 {
+		return cause[:i]
+	}
+	return cause
+}
+
+// AddDegraded counts one degradation under the given cause.
+func (p *RunProfile) AddDegraded(cause string) {
+	if cause == "" {
+		return
+	}
+	if p.Degraded == nil {
+		p.Degraded = make(map[string]int64)
+	}
+	p.Degraded[cause]++
+}
+
+// Merge folds a per-file profile o into project profile p: wall times,
+// stages, solver effort, and degradation counts accumulate; per-file
+// fields (CacheHit, Assertions) are deliberately not carried over.
+func (p *RunProfile) Merge(o *RunProfile) {
+	if o == nil {
+		return
+	}
+	p.CompileWallNS += o.CompileWallNS
+	p.SolveWallNS += o.SolveWallNS
+	p.Files++
+	for _, st := range o.Stages {
+		p.addStage(st.Name, st.WallNS, st.Count)
+	}
+	p.Solver.Add(o.Solver)
+	for cause, n := range o.Degraded {
+		if p.Degraded == nil {
+			p.Degraded = make(map[string]int64)
+		}
+		p.Degraded[cause] += n
+	}
+}
+
+// String renders a compact single-audience summary — what the CLIs print
+// under -v.
+func (p *RunProfile) String() string {
+	if p == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "compile %v, solve %v", p.CompileWall().Round(time.Microsecond), p.SolveWall().Round(time.Microsecond))
+	if p.Files > 0 {
+		fmt.Fprintf(&b, " over %d file(s)", p.Files)
+	}
+	if p.CacheHit {
+		b.WriteString(" (compile cached)")
+	}
+	s := p.Solver
+	fmt.Fprintf(&b, "; solver: %d decisions, %d propagations, %d conflicts, %d restarts, %d learnt",
+		s.Decisions, s.Propagations, s.Conflicts, s.Restarts, s.LearntClauses)
+	if p.Cache != nil {
+		fmt.Fprintf(&b, "; cache: %d hit(s) / %d miss(es), %d evicted, %d stale",
+			p.Cache.Hits, p.Cache.Misses, p.Cache.Evictions, p.Cache.Stale)
+	}
+	if p.Pool != nil {
+		fmt.Fprintf(&b, "; pool: %d/%d peak workers, %d peak waiters",
+			p.Pool.MaxInUse, p.Pool.Capacity, p.Pool.MaxWaiting)
+	}
+	for _, st := range p.Stages {
+		fmt.Fprintf(&b, "\n  stage %-12s %12v  (×%d)", st.Name,
+			time.Duration(st.WallNS).Round(time.Microsecond), st.Count)
+	}
+	if len(p.Degraded) > 0 {
+		causes := make([]string, 0, len(p.Degraded))
+		for c := range p.Degraded {
+			causes = append(causes, c)
+		}
+		sort.Strings(causes)
+		b.WriteString("\n  degraded:")
+		for _, c := range causes {
+			fmt.Fprintf(&b, " %s×%d", c, p.Degraded[c])
+		}
+	}
+	return b.String()
+}

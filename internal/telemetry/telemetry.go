@@ -1,0 +1,96 @@
+// Package telemetry is the engine's unified observability layer: metrics
+// (counters, gauges, histograms), hierarchical tracing (Chrome trace-event
+// JSON), HTTP exposition (Prometheus text, expvar, pprof), and the
+// RunProfile summary attached to verification reports.
+//
+// The package is deliberately zero-dependency (stdlib only) and designed
+// so that an *uninstrumented* run pays nothing: every method on every
+// type is nil-safe, a context without a Telemetry yields nil spans and
+// nil metrics, and the hot-path cost of a disabled site is a single
+// pointer comparison. Instrumented call sites therefore never need to be
+// guarded:
+//
+//	ctx, sp := telemetry.StartSpan(ctx, "parse")
+//	...
+//	sp.End() // no-op when telemetry is disabled
+//
+// One Telemetry value is safe for concurrent use by any number of
+// goroutines; the parallel project verifier shares a single instance
+// across its whole worker pool.
+//
+// This package is also the module's single instrumentation entry point:
+// the source-instrumentation half (runtime-guard patching of PHP code,
+// formerly package internal/instrument) lives in the subpackage
+// telemetry/patch.
+package telemetry
+
+import "context"
+
+// Telemetry bundles the two observability sinks: a metrics Registry and
+// a span Tracer. Either field may be nil to enable just one kind of
+// collection; a nil *Telemetry disables both.
+type Telemetry struct {
+	// Metrics receives counter/gauge/histogram updates.
+	Metrics *Registry
+	// Tracer receives span begin/end events.
+	Tracer *Tracer
+}
+
+// New returns a Telemetry with a fresh Registry and Tracer.
+func New() *Telemetry {
+	return &Telemetry{Metrics: NewRegistry(), Tracer: NewTracer()}
+}
+
+// Registry returns t's metrics registry, nil-safe: metric lookups on a
+// nil registry return nil metrics whose methods are no-ops.
+func (t *Telemetry) registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.Metrics
+}
+
+// ctxKey is the private context-key namespace.
+type ctxKey int
+
+const (
+	telemetryKey ctxKey = iota
+	spanKey
+)
+
+// WithTelemetry returns a context carrying t; the engine's pipeline
+// stages discover their sinks through it. Attaching nil is allowed and
+// equivalent to not attaching anything.
+func WithTelemetry(ctx context.Context, t *Telemetry) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, telemetryKey, t)
+}
+
+// From returns the Telemetry carried by ctx, or nil. The nil result is
+// directly usable: spans and metrics derived from it are no-ops.
+func From(ctx context.Context) *Telemetry {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(telemetryKey).(*Telemetry)
+	return t
+}
+
+// Counter resolves a named counter from the context's telemetry, or nil
+// (a no-op counter) when none is attached.
+func Counter(ctx context.Context, name string) *CounterMetric {
+	return From(ctx).registry().Counter(name)
+}
+
+// Gauge resolves a named gauge from the context's telemetry, or nil.
+func Gauge(ctx context.Context, name string) *GaugeMetric {
+	return From(ctx).registry().Gauge(name)
+}
+
+// Histogram resolves a named histogram (with duration buckets) from the
+// context's telemetry, or nil.
+func Histogram(ctx context.Context, name string) *HistogramMetric {
+	return From(ctx).registry().Histogram(name, nil)
+}

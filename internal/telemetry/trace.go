@@ -1,0 +1,194 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one Chrome trace-event ("Trace Event Format", complete-event
+// phase "X"): a named interval on a (pid, tid) lane with microsecond
+// timestamps relative to the tracer's start. Files written by
+// Tracer.WriteTo load directly into chrome://tracing and Perfetto.
+type Event struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"` // microseconds since tracer start
+	Dur  int64          `json:"dur"`
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Tracer collects spans into an in-memory event list. It is safe for
+// concurrent use; span hierarchy is expressed through lanes (trace-event
+// tids): child spans inherit their parent's lane, so nested intervals on
+// one lane render as a flame graph, and independent units of work (one
+// per verified file) each get a fresh lane.
+type Tracer struct {
+	mu     sync.Mutex
+	events []Event
+	base   time.Time
+	now    func() time.Time
+	lanes  atomic.Int64
+}
+
+// NewTracer returns a tracer with its epoch set to now.
+func NewTracer() *Tracer {
+	return &Tracer{base: time.Now(), now: time.Now}
+}
+
+// NewTracerWithClock returns a tracer reading time from the given clock —
+// deterministic trace output for tests.
+func NewTracerWithClock(base time.Time, now func() time.Time) *Tracer {
+	return &Tracer{base: base, now: now}
+}
+
+// NextLane allocates a fresh lane (trace tid). Lane 0 is the root lane.
+func (t *Tracer) NextLane() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.lanes.Add(1)
+}
+
+// add appends one complete event.
+func (t *Tracer) add(ev Event) {
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the collected events.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// WriteJSON writes the collected events as a Chrome trace-event JSON
+// object: {"traceEvents": [...], "displayTimeUnit": "ms"}.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	events := t.Events()
+	if events == nil {
+		events = []Event{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(struct {
+		TraceEvents     []Event `json:"traceEvents"`
+		DisplayTimeUnit string  `json:"displayTimeUnit"`
+	}{events, "ms"})
+}
+
+// Span is one timed interval of the pipeline. A nil *Span (what
+// StartSpan returns when no telemetry is attached) accepts every method
+// as a no-op.
+type Span struct {
+	tr    *Tracer
+	name  string
+	cat   string
+	lane  int64
+	start time.Time
+
+	mu    sync.Mutex
+	args  map[string]any
+	ended bool
+}
+
+// StartSpan begins a span named name on the current lane (inherited from
+// the enclosing span, or the root lane) and returns a derived context
+// carrying it. When ctx has no Telemetry or no Tracer, it returns ctx
+// unchanged and a nil span.
+func StartSpan(ctx context.Context, name string, kv ...any) (context.Context, *Span) {
+	return startSpan(ctx, name, false, kv)
+}
+
+// StartRootSpan begins a span on a fresh lane — one lane per independent
+// unit of work (e.g. per verified file) keeps concurrent units from
+// interleaving on the trace viewer's timeline.
+func StartRootSpan(ctx context.Context, name string, kv ...any) (context.Context, *Span) {
+	return startSpan(ctx, name, true, kv)
+}
+
+func startSpan(ctx context.Context, name string, newLane bool, kv []any) (context.Context, *Span) {
+	tel := From(ctx)
+	if tel == nil || tel.Tracer == nil {
+		return ctx, nil
+	}
+	tr := tel.Tracer
+	var lane int64
+	if parent, _ := ctx.Value(spanKey).(*Span); parent != nil && !newLane {
+		lane = parent.lane
+	} else if newLane {
+		lane = tr.NextLane()
+	}
+	sp := &Span{tr: tr, name: name, cat: "pipeline", lane: lane, start: tr.now()}
+	for i := 0; i+1 < len(kv); i += 2 {
+		if k, ok := kv[i].(string); ok {
+			sp.setArg(k, kv[i+1])
+		}
+	}
+	return context.WithValue(ctx, spanKey, sp), sp
+}
+
+// SetArg attaches a key/value argument rendered in the trace viewer's
+// detail pane. Nil-safe and concurrency-safe.
+func (s *Span) SetArg(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.setArg(key, value)
+}
+
+func (s *Span) setArg(key string, value any) {
+	s.mu.Lock()
+	if s.args == nil {
+		s.args = make(map[string]any)
+	}
+	s.args[key] = value
+	s.mu.Unlock()
+}
+
+// End completes the span, emitting its trace event. Safe to call more
+// than once (only the first takes effect) and on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := s.tr.now()
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	args := s.args
+	s.mu.Unlock()
+	s.tr.add(Event{
+		Name: s.name,
+		Cat:  s.cat,
+		Ph:   "X",
+		TS:   s.start.Sub(s.tr.base).Microseconds(),
+		Dur:  end.Sub(s.start).Microseconds(),
+		PID:  1,
+		TID:  s.lane,
+		Args: args,
+	})
+}
+
+// Duration returns the span's elapsed time so far (0 on nil) — used by
+// call sites that both trace and record a histogram sample.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.tr.now().Sub(s.start)
+}

@@ -32,14 +32,27 @@ func writeProject(t testing.TB, prof corpus.Profile, seed uint64) string {
 }
 
 // projectJSON renders a ProjectReport the way the CLI's -json mode does,
-// making "byte-identical" a meaningful comparison.
+// making "byte-identical" a meaningful comparison. Run profiles are
+// stripped first: their wall-clock fields are the one intentionally
+// nondeterministic part of a report, so the determinism contract is
+// "byte-identical with profiles removed".
 func projectJSON(t *testing.T, pr *webssari.ProjectReport) string {
 	t.Helper()
+	stripProfiles(pr)
 	data, err := json.MarshalIndent(pr, "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
 	return string(data)
+}
+
+// stripProfiles removes the (timing-bearing, nondeterministic) profiles
+// from a project report and all its file reports in place.
+func stripProfiles(pr *webssari.ProjectReport) {
+	pr.Profile = nil
+	for _, rep := range pr.Files {
+		rep.Profile = nil
+	}
 }
 
 // TestParallelVerifyDirDeterminism is the PR's central acceptance test:
@@ -169,6 +182,9 @@ func TestVerifyParallelAssertionsMatchesSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Profile timings are the one nondeterministic report field; the rest
+	// must match byte-for-byte.
+	seq.Profile, par.Profile = nil, nil
 	seqJSON, _ := json.Marshal(seq)
 	parJSON, _ := json.Marshal(par)
 	if string(seqJSON) != string(parJSON) {

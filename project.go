@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"webssari/internal/core"
+	"webssari/internal/telemetry"
 )
 
 // FileFailure records one file whose analysis could not produce a report
@@ -54,8 +55,14 @@ type ProjectReport struct {
 	// (concurrent compiles of identical content coalesce).
 	CacheHits   int `json:"cache_hits"`
 	CacheMisses int `json:"cache_misses"`
-	// CompileWall and SolveWall sum the per-file stage wall-clock times.
-	// Excluded from JSON so project reports stay byte-comparable.
+	// Profile aggregates the per-file run profiles (wall times, stages,
+	// solver effort, degradations) and adds the project-level cache and
+	// worker-pool sections. Like the per-file profiles, its wall-clock
+	// fields are the one nondeterministic part of the report.
+	Profile *RunProfile `json:"profile,omitempty"`
+	// CompileWall and SolveWall are views over Profile: the summed
+	// per-file stage wall-clock times. Excluded from JSON — the same
+	// values marshal under "profile".
 	CompileWall time.Duration `json:"-"`
 	SolveWall   time.Duration `json:"-"`
 }
@@ -127,10 +134,21 @@ func VerifyDirContext(ctx context.Context, dir string, opts ...Option) (*Project
 	sort.Strings(phpFiles)
 
 	parallelism := 0 // NewPool treats <= 0 as GOMAXPROCS
-	if cfg, err := buildConfig(opts); err == nil && cfg.parallelism > 0 {
-		parallelism = cfg.parallelism
+	var tel *telemetry.Telemetry
+	if cfg, err := buildConfig(opts); err == nil {
+		if cfg.parallelism > 0 {
+			parallelism = cfg.parallelism
+		}
+		tel = cfg.telemetry
 	}
 	pool := core.NewPool(parallelism)
+	ctx = telemetry.WithTelemetry(ctx, tel)
+	if tel != nil {
+		pool.Instrument(tel.Metrics)
+	}
+	_, dsp := telemetry.StartSpan(ctx, "verify_dir", "dir", dir)
+	defer dsp.End()
+	cacheBefore := defaultCompileCache.StatsDetail()
 
 	// Workers write only their own index; pr is assembled afterwards in
 	// sorted file order so the report is independent of scheduling.
@@ -177,6 +195,7 @@ func VerifyDirContext(ctx context.Context, dir string, opts ...Option) (*Project
 	}
 	wg.Wait()
 
+	prof := &RunProfile{}
 	for i := range phpFiles {
 		if fail := fails[i]; fail != nil {
 			pr.Failures = append(pr.Failures, *fail)
@@ -191,6 +210,7 @@ func VerifyDirContext(ctx context.Context, dir string, opts ...Option) (*Project
 		pr.Groups += rep.Groups
 		pr.CompileWall += rep.CompileTime
 		pr.SolveWall += rep.SolveTime
+		prof.Merge(rep.Profile)
 		if rep.CacheHit {
 			pr.CacheHits++
 		} else {
@@ -201,6 +221,28 @@ func VerifyDirContext(ctx context.Context, dir string, opts ...Option) (*Project
 		} else if rep.Incomplete {
 			pr.IncompleteFiles++
 		}
+	}
+
+	// Project-level sections: the run's slice of the process-wide compile
+	// cache (deltas over this call; other concurrent runs in the same
+	// process bleed into the eviction/stale counts) and the pool's usage.
+	cacheAfter := defaultCompileCache.StatsDetail()
+	prof.Cache = &telemetry.CacheProfile{
+		Hits:      cacheAfter.Hits - cacheBefore.Hits,
+		Misses:    cacheAfter.Misses - cacheBefore.Misses,
+		Evictions: cacheAfter.Evictions - cacheBefore.Evictions,
+		Stale:     cacheAfter.Stale - cacheBefore.Stale,
+		Entries:   cacheAfter.Entries,
+	}
+	prof.Pool = pool.Snapshot()
+	pr.Profile = prof
+	if tel != nil && tel.Metrics != nil {
+		m := tel.Metrics
+		m.Counter(telemetry.MetricCacheHits).Add(prof.Cache.Hits)
+		m.Counter(telemetry.MetricCacheMisses).Add(prof.Cache.Misses)
+		m.Counter(telemetry.MetricCacheEvictions).Add(prof.Cache.Evictions)
+		m.Counter(telemetry.MetricCacheStale).Add(prof.Cache.Stale)
+		m.Gauge(telemetry.MetricCacheEntries).Set(int64(prof.Cache.Entries))
 	}
 	return pr, nil
 }

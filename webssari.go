@@ -44,11 +44,12 @@ import (
 	"webssari/internal/core"
 	"webssari/internal/fixing"
 	"webssari/internal/flow"
-	"webssari/internal/instrument"
 	"webssari/internal/lattice"
 	"webssari/internal/prelude"
 	"webssari/internal/report"
 	"webssari/internal/sat"
+	"webssari/internal/telemetry"
+	"webssari/internal/telemetry/patch"
 	"webssari/internal/typestate"
 )
 
@@ -168,15 +169,20 @@ type Report struct {
 	Warnings []string `json:"warnings,omitempty"`
 	// Text is the rendered human-readable report.
 	Text string `json:"-"`
-	// CompileTime and SolveTime are the wall-clock durations of the two
-	// engine stages (front end and SAT back end). They are excluded from
-	// JSON so reports stay byte-comparable across runs and parallelism
-	// levels.
+	// Profile is the run's telemetry summary: stage wall times, solver
+	// effort, per-assertion breakdown, degradation counts. It is always
+	// populated (profiling costs a few clock reads, no sink required) and
+	// is serialized under the stable "profile" key. Its wall-clock fields
+	// are the one intentionally nondeterministic part of a report: strip
+	// Profile before comparing reports byte-for-byte across runs.
+	Profile *RunProfile `json:"profile,omitempty"`
+	// CompileTime, SolveTime, and CacheHit are views over Profile kept for
+	// compatibility: the wall-clock durations of the two engine stages and
+	// whether the front end was served from the compile cache. Excluded
+	// from JSON — the same values marshal under "profile".
 	CompileTime time.Duration `json:"-"`
 	SolveTime   time.Duration `json:"-"`
-	// CacheHit reports whether the front end came from the compile cache
-	// instead of being recompiled. Excluded from JSON for the same reason.
-	CacheHit bool `json:"-"`
+	CacheHit    bool          `json:"-"`
 }
 
 // Option configures Verify and Patch.
@@ -196,6 +202,7 @@ type config struct {
 	limits      ResourceLimits
 	parallelism int
 	workers     *core.Pool
+	telemetry   *telemetry.Telemetry
 }
 
 // WithPrelude replaces the default trust environment with a prelude parsed
@@ -441,6 +448,52 @@ func withWorkers(p *core.Pool) Option {
 	}
 }
 
+// Telemetry is the observability sink a run reports into: a metrics
+// registry (counters, gauges, histograms — exposable over HTTP via
+// ServeMetrics) and a span tracer (exportable as Chrome trace-event JSON
+// via WriteTrace). One Telemetry is safe for concurrent use across a
+// whole parallel project run. See internal/telemetry for the full API.
+type Telemetry = telemetry.Telemetry
+
+// RunProfile is the exportable performance summary attached to every
+// Report and ProjectReport (JSON key "profile").
+type RunProfile = telemetry.RunProfile
+
+// NewTelemetry returns a Telemetry collecting both metrics and spans.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// ServeMetrics starts an HTTP server on addr (":0" picks a free port;
+// the chosen address is in the returned server's Addr) exposing the
+// telemetry's metrics as a Prometheus text page at /metrics, an expvar
+// view at /debug/vars, and the pprof handlers under /debug/pprof/.
+func ServeMetrics(addr string, t *Telemetry) (*telemetry.Server, error) {
+	var reg *telemetry.Registry
+	if t != nil {
+		reg = t.Metrics
+	}
+	return telemetry.Serve(addr, reg)
+}
+
+// WriteTrace writes every span the telemetry collected as Chrome
+// trace-event JSON, loadable in chrome://tracing or Perfetto.
+func WriteTrace(t *Telemetry, w io.Writer) error {
+	if t == nil || t.Tracer == nil {
+		return fmt.Errorf("webssari: no tracer attached")
+	}
+	return t.Tracer.WriteJSON(w)
+}
+
+// WithTelemetry attaches an observability sink to the run: every
+// pipeline stage records spans and metrics into it. Without this option
+// runs are uninstrumented (Profile is still populated — its collection
+// is built into the engine and costs only a few clock reads).
+func WithTelemetry(t *Telemetry) Option {
+	return func(c *config) error {
+		c.telemetry = t
+		return nil
+	}
+}
+
 func buildConfig(opts []Option) (*config, error) {
 	c := &config{}
 	for _, opt := range opts {
@@ -513,15 +566,21 @@ func ResetCompileCache() { defaultCompileCache.Reset() }
 // analysisStats carries per-call stage timings and cache provenance from
 // runAnalysis to the Report.
 type analysisStats struct {
-	compileTime time.Duration
-	solveTime   time.Duration
-	cacheHit    bool
+	compileTime  time.Duration
+	solveTime    time.Duration
+	cacheHit     bool
+	compileStats core.CompileStats
 }
 
 // runAnalysis drives the core pipeline — a cached Compile followed by
 // Solve — and the counterexample analysis under ctx, recovering any panic
 // that escapes a stage boundary into a structured *EngineError so a
 // single pathological input can never crash a project-wide run.
+//
+// When cfg carries a Telemetry it is attached to ctx here — the single
+// point all entry paths (Verify, Patch, VerifyToHTML, VerifyDir workers)
+// funnel through — and the whole file gets a root span on a fresh trace
+// lane, under which the engine's stage spans nest.
 func runAnalysis(ctx context.Context, src []byte, name string, cfg *config) (res *core.Result, analysis *fixing.Analysis, st analysisStats, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -529,27 +588,98 @@ func runAnalysis(ctx context.Context, src []byte, name string, cfg *config) (res
 			err = &EngineError{Stage: "analysis", File: name, Err: fmt.Errorf("panic: %v", r)}
 		}
 	}()
+	ctx = telemetry.WithTelemetry(ctx, cfg.telemetry)
+	ctx, fsp := telemetry.StartRootSpan(ctx, "verify_file", "file", name)
+	defer fsp.End()
 	eopts := cfg.engineOptions(ctx)
 	start := time.Now()
 	prog, errs, hit := defaultCompileCache.Compile(name, src, eopts)
 	st.compileTime = time.Since(start)
 	st.cacheHit = hit
 	if prog == nil {
+		telemetry.Counter(ctx, telemetry.MetricFilesFailed).Inc()
 		return nil, nil, st, engineErr(name, errs)
 	}
+	st.compileStats = prog.Stats
 	start = time.Now()
 	res = core.Solve(ctx, prog, eopts)
 	st.solveTime = time.Since(start)
 	analysis = fixing.Analyze(res)
+	telemetry.Counter(ctx, telemetry.MetricFilesVerified).Inc()
 	return res, analysis, st, nil
 }
 
-// stamp copies the stage timings and cache provenance onto a report.
-func (st analysisStats) stamp(rep *Report) *Report {
+// finish stamps the stage timings, cache provenance, and the run profile
+// onto a report.
+func (st analysisStats) finish(rep *Report, res *core.Result) *Report {
 	rep.CompileTime = st.compileTime
 	rep.SolveTime = st.solveTime
 	rep.CacheHit = st.cacheHit
+	rep.Profile = st.profile(res)
 	return rep
+}
+
+// profile builds the per-file RunProfile from the run's timings and the
+// engine result's per-assertion records.
+func (st analysisStats) profile(res *core.Result) *RunProfile {
+	p := &RunProfile{
+		CompileWallNS: st.compileTime.Nanoseconds(),
+		SolveWallNS:   st.solveTime.Nanoseconds(),
+		CacheHit:      st.cacheHit,
+	}
+	if !st.cacheHit {
+		// A cache hit re-used another compile's work; counting its stage
+		// times again would double-book them in project aggregates.
+		cs := st.compileStats
+		p.AddStage("parse", time.Duration(cs.ParseNS))
+		p.AddStage("flow", time.Duration(cs.FlowNS))
+		p.AddStage("rename", time.Duration(cs.RenameNS))
+		p.AddStage("constraints", time.Duration(cs.ConstraintsNS))
+	}
+	if res == nil {
+		return p
+	}
+	for i, ar := range res.PerAssert {
+		p.AddStage("encode", ar.EncodeTime)
+		// A zero SearchTime means no SAT search ran at all (the encoder
+		// proved the assertion trivially unsat) — counting it would make
+		// the stage table disagree with the trace's search spans.
+		if ar.SearchTime > 0 {
+			p.AddStage("search", ar.SearchTime)
+		}
+		sp := telemetry.SolverProfile{
+			Decisions:      ar.SolverStats.Decisions,
+			Propagations:   ar.SolverStats.Propagations,
+			Conflicts:      ar.SolverStats.Conflicts,
+			Restarts:       ar.SolverStats.Restarts,
+			LearntClauses:  ar.SolverStats.LearntClauses,
+			DeletedClauses: ar.SolverStats.DeletedClauses,
+			MinimizedLits:  ar.SolverStats.MinimizedLits,
+			MaxDepth:       ar.SolverStats.MaxDepth,
+		}
+		p.Solver.Add(sp)
+		ap := telemetry.AssertProfile{
+			Index:           i,
+			Vars:            ar.EncodedVars,
+			Clauses:         ar.EncodedClauses,
+			Counterexamples: len(ar.Counterexamples),
+			Unknown:         ar.Unknown,
+			Cause:           ar.Cause,
+			EncodeNS:        ar.EncodeTime.Nanoseconds(),
+			SearchNS:        ar.SearchTime.Nanoseconds(),
+			Solver:          sp,
+		}
+		if ar.Assert != nil {
+			ap.Sink = ar.Assert.Origin.Fn
+			pos := ar.Assert.Origin.Site.Pos
+			ap.Site = fmt.Sprintf("%s:%d:%d", pos.File, pos.Line, pos.Col)
+		}
+		p.Assertions = append(p.Assertions, ap)
+		if ar.Unknown {
+			p.AddDegraded(telemetry.CauseLabel(ar.Cause))
+		}
+	}
+	return p
 }
 
 // Verify analyzes one PHP source text and returns its report. A non-nil
@@ -574,7 +704,7 @@ func VerifyContext(ctx context.Context, src []byte, name string, opts ...Option)
 	if err != nil {
 		return nil, err
 	}
-	return st.stamp(buildReport(res, analysis)), nil
+	return st.finish(buildReport(res, analysis), res), nil
 }
 
 // Patch verifies the source and, when vulnerable, returns a secured
@@ -599,11 +729,11 @@ func PatchContext(ctx context.Context, src []byte, name string, opts ...Option) 
 	if err != nil {
 		return nil, nil, err
 	}
-	rep := st.stamp(buildReport(res, analysis))
+	rep := st.finish(buildReport(res, analysis), res)
 	if res.Safe() {
 		return src, rep, nil
 	}
-	patched, perrs := instrument.PatchSource(name, src, analysis.GreedyMinimalFix(), cfg.routine)
+	patched, perrs := patch.PatchSource(name, src, analysis.GreedyMinimalFix(), cfg.routine)
 	if len(perrs) > 0 {
 		return patched, rep, &EngineError{Stage: "patch", File: name, Err: perrs[0]}
 	}
@@ -625,10 +755,11 @@ func VerifyToHTML(src []byte, name string, w io.Writer, opts ...Option) (*Report
 		return nil, err
 	}
 	rep := report.Build(res, analysis)
+	rep.Profile = st.profile(res)
 	if err := rep.WriteHTML(w, map[string][]byte{name: src}); err != nil {
 		return nil, &EngineError{Stage: "report", File: name, Err: err}
 	}
-	return st.stamp(buildReport(res, analysis)), nil
+	return st.finish(buildReport(res, analysis), res), nil
 }
 
 // SymptomCount runs only the fast TS baseline and returns its error count.
