@@ -27,6 +27,9 @@
 //	-figure10         run TS and BMC over the synthetic Figure 10 corpus
 //	-scale F          corpus statement-scale for -figure10 (default 0.02)
 //	-seed N           corpus generation seed
+//	-store DIR        persist verification results under DIR so unchanged
+//	                  files are re-verified from disk across runs
+//	-version          print version and exit
 //
 // Exit codes: 0 every input verified safe, 1 at least one vulnerability
 // found, 3 no vulnerability found but verification was incomplete
@@ -42,6 +45,7 @@ import (
 	"strings"
 
 	"webssari"
+	"webssari/internal/buildinfo"
 	"webssari/internal/core"
 	"webssari/internal/corpus"
 )
@@ -100,10 +104,16 @@ func run(args []string) int {
 		fig10    = fs.Bool("figure10", false, "regenerate the Figure 10 table")
 		scale    = fs.Float64("scale", 0.02, "corpus statement scale for -figure10")
 		seed     = fs.Uint64("seed", 2004, "corpus generation seed")
+		storeDir = fs.String("store", "", "persistent result store directory (\"\" disables)")
+		version  = fs.Bool("version", false, "print version and exit")
 	)
 	fs.Var(&sinks, "sink", "extra sink, NAME or NAME:argpos[,argpos...] (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Println(buildinfo.Version("webssari"))
+		return 0
 	}
 
 	if *fig10 {
@@ -120,6 +130,14 @@ func run(args []string) int {
 	}
 
 	opts := []webssari.Option{webssari.WithLoopUnroll(*unroll)}
+	if *storeDir != "" {
+		st, err := webssari.OpenStore(*storeDir, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "webssari: opening store: %v\n", err)
+			return 2
+		}
+		opts = append(opts, webssari.WithStore(st))
+	}
 	var tel *webssari.Telemetry
 	if *traceF != "" || *metrics != "" {
 		tel = webssari.NewTelemetry()

@@ -242,3 +242,37 @@ func TestTraceAndMetricsFlags(t *testing.T) {
 		}
 	}
 }
+
+// TestStoreFlag runs the same file twice against one persistent store:
+// same exit code, populated store root.
+func TestStoreFlag(t *testing.T) {
+	path := writeTemp(t, "v.php", `<?php echo $_GET['x']; ?>`)
+	storeRoot := filepath.Join(t.TempDir(), "cache")
+	if code := run([]string{"-store", storeRoot, path}); code != 1 {
+		t.Fatalf("cold run exit = %d, want 1", code)
+	}
+	var blobs int
+	err := filepath.WalkDir(filepath.Join(storeRoot, "objects"), func(p string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() {
+			blobs++
+		}
+		return err
+	})
+	if err != nil || blobs == 0 {
+		t.Fatalf("store not populated: %d blobs, err %v", blobs, err)
+	}
+	if code := run([]string{"-store", storeRoot, path}); code != 1 {
+		t.Fatalf("warm run exit = %d, want 1", code)
+	}
+	if code := run([]string{"-store", storeRoot, "-json", path}); code != 1 {
+		t.Fatalf("warm JSON run exit = %d, want 1", code)
+	}
+}
+
+// TestVersionFlagExitsClean checks -version short-circuits before any
+// input handling.
+func TestVersionFlagExitsClean(t *testing.T) {
+	if code := run([]string{"-version"}); code != 0 {
+		t.Fatalf("-version exited %d", code)
+	}
+}

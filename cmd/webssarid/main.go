@@ -1,0 +1,172 @@
+// Command webssarid is the WebSSARI verification service: the engine of
+// cmd/webssari behind an HTTP/JSON API, with a bounded job queue, NDJSON
+// result streaming, and an optional persistent result store so repeated
+// submissions of unchanged code answer from disk across restarts.
+//
+// Usage:
+//
+//	webssarid [flags]
+//
+// Flags:
+//
+//	-addr A            listen address for the API (default :8722; ":0"
+//	                   picks a free port, printed to stderr)
+//	-store DIR         persistent result store directory ("" disables)
+//	-store-max-bytes N store size budget before LRU GC (0 = default
+//	                   256 MiB, negative = unbounded)
+//	-queue N           submission queue depth; a full queue answers 429
+//	-workers N         concurrently running jobs (0 = GOMAXPROCS)
+//	-j N               per-job verification parallelism (0 = engine default)
+//	-timeout D         wall-clock deadline per verification unit
+//	-max-conflicts N   SAT conflict budget per solver call (0 = unlimited)
+//	-no-dirs           reject directory submissions (clients may then only
+//	                   POST source text)
+//	-grace D           shutdown grace period for draining jobs (default 30s)
+//	-metrics-addr A    serve /metrics, /debug/vars, /debug/pprof on a
+//	                   second address (the API itself always has /metrics)
+//	-version           print version and exit
+//
+// API (JSON unless noted):
+//
+//	POST /v1/files            {"name","source"[,"dir"]} → 202 {job,status,result,stream}
+//	POST /v1/dirs             {"dir"}                   → 202
+//	GET  /v1/jobs             recent jobs, newest first
+//	GET  /v1/jobs/{id}        one job's status
+//	GET  /v1/jobs/{id}/result finished report (409 while running; ?text=1
+//	                          for the human rendering of a file job)
+//	GET  /v1/jobs/{id}/stream NDJSON, one report per file as it completes
+//	GET  /healthz             liveness and queue occupancy
+//	GET  /metrics             Prometheus exposition
+//
+// On SIGTERM or SIGINT the daemon stops accepting work (503), lets
+// queued and in-flight jobs finish (up to -grace), and exits 0 on a
+// clean drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"webssari/internal/buildinfo"
+	"webssari/internal/service"
+	"webssari/internal/store"
+	"webssari/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], nil))
+}
+
+// run is the testable daemon body. When ready is non-nil the bound API
+// address is sent on it once the listener is up (integration tests bind
+// ":0" and need the real port).
+func run(args []string, ready chan<- string) int {
+	fs := flag.NewFlagSet("webssarid", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", ":8722", "API listen address (\":0\" picks a free port)")
+		storeDir    = fs.String("store", "", "persistent result store directory (\"\" disables)")
+		storeMax    = fs.Int64("store-max-bytes", 0, "store size budget before LRU GC (0 = 256 MiB, negative = unbounded)")
+		queueSize   = fs.Int("queue", service.DefaultQueueSize, "submission queue depth (full queue answers 429)")
+		workers     = fs.Int("workers", 0, "concurrently running jobs (0 = GOMAXPROCS)")
+		jobs        = fs.Int("j", 0, "per-job verification parallelism (0 = engine default)")
+		timeout     = fs.Duration("timeout", 0, "wall-clock deadline per verification unit (0 = none)")
+		maxConf     = fs.Uint64("max-conflicts", 0, "SAT conflict budget per solver call (0 = unlimited)")
+		noDirs      = fs.Bool("no-dirs", false, "reject directory submissions")
+		grace       = fs.Duration("grace", 30*time.Second, "shutdown grace period for draining jobs")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on a second address")
+		version     = fs.Bool("version", false, "print version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		fmt.Println(buildinfo.Version("webssarid"))
+		return 0
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "webssarid: unexpected arguments (the daemon takes submissions over HTTP)")
+		return 2
+	}
+
+	tel := telemetry.New()
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, store.Options{MaxBytes: *storeMax})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "webssarid: opening store: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "webssarid: result store at %s (%d entr(ies) resident)\n",
+			*storeDir, st.Stats().Entries)
+	}
+	if *metricsAddr != "" {
+		msrv, err := telemetry.Serve(*metricsAddr, tel.Metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "webssarid: %v\n", err)
+			return 2
+		}
+		defer msrv.Close()
+		fmt.Fprintf(os.Stderr, "webssarid: metrics served at http://%s/metrics\n", msrv.Addr)
+	}
+
+	svc := service.New(service.Config{
+		Store:          st,
+		Telemetry:      tel,
+		Workers:        *workers,
+		JobParallelism: *jobs,
+		QueueSize:      *queueSize,
+		JobDeadline:    *timeout,
+		MaxConflicts:   *maxConf,
+		DisableDirs:    *noDirs,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "webssarid: listen %s: %v\n", *addr, err)
+		return 2
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	fmt.Fprintf(os.Stderr, "webssarid: serving on http://%s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, os.Interrupt)
+	defer signal.Stop(sigs)
+
+	select {
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "webssarid: %v: draining (grace %s)\n", sig, *grace)
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "webssarid: serve: %v\n", err)
+		return 2
+	}
+
+	// Drain: stop accepting (503 via the service, connection refusal via
+	// the listener shutdown), finish accepted jobs, then exit.
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	drained := svc.Drain(ctx)
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "webssarid: shutdown: %v\n", err)
+	}
+	if drained != nil {
+		fmt.Fprintf(os.Stderr, "webssarid: drain incomplete after %s: %v\n", *grace, drained)
+		return 2
+	}
+	fmt.Fprintln(os.Stderr, "webssarid: drained cleanly")
+	return 0
+}

@@ -1,0 +1,247 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startDaemon runs the daemon body in-process on an ephemeral port and
+// returns its base URL and the exit-code channel.
+func startDaemon(t *testing.T, extra ...string) (string, <-chan int) {
+	t.Helper()
+	ready := make(chan string, 1)
+	exit := make(chan int, 1)
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	go func() { exit <- run(args, ready) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, exit
+	case code := <-exit:
+		t.Fatalf("daemon exited before binding: %d", code)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not bind")
+	}
+	return "", nil
+}
+
+func postJSON(t *testing.T, url string, body any) (int, map[string]any) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func getJSON(t *testing.T, url string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+	return out
+}
+
+// submitDirAndWait submits a directory job and polls it to completion.
+func submitDirAndWait(t *testing.T, base, dir string) string {
+	t.Helper()
+	code, sub := postJSON(t, base+"/v1/dirs", map[string]string{"dir": dir})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit dir: HTTP %d (%v)", code, sub)
+	}
+	id := sub["job"].(string)
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getJSON(t, base+"/v1/jobs/"+id)
+		switch st["state"] {
+		case "done":
+			return id
+		case "failed":
+			t.Fatalf("job failed: %v", st["error"])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("job did not finish")
+	return ""
+}
+
+// stripProfiles removes every nondeterministic "profile" object (and the
+// run-relative store/cache counters) from a decoded report tree.
+func stripProfiles(v any) any {
+	switch node := v.(type) {
+	case map[string]any:
+		delete(node, "profile")
+		delete(node, "store_hits")
+		delete(node, "store_misses")
+		delete(node, "cache_hits")
+		delete(node, "cache_misses")
+		for k, child := range node {
+			node[k] = stripProfiles(child)
+		}
+	case []any:
+		for i, child := range node {
+			node[i] = stripProfiles(child)
+		}
+	}
+	return v
+}
+
+// TestDaemonEndToEnd is the acceptance path: the daemon verifies the
+// examples/php corpus twice against a persistent store; the second run
+// is served from disk (visible on /metrics) with byte-identical
+// verdicts, and SIGTERM drains in-flight work before exit.
+func TestDaemonEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end daemon test")
+	}
+	storeDir := t.TempDir()
+	base, exit := startDaemon(t, "-store", storeDir, "-grace", "60s")
+	examples, err := filepath.Abs(filepath.Join("..", "..", "examples", "php"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	id1 := submitDirAndWait(t, base, examples)
+	id2 := submitDirAndWait(t, base, examples)
+
+	// The corpus has deliberate vulnerabilities: both runs say unsafe.
+	res1 := getJSON(t, base+"/v1/jobs/"+id1+"/result")
+	res2 := getJSON(t, base+"/v1/jobs/"+id2+"/result")
+	rep1 := res1["report"].(map[string]any)
+	rep2 := res2["report"].(map[string]any)
+	if rep1["vulnerable_files"].(float64) == 0 {
+		t.Fatalf("examples corpus reported no vulnerable files: %v", rep1)
+	}
+
+	// Byte-identical verdicts once profiles are stripped.
+	j1, err := json.Marshal(stripProfiles(rep1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(stripProfiles(rep2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("store-served report diverged from computed one:\n%s\nvs\n%s", j1, j2)
+	}
+
+	// The second run was served from the persistent store.
+	hits := scrapeMetric(t, base+"/metrics", "webssari_store_hits_total")
+	if hits < 1 {
+		t.Fatalf("store hits after resubmission = %d, want >= 1", hits)
+	}
+
+	// SIGTERM with a job in flight: the daemon drains it and exits 0.
+	code, sub := postJSON(t, base+"/v1/dirs", map[string]string{"dir": examples})
+	if code != http.StatusAccepted {
+		t.Fatalf("pre-shutdown submit: HTTP %d", code)
+	}
+	lastID := sub["job"].(string)
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("daemon exited %d after SIGTERM, want 0 (clean drain)", code)
+		}
+	case <-time.After(90 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	_ = lastID // drained to completion by the exit-0 contract
+}
+
+// scrapeMetric fetches a Prometheus page and returns one series' value.
+func scrapeMetric(t *testing.T, url, name string) int64 {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	page, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\d+)$`)
+	m := re.FindSubmatch(page)
+	if m == nil {
+		t.Fatalf("metric %s absent from %s:\n%s", name, url, page)
+	}
+	v, err := strconv.ParseInt(string(m[1]), 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestDaemonStorePersistsAcrossRestart restarts the daemon over the same
+// store root: the warm instance answers from disk.
+func TestDaemonStorePersistsAcrossRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end daemon test")
+	}
+	storeDir := t.TempDir()
+	examples, err := filepath.Abs(filepath.Join("..", "..", "examples", "php"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base, exit := startDaemon(t, "-store", storeDir)
+	submitDirAndWait(t, base, examples)
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := <-exit; code != 0 {
+		t.Fatalf("first daemon exited %d", code)
+	}
+
+	base, exit = startDaemon(t, "-store", storeDir)
+	submitDirAndWait(t, base, examples)
+	if hits := scrapeMetric(t, base+"/metrics", "webssari_store_hits_total"); hits < 1 {
+		t.Fatalf("restarted daemon store hits = %d, want >= 1", hits)
+	}
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := <-exit; code != 0 {
+		t.Fatalf("second daemon exited %d", code)
+	}
+}
+
+// TestVersionFlag checks -version prints a banner and exits 0.
+func TestVersionFlag(t *testing.T) {
+	if code := run([]string{"-version"}, nil); code != 0 {
+		t.Fatalf("-version exited %d", code)
+	}
+}
+
+// TestRejectsPositionalArgs pins the usage contract.
+func TestRejectsPositionalArgs(t *testing.T) {
+	if code := run([]string{"file.php"}, nil); code != 2 {
+		t.Fatalf("positional args exited %d, want 2", code)
+	}
+}

@@ -22,6 +22,13 @@
 // -metrics-addr ADDR serves a Prometheus /metrics page plus
 // /debug/vars and /debug/pprof/ for the duration of the run (":0"
 // picks a free port; the chosen address is printed to stderr).
+//
+// In directory mode, -ndjson replaces the plain per-file lines with the
+// newline-delimited JSON stream the webssarid daemon emits — one report
+// object per file as it completes, then one final project summary line —
+// and -store DIR attaches the persistent result store so unchanged
+// files re-verify from disk across runs. -version prints the build's
+// version banner and exits.
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"time"
 
 	"webssari"
+	"webssari/internal/buildinfo"
 	"webssari/internal/cnf"
 	"webssari/internal/constraint"
 	"webssari/internal/core"
@@ -39,6 +47,7 @@ import (
 	"webssari/internal/prelude"
 	"webssari/internal/rename"
 	"webssari/internal/sat"
+	"webssari/internal/service"
 	"webssari/internal/telemetry"
 )
 
@@ -59,9 +68,16 @@ func run(args []string) int {
 		verbose     = fs.Bool("v", false, "print the run profile to stderr")
 		traceFile   = fs.String("trace", "", "write Chrome trace-event JSON to this file")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address (\":0\" picks a free port)")
+		ndjsonOut   = fs.Bool("ndjson", false, "directory mode: stream per-file reports as NDJSON to stdout")
+		storeDir    = fs.String("store", "", "directory mode: persistent result store directory (\"\" disables)")
+		version     = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Println(buildinfo.Version("xbmc"))
+		return 0
 	}
 	if fs.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "xbmc: exactly one PHP file or directory expected")
@@ -99,7 +115,32 @@ func run(args []string) int {
 			fmt.Fprintln(os.Stderr, "xbmc: -stage and -naive need a single PHP file, not a directory")
 			return 2
 		}
-		return verifyDir(target, *unroll, *timeout, *maxConf, *jobs, *verbose, tel)
+		opts := []webssari.Option{webssari.WithLoopUnroll(*unroll)}
+		if *jobs > 0 {
+			opts = append(opts, webssari.WithParallelism(*jobs))
+		}
+		if *timeout > 0 {
+			opts = append(opts, webssari.WithDeadline(*timeout))
+		}
+		if *maxConf > 0 {
+			opts = append(opts, webssari.WithBudget(*maxConf))
+		}
+		if tel != nil {
+			opts = append(opts, webssari.WithTelemetry(tel))
+		}
+		if *storeDir != "" {
+			st, err := webssari.OpenStore(*storeDir, 0)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "xbmc: opening store: %v\n", err)
+				return 2
+			}
+			opts = append(opts, webssari.WithStore(st))
+		}
+		return verifyDir(target, opts, *ndjsonOut, *verbose)
+	}
+	if *ndjsonOut || *storeDir != "" {
+		fmt.Fprintln(os.Stderr, "xbmc: -ndjson and -store apply to directory mode only")
+		return 2
 	}
 
 	src, err := os.ReadFile(target)
@@ -257,35 +298,42 @@ func run(args []string) int {
 
 // verifyDir checks every PHP file under dir through the public engine —
 // the whole-project path exercises the compile cache and both fan-out
-// levels, so it is where traces and metrics are most interesting.
-func verifyDir(dir string, unroll int, timeout time.Duration, maxConf uint64, jobs int, verbose bool, tel *telemetry.Telemetry) int {
-	opts := []webssari.Option{webssari.WithLoopUnroll(unroll)}
-	if jobs > 0 {
-		opts = append(opts, webssari.WithParallelism(jobs))
-	}
-	if timeout > 0 {
-		opts = append(opts, webssari.WithDeadline(timeout))
-	}
-	if maxConf > 0 {
-		opts = append(opts, webssari.WithBudget(maxConf))
-	}
-	if tel != nil {
-		opts = append(opts, webssari.WithTelemetry(tel))
+// levels, so it is where traces and metrics are most interesting. With
+// ndjson set, per-file reports stream to stdout as they complete (the
+// daemon's wire format) followed by one project-summary line, instead
+// of the plain text lines.
+func verifyDir(dir string, opts []webssari.Option, ndjson, verbose bool) int {
+	var enc *service.NDJSON
+	if ndjson {
+		enc = service.NewNDJSON(os.Stdout)
+		opts = append(opts, webssari.WithFileObserver(func(rep *webssari.Report) {
+			_ = enc.Encode(rep)
+		}))
 	}
 	pr, err := webssari.VerifyDir(dir, opts...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
 		return 2
 	}
-	for _, rep := range pr.Files {
-		fmt.Printf("%s: %s (%d group(s), %d symptom(s))\n",
-			rep.File, rep.Verdict, rep.Groups, rep.Symptoms)
+	if ndjson {
+		// Final line: the project aggregate, minus the per-file reports
+		// already streamed above.
+		summary := *pr
+		summary.Files = nil
+		_ = enc.Encode(&summary)
+	} else {
+		for _, rep := range pr.Files {
+			fmt.Printf("%s: %s (%d group(s), %d symptom(s))\n",
+				rep.File, rep.Verdict, rep.Groups, rep.Symptoms)
+		}
 	}
 	for _, fail := range pr.Failures {
 		fmt.Fprintf(os.Stderr, "xbmc: %s: %s stage: %s\n", fail.File, fail.Stage, fail.Cause)
 	}
-	fmt.Printf("project %s: %d file(s), %d vulnerable, %d incomplete, %d failed\n",
-		dir, len(pr.Files), pr.VulnerableFiles, pr.IncompleteFiles, len(pr.Failures))
+	if !ndjson {
+		fmt.Printf("project %s: %d file(s), %d vulnerable, %d incomplete, %d failed\n",
+			dir, len(pr.Files), pr.VulnerableFiles, pr.IncompleteFiles, len(pr.Failures))
+	}
 	if verbose && pr.Profile != nil {
 		fmt.Fprintf(os.Stderr, "xbmc: %s: %s\n", dir, pr.Profile)
 	}

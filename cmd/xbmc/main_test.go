@@ -2,8 +2,10 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -142,5 +144,121 @@ func TestDirectoryRejectsStageFlags(t *testing.T) {
 	}
 	if code := run([]string{"-naive", t.TempDir()}); code != 2 {
 		t.Fatalf("-naive on a directory: exit = %d, want 2", code)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it wrote.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	fn()
+	os.Stdout = old
+	w.Close()
+	return <-done
+}
+
+// TestNDJSONDirectoryMode checks -ndjson: one JSON line per file, then a
+// project summary line, and nothing else on stdout.
+func TestNDJSONDirectoryMode(t *testing.T) {
+	dir := t.TempDir()
+	for name, src := range map[string]string{
+		"vuln.php": vulnSrc,
+		"safe.php": `<?php echo 'ok';`,
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var code int
+	out := captureStdout(t, func() {
+		code = run([]string{"-ndjson", dir})
+	})
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("ndjson emitted %d lines, want 3 (2 files + summary):\n%s", len(lines), out)
+	}
+	verdicts := map[string]string{}
+	for _, line := range lines[:2] {
+		var rep struct {
+			File    string `json:"file"`
+			Verdict string `json:"verdict"`
+		}
+		if err := json.Unmarshal([]byte(line), &rep); err != nil {
+			t.Fatalf("per-file line not JSON: %v\n%s", err, line)
+		}
+		verdicts[filepath.Base(rep.File)] = rep.Verdict
+	}
+	if verdicts["vuln.php"] != "unsafe" || verdicts["safe.php"] != "safe" {
+		t.Fatalf("per-file verdicts: %v", verdicts)
+	}
+	var summary struct {
+		Dir             string `json:"dir"`
+		Files           []any  `json:"files"`
+		VulnerableFiles int    `json:"vulnerable_files"`
+	}
+	if err := json.Unmarshal([]byte(lines[2]), &summary); err != nil {
+		t.Fatalf("summary line not JSON: %v\n%s", err, lines[2])
+	}
+	if summary.Dir != dir || summary.VulnerableFiles != 1 || len(summary.Files) != 0 {
+		t.Fatalf("summary line: %+v", summary)
+	}
+}
+
+// TestNDJSONRequiresDirectory pins the flag's scope.
+func TestNDJSONRequiresDirectory(t *testing.T) {
+	if code := run([]string{"-ndjson", writePHP(t, vulnSrc)}); code != 2 {
+		t.Fatalf("-ndjson on a file exited %d, want 2", code)
+	}
+}
+
+// TestStoreFlagDirectoryMode runs a directory twice against one store:
+// identical exit codes, and the store root gains blobs.
+func TestStoreFlagDirectoryMode(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "v.php"), []byte(vulnSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	storeRoot := filepath.Join(t.TempDir(), "cache")
+	if code := run([]string{"-store", storeRoot, dir}); code != 1 {
+		t.Fatalf("cold run exit = %d, want 1", code)
+	}
+	var blobs int
+	err := filepath.WalkDir(filepath.Join(storeRoot, "objects"), func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() {
+			blobs++
+		}
+		return err
+	})
+	if err != nil || blobs == 0 {
+		t.Fatalf("store not populated: %d blobs, err %v", blobs, err)
+	}
+	if code := run([]string{"-store", storeRoot, dir}); code != 1 {
+		t.Fatalf("warm run exit = %d, want 1", code)
+	}
+}
+
+// TestVersionFlag checks -version prints and exits 0.
+func TestVersionFlag(t *testing.T) {
+	out := captureStdout(t, func() {
+		if code := run([]string{"-version"}); code != 0 {
+			t.Errorf("-version exited non-zero")
+		}
+	})
+	if !strings.HasPrefix(out, "xbmc ") {
+		t.Fatalf("-version banner: %q", out)
 	}
 }

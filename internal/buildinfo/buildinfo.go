@@ -1,0 +1,57 @@
+// Package buildinfo renders the version banner shared by every binary's
+// -version flag, from the build metadata the Go toolchain already embeds
+// (runtime/debug.ReadBuildInfo) — no ldflags stamping required.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// Version renders a one-line version banner for the named command:
+// module version (or VCS revision and time when built from a checkout),
+// Go toolchain, and platform.
+func Version(cmd string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s", cmd, moduleVersion())
+	fmt.Fprintf(&b, " (%s, %s/%s)", runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	return b.String()
+}
+
+// moduleVersion extracts the most specific version identity available
+// from the embedded build info.
+func moduleVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "(no build info)"
+	}
+	var rev, modified, vtime string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		case "vcs.time":
+			vtime = s.Value
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if modified == "true" {
+			rev += "+dirty"
+		}
+		if vtime != "" {
+			return fmt.Sprintf("%s (%s)", rev, vtime)
+		}
+		return rev
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	return "devel"
+}

@@ -1,0 +1,19 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVersionBanner(t *testing.T) {
+	got := Version("webssarid")
+	if !strings.HasPrefix(got, "webssarid ") {
+		t.Fatalf("banner does not lead with the command name: %q", got)
+	}
+	if !strings.Contains(got, "go1") {
+		t.Fatalf("banner lacks the Go toolchain version: %q", got)
+	}
+	if strings.Contains(got, "\n") {
+		t.Fatalf("banner is not one line: %q", got)
+	}
+}

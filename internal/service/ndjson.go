@@ -1,0 +1,52 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// NDJSONContentType is the media type of a newline-delimited JSON
+// stream, used by the daemon's streaming endpoints and xbmc -ndjson.
+const NDJSONContentType = "application/x-ndjson"
+
+// NDJSON writes newline-delimited JSON records to an underlying writer:
+// one Marshal per record, exactly one Write per line, a mutex across
+// records. That makes one encoder safely shareable by the concurrent
+// per-file workers of a project verification — lines interleave, bytes
+// within a line never do. When the writer is an http.ResponseWriter the
+// stream is flushed after every line so clients see results as they
+// complete, not when the run ends.
+type NDJSON struct {
+	mu sync.Mutex
+	w  io.Writer
+	f  http.Flusher
+}
+
+// NewNDJSON returns an encoder writing to w.
+func NewNDJSON(w io.Writer) *NDJSON {
+	e := &NDJSON{w: w}
+	if f, ok := w.(http.Flusher); ok {
+		e.f = f
+	}
+	return e
+}
+
+// Encode marshals v and writes it as one line.
+func (e *NDJSON) Encode(v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	line := append(data, '\n')
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, err := e.w.Write(line); err != nil {
+		return err
+	}
+	if e.f != nil {
+		e.f.Flush()
+	}
+	return nil
+}

@@ -1,0 +1,724 @@
+// Package service is the verification daemon behind cmd/webssarid: an
+// HTTP/JSON front end over the webssari engine that turns the one-shot
+// batch tool of the paper into an always-on analysis service.
+//
+// Shape of the system:
+//
+//   - Submissions (one PHP source, or a server-local directory) are
+//     admission-controlled into a bounded queue; a full queue answers
+//     429 immediately — callers get backpressure, not latency.
+//   - A dispatcher drains the queue onto a bounded core.Pool of job
+//     slots, so heavy traffic saturates the hardware without
+//     oversubscribing it. Each job runs under the engine's PR-1
+//     discipline: per-unit deadlines (WithDeadline), SAT conflict
+//     budgets (WithBudget), fault isolation per file.
+//   - Results stream: every job records one NDJSON line per finished
+//     file the moment it completes, and GET /v1/jobs/{id}/stream replays
+//     then follows that stream live. The same encoder serves xbmc's
+//     -ndjson directory mode.
+//   - With a persistent result store attached (internal/store), repeat
+//     submissions of unchanged content answer from disk across process
+//     restarts; hit/miss/GC counters are on /metrics.
+//   - Drain is graceful: after Drain begins, new submissions get 503,
+//     queued and in-flight jobs run to completion, then the server
+//     stops. cmd/webssarid triggers this on SIGTERM.
+//
+// Endpoints:
+//
+//	POST /v1/files            {"name","source"[,"dir"]} → 202 {job}
+//	POST /v1/dirs             {"dir"}                   → 202 {job}
+//	GET  /v1/jobs             job summaries (newest first)
+//	GET  /v1/jobs/{id}        one job's status
+//	GET  /v1/jobs/{id}/result finished job's full report (409 while running)
+//	GET  /v1/jobs/{id}/stream NDJSON: per-file reports as they complete
+//	GET  /healthz             liveness + queue occupancy
+//	GET  /metrics             Prometheus exposition (with a Telemetry)
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"webssari"
+	"webssari/internal/core"
+	"webssari/internal/store"
+	"webssari/internal/telemetry"
+)
+
+// DefaultQueueSize bounds the submission queue when Config.QueueSize is
+// zero. Shallow on purpose: the queue is a shock absorber, not a
+// backlog — a deep queue only converts overload into latency.
+const DefaultQueueSize = 64
+
+// DefaultMaxSourceBytes caps one submitted source text (4 MiB — far
+// above any real PHP page; admission control for the parser).
+const DefaultMaxSourceBytes = 4 << 20
+
+// defaultRetainedJobs bounds the finished-job history kept for status
+// queries.
+const defaultRetainedJobs = 256
+
+// Config assembles a Server.
+type Config struct {
+	// Store is the persistent result store (tier 2); nil disables it.
+	Store *store.Store
+	// Telemetry receives metrics and spans; nil runs uninstrumented.
+	Telemetry *telemetry.Telemetry
+	// Workers bounds concurrently running jobs (<= 0: GOMAXPROCS).
+	Workers int
+	// JobParallelism is each job's internal fan-out (WithParallelism);
+	// 0 keeps the engine default.
+	JobParallelism int
+	// QueueSize bounds queued-but-unstarted jobs (<= 0: DefaultQueueSize).
+	QueueSize int
+	// JobDeadline bounds each verification unit's wall time
+	// (WithDeadline: per file under directory jobs); 0 means none.
+	JobDeadline time.Duration
+	// MaxConflicts is the per-solver-call SAT budget (WithBudget); 0
+	// means unlimited.
+	MaxConflicts uint64
+	// MaxSourceBytes caps a submitted source (<= 0: DefaultMaxSourceBytes).
+	MaxSourceBytes int64
+	// DisableDirs rejects directory submissions — for deployments where
+	// the daemon must not read server-local paths chosen by clients.
+	DisableDirs bool
+	// Options are extra engine options appended to every job (preludes,
+	// extra sinks).
+	Options []webssari.Option
+}
+
+// jobState is a job's lifecycle phase.
+type jobState string
+
+const (
+	stateQueued  jobState = "queued"
+	stateRunning jobState = "running"
+	stateDone    jobState = "done"
+	stateFailed  jobState = "failed"
+)
+
+// job is one submitted verification unit.
+type job struct {
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`   // "file" | "dir"
+	Target string `json:"target"` // file name or directory path
+
+	source []byte // file jobs only
+	dir    string // file jobs: optional include root
+
+	mu        sync.Mutex
+	state     jobState
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	errMsg    string
+	fileRep   *webssari.Report
+	dirRep    *webssari.ProjectReport
+
+	// stream is the job's NDJSON line log: per-file reports appended as
+	// they complete, broadcast to live followers. Guarded by mu.
+	lines [][]byte
+	subs  []chan []byte
+	done  chan struct{} // closed on completion
+}
+
+// jobStatus is the status-endpoint rendering of a job.
+type jobStatus struct {
+	ID        string     `json:"id"`
+	Kind      string     `json:"kind"`
+	Target    string     `json:"target"`
+	State     jobState   `json:"state"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	Verdict   string     `json:"verdict,omitempty"`
+}
+
+// status snapshots the job under its lock.
+func (j *job) status() jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := jobStatus{
+		ID: j.ID, Kind: j.Kind, Target: j.Target,
+		State: j.state, Submitted: j.submitted, Error: j.errMsg,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	if j.fileRep != nil {
+		st.Verdict = j.fileRep.Verdict
+	}
+	if j.dirRep != nil {
+		st.Verdict = j.dirRep.Verdict()
+	}
+	return st
+}
+
+// appendLine records one NDJSON line and fans it out to followers. It
+// implements io.Writer so the shared NDJSON encoder can drive it; each
+// Write is exactly one line by the encoder's contract.
+func (j *job) Write(line []byte) (int, error) {
+	cp := append([]byte(nil), line...)
+	j.mu.Lock()
+	j.lines = append(j.lines, cp)
+	subs := append([]chan []byte(nil), j.subs...)
+	j.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- cp:
+		default: // a stalled follower drops lines rather than stalling the job
+		}
+	}
+	return len(line), nil
+}
+
+// follow returns the lines recorded so far and, when the job is still
+// running, a channel receiving subsequent lines.
+func (j *job) follow() (replay [][]byte, live <-chan []byte, running bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	replay = append([][]byte(nil), j.lines...)
+	if j.state == stateQueued || j.state == stateRunning {
+		ch := make(chan []byte, 64)
+		j.subs = append(j.subs, ch)
+		return replay, ch, true
+	}
+	return replay, nil, false
+}
+
+// Server is the verification service.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	pool     *core.Pool
+	queue    chan *job
+	maxSrc   int64
+	deadline time.Duration
+
+	admitMu  sync.RWMutex // guards queue sends against close-on-drain
+	draining atomic.Bool
+	inFlight atomic.Int64
+
+	jobsMu   sync.Mutex
+	jobs     map[string]*job
+	jobOrder []string // submission order, for listing and history cap
+	nextID   atomic.Int64
+
+	wg             sync.WaitGroup // running jobs
+	dispatcherDone chan struct{}
+
+	gQueue    *telemetry.GaugeMetric
+	gInFlight *telemetry.GaugeMetric
+	cAccepted *telemetry.CounterMetric
+	cRejected *telemetry.CounterMetric
+	cDone     *telemetry.CounterMetric
+	cFailed   *telemetry.CounterMetric
+	hJobSecs  *telemetry.HistogramMetric
+}
+
+// New assembles a Server and starts its dispatcher. Call Drain to stop.
+func New(cfg Config) *Server {
+	qs := cfg.QueueSize
+	if qs <= 0 {
+		qs = DefaultQueueSize
+	}
+	maxSrc := cfg.MaxSourceBytes
+	if maxSrc <= 0 {
+		maxSrc = DefaultMaxSourceBytes
+	}
+	s := &Server{
+		cfg:            cfg,
+		mux:            http.NewServeMux(),
+		pool:           core.NewPool(cfg.Workers),
+		queue:          make(chan *job, qs),
+		maxSrc:         maxSrc,
+		deadline:       cfg.JobDeadline,
+		jobs:           make(map[string]*job),
+		dispatcherDone: make(chan struct{}),
+	}
+	if cfg.Telemetry != nil && cfg.Telemetry.Metrics != nil {
+		reg := cfg.Telemetry.Metrics
+		s.gQueue = reg.Gauge(telemetry.MetricServiceQueueDepth)
+		s.gInFlight = reg.Gauge(telemetry.MetricServiceInFlight)
+		s.cAccepted = reg.Counter(telemetry.MetricServiceJobsAccepted)
+		s.cRejected = reg.Counter(telemetry.MetricServiceJobsRejected)
+		s.cDone = reg.Counter(telemetry.MetricServiceJobsDone)
+		s.cFailed = reg.Counter(telemetry.MetricServiceJobsFailed)
+		s.hJobSecs = reg.Histogram(telemetry.MetricServiceJobSeconds, nil)
+		s.pool.Instrument(reg)
+		if cfg.Store != nil {
+			cfg.Store.Instrument(reg)
+		}
+	}
+	s.routes()
+	go s.dispatch()
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/files", s.handleSubmitFile)
+	s.mux.HandleFunc("POST /v1/dirs", s.handleSubmitDir)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.cfg.Telemetry != nil && s.cfg.Telemetry.Metrics != nil {
+		s.mux.Handle("GET /metrics", s.cfg.Telemetry.Metrics.Handler())
+	}
+}
+
+// dispatch moves jobs from the queue onto pool slots until the queue is
+// closed (Drain) and empty.
+func (s *Server) dispatch() {
+	defer close(s.dispatcherDone)
+	for j := range s.queue {
+		s.gQueue.Set(int64(len(s.queue)))
+		// Background context: an accepted job is run even during drain —
+		// that is the drain guarantee.
+		if err := s.pool.Acquire(context.Background()); err != nil {
+			s.failJob(j, fmt.Errorf("acquiring worker: %w", err))
+			continue
+		}
+		s.wg.Add(1)
+		go func(j *job) {
+			defer s.wg.Done()
+			defer s.pool.Release()
+			s.runJob(j)
+		}(j)
+	}
+}
+
+// Drain gracefully stops the server: new submissions are rejected with
+// 503, already-accepted jobs (queued and in-flight) run to completion,
+// then the dispatcher exits. It returns ctx.Err() if the context
+// expires first — jobs still running at that point keep their goroutines
+// until process exit. Status/result endpoints keep answering throughout;
+// Drain is idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	if s.draining.CompareAndSwap(false, true) {
+		s.admitMu.Lock()
+		close(s.queue)
+		s.admitMu.Unlock()
+	}
+	done := make(chan struct{})
+	go func() {
+		<-s.dispatcherDone
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// newJob registers a job in the history (evicting the oldest finished
+// entries past the retention cap).
+func (s *Server) newJob(kind, target string, source []byte, dir string) *job {
+	j := &job{
+		ID:        fmt.Sprintf("j%d", s.nextID.Add(1)),
+		Kind:      kind,
+		Target:    target,
+		source:    source,
+		dir:       dir,
+		state:     stateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	s.jobsMu.Lock()
+	s.jobs[j.ID] = j
+	s.jobOrder = append(s.jobOrder, j.ID)
+	if len(s.jobOrder) > defaultRetainedJobs {
+		kept := s.jobOrder[:0]
+		for _, id := range s.jobOrder {
+			old := s.jobs[id]
+			old.mu.Lock()
+			finished := old.state == stateDone || old.state == stateFailed
+			old.mu.Unlock()
+			if finished && len(s.jobOrder)-len(kept) > defaultRetainedJobs {
+				delete(s.jobs, id)
+				continue
+			}
+			kept = append(kept, id)
+		}
+		s.jobOrder = kept
+	}
+	s.jobsMu.Unlock()
+	return j
+}
+
+// admit enqueues a job, answering false when the queue is full or the
+// server is draining.
+func (s *Server) admit(j *job) (ok bool, draining bool) {
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	if s.draining.Load() {
+		return false, true
+	}
+	select {
+	case s.queue <- j:
+		s.gQueue.Set(int64(len(s.queue)))
+		s.cAccepted.Inc()
+		return true, false
+	default:
+		s.cRejected.Inc()
+		return false, false
+	}
+}
+
+// jobOptions assembles the engine options one job runs under.
+func (s *Server) jobOptions() []webssari.Option {
+	var opts []webssari.Option
+	if s.cfg.Store != nil {
+		opts = append(opts, webssari.WithStore(s.cfg.Store))
+	}
+	if s.cfg.Telemetry != nil {
+		opts = append(opts, webssari.WithTelemetry(s.cfg.Telemetry))
+	}
+	if s.deadline > 0 {
+		opts = append(opts, webssari.WithDeadline(s.deadline))
+	}
+	if s.cfg.MaxConflicts > 0 {
+		opts = append(opts, webssari.WithBudget(s.cfg.MaxConflicts))
+	}
+	if s.cfg.JobParallelism > 0 {
+		opts = append(opts, webssari.WithParallelism(s.cfg.JobParallelism))
+	}
+	return append(opts, s.cfg.Options...)
+}
+
+// runJob executes one job on a worker slot.
+func (s *Server) runJob(j *job) {
+	j.mu.Lock()
+	j.state = stateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+	s.gInFlight.Set(s.inFlight.Add(1))
+	defer func() { s.gInFlight.Set(s.inFlight.Add(-1)) }()
+
+	ctx := telemetry.WithTelemetry(context.Background(), s.cfg.Telemetry)
+	ctx, sp := telemetry.StartRootSpan(ctx, "job", "id", j.ID, "kind", j.Kind, "target", j.Target)
+	defer sp.End()
+
+	stream := NewNDJSON(j) // per-file lines accumulate on the job
+	start := time.Now()
+	var err error
+	switch j.Kind {
+	case "file":
+		opts := s.jobOptions()
+		if j.dir != "" {
+			opts = append(opts, webssari.WithDir(j.dir))
+		}
+		var rep *webssari.Report
+		rep, err = webssari.VerifyContext(ctx, j.source, j.Target, opts...)
+		if err == nil {
+			_ = stream.Encode(rep)
+			j.mu.Lock()
+			j.fileRep = rep
+			j.mu.Unlock()
+		}
+	case "dir":
+		opts := append(s.jobOptions(), webssari.WithFileObserver(func(rep *webssari.Report) {
+			_ = stream.Encode(rep)
+		}))
+		var pr *webssari.ProjectReport
+		pr, err = webssari.VerifyDirContext(ctx, j.Target, opts...)
+		if err == nil {
+			j.mu.Lock()
+			j.dirRep = pr
+			j.mu.Unlock()
+		}
+	default:
+		err = fmt.Errorf("unknown job kind %q", j.Kind)
+	}
+	s.hJobSecs.Observe(time.Since(start).Seconds())
+	if err != nil {
+		s.failJob(j, err)
+		return
+	}
+	s.finishJob(j, stateDone)
+	s.cDone.Inc()
+}
+
+// failJob marks a job failed.
+func (s *Server) failJob(j *job, err error) {
+	j.mu.Lock()
+	j.errMsg = err.Error()
+	j.mu.Unlock()
+	s.finishJob(j, stateFailed)
+	s.cFailed.Inc()
+}
+
+// finishJob transitions a job to a terminal state and releases stream
+// followers.
+func (s *Server) finishJob(j *job, state jobState) {
+	j.mu.Lock()
+	j.state = state
+	j.finished = time.Now()
+	subs := j.subs
+	j.subs = nil
+	j.mu.Unlock()
+	for _, ch := range subs {
+		close(ch)
+	}
+	close(j.done)
+}
+
+// --- HTTP handlers ---
+
+// submitFileRequest is the POST /v1/files body.
+type submitFileRequest struct {
+	// Name labels the source in reports (defaults to "input.php").
+	Name string `json:"name"`
+	// Source is the PHP text to verify.
+	Source string `json:"source"`
+	// Dir, when set, roots include resolution at a server-local
+	// directory (the equivalent of WithDir). Rejected under DisableDirs.
+	Dir string `json:"dir,omitempty"`
+}
+
+func (s *Server) handleSubmitFile(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.maxSrc+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	if int64(len(body)) > s.maxSrc {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("source exceeds %d bytes", s.maxSrc))
+		return
+	}
+	var req submitFileRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return
+	}
+	if req.Source == "" {
+		writeError(w, http.StatusBadRequest, "missing \"source\"")
+		return
+	}
+	if req.Dir != "" && s.cfg.DisableDirs {
+		writeError(w, http.StatusForbidden, "server-local include roots are disabled")
+		return
+	}
+	name := req.Name
+	if name == "" {
+		name = "input.php"
+	}
+	s.enqueue(w, s.newJob("file", name, []byte(req.Source), req.Dir))
+}
+
+// submitDirRequest is the POST /v1/dirs body.
+type submitDirRequest struct {
+	// Dir is a server-local directory to verify recursively.
+	Dir string `json:"dir"`
+}
+
+func (s *Server) handleSubmitDir(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.DisableDirs {
+		writeError(w, http.StatusForbidden, "directory submissions are disabled")
+		return
+	}
+	var req submitDirRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return
+	}
+	if req.Dir == "" {
+		writeError(w, http.StatusBadRequest, "missing \"dir\"")
+		return
+	}
+	info, err := os.Stat(req.Dir)
+	if err != nil || !info.IsDir() {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("%q is not a readable directory", req.Dir))
+		return
+	}
+	s.enqueue(w, s.newJob("dir", req.Dir, nil, ""))
+}
+
+// enqueue admits a job and writes the submission response.
+func (s *Server) enqueue(w http.ResponseWriter, j *job) {
+	ok, draining := s.admit(j)
+	if draining {
+		s.dropJob(j)
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if !ok {
+		s.dropJob(j)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "queue is full; retry later")
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, map[string]any{
+		"job":    j.ID,
+		"status": fmt.Sprintf("/v1/jobs/%s", j.ID),
+		"result": fmt.Sprintf("/v1/jobs/%s/result", j.ID),
+		"stream": fmt.Sprintf("/v1/jobs/%s/stream", j.ID),
+	})
+}
+
+// dropJob removes a job that was never admitted.
+func (s *Server) dropJob(j *job) {
+	s.jobsMu.Lock()
+	delete(s.jobs, j.ID)
+	for i, id := range s.jobOrder {
+		if id == j.ID {
+			s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
+			break
+		}
+	}
+	s.jobsMu.Unlock()
+}
+
+func (s *Server) lookup(id string) *job {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	s.jobsMu.Lock()
+	ids := append([]string(nil), s.jobOrder...)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.jobsMu.Unlock()
+	out := make([]jobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.status())
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Submitted.After(out[k].Submitted) })
+	writeJSON(w, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, j.status())
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.mu.Lock()
+	state, errMsg := j.state, j.errMsg
+	fileRep, dirRep := j.fileRep, j.dirRep
+	j.mu.Unlock()
+	switch state {
+	case stateQueued, stateRunning:
+		writeError(w, http.StatusConflict, fmt.Sprintf("job is %s; poll status or follow the stream", state))
+		return
+	case stateFailed:
+		writeJSON(w, map[string]any{"id": j.ID, "kind": j.Kind, "error": errMsg})
+		return
+	}
+	if r.URL.Query().Get("text") == "1" && fileRep != nil {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = io.WriteString(w, fileRep.Text)
+		return
+	}
+	switch {
+	case fileRep != nil:
+		writeJSON(w, map[string]any{"id": j.ID, "kind": j.Kind, "report": fileRep})
+	case dirRep != nil:
+		writeJSON(w, map[string]any{"id": j.ID, "kind": j.Kind, "report": dirRep})
+	default:
+		writeError(w, http.StatusInternalServerError, "job finished without a report")
+	}
+}
+
+func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	w.Header().Set("Content-Type", NDJSONContentType)
+	w.WriteHeader(http.StatusOK)
+	flush := func() {
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+	replay, live, running := j.follow()
+	for _, line := range replay {
+		if _, err := w.Write(line); err != nil {
+			return
+		}
+	}
+	flush()
+	if !running {
+		return
+	}
+	for {
+		select {
+		case line, ok := <-live:
+			if !ok {
+				return
+			}
+			if _, err := w.Write(line); err != nil {
+				return
+			}
+			flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, map[string]any{
+		"status":   status,
+		"queued":   len(s.queue),
+		"inflight": s.inFlight.Load(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,425 @@
+// Package store is a crash-safe, content-addressed on-disk result store:
+// the second cache tier behind the engine's in-memory compile cache. The
+// first tier memoizes compiled Programs within one process; this tier
+// persists finished verification Reports across process restarts, keyed
+// by a content fingerprint (source bytes + prelude + model-shaping
+// options), so a service re-verifying an unchanged file answers from
+// disk without compiling or solving anything.
+//
+// Durability discipline:
+//
+//   - Writes are atomic: a blob is written to a temporary file in the
+//     store root and renamed into place, so a reader never observes a
+//     half-written entry and a crash mid-Put leaves at most a stray temp
+//     file (swept on Open).
+//   - Every blob carries a fixed header — magic, schema version, payload
+//     length, SHA-256 of the payload — verified on every read. A
+//     truncated, corrupted, or foreign file degrades to a miss (and is
+//     deleted); it is never an error and never a wrong answer.
+//   - A schema-version bump invalidates every existing entry the same
+//     way: old blobs read as misses and are garbage collected.
+//   - The store is bounded by bytes, not entries: when Put pushes the
+//     total past MaxBytes, least-recently-used blobs (by access time —
+//     Get touches the file) are evicted until the total fits again.
+//
+// The store is safe for concurrent use by any number of goroutines in
+// one process. Cross-process sharing of a root directory is tolerated —
+// atomic renames keep blobs internally consistent — but the byte
+// accounting is per-process, so dedicate one root per daemon.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"webssari/internal/telemetry"
+)
+
+// SchemaVersion is the on-disk blob format version. Bumping it
+// invalidates every previously written entry: old blobs read as misses
+// and are removed on contact or by GC.
+const SchemaVersion = 1
+
+// DefaultMaxBytes bounds the store when Options.MaxBytes is zero:
+// 256 MiB, far above the paper's whole corpus, present only so an
+// unattended daemon cannot grow a disk without bound.
+const DefaultMaxBytes = 256 << 20
+
+// blob header: magic (4) + schema (4, LE) + payload length (8, LE) +
+// SHA-256 of payload (32).
+var blobMagic = [4]byte{'W', 'S', 'S', 'R'}
+
+const headerSize = 4 + 4 + 8 + sha256.Size
+
+// Options configures Open.
+type Options struct {
+	// MaxBytes bounds the total size of retained blobs (headers
+	// included). Zero means DefaultMaxBytes; negative disables the bound.
+	MaxBytes int64
+}
+
+// Stats is a snapshot of the store's cumulative counters.
+type Stats struct {
+	// Hits counts Gets served a valid payload; Misses counts Gets that
+	// found nothing usable (absent, corrupt, or old-schema entries all
+	// count here — a degraded read is a miss, never an error).
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Puts counts successful writes.
+	Puts int64 `json:"puts"`
+	// Corrupt counts blobs dropped for failing header or checksum
+	// verification (a subset of Misses).
+	Corrupt int64 `json:"corrupt"`
+	// Stale counts entries invalidated by the caller (Invalidate): the
+	// blob itself was intact but its revalidation — e.g. an include-hash
+	// snapshot — failed.
+	Stale int64 `json:"stale"`
+	// GCEvictions counts blobs removed by the LRU-by-size collector;
+	// GCBytes sums their sizes.
+	GCEvictions int64 `json:"gc_evictions"`
+	GCBytes     int64 `json:"gc_bytes"`
+	// Entries and Bytes describe current occupancy.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// Store is a content-addressed blob store rooted at one directory.
+type Store struct {
+	root     string
+	maxBytes int64
+
+	hits    atomic.Int64
+	misses  atomic.Int64
+	puts    atomic.Int64
+	corrupt atomic.Int64
+	stale   atomic.Int64
+
+	// mu guards the size index (entries/bytes) and GC.
+	mu          sync.Mutex
+	sizes       map[string]int64 // key → blob size on disk
+	bytes       int64
+	gcEvictions int64
+	gcBytes     int64
+
+	// Live registry mirrors; nil (no-op) unless Instrument was called.
+	cHits    *telemetry.CounterMetric
+	cMisses  *telemetry.CounterMetric
+	cPuts    *telemetry.CounterMetric
+	cCorrupt *telemetry.CounterMetric
+	cStale   *telemetry.CounterMetric
+	cGCEvict *telemetry.CounterMetric
+	gEntries *telemetry.GaugeMetric
+	gBytes   *telemetry.GaugeMetric
+}
+
+// Open opens (creating if needed) a store rooted at dir, sweeps
+// leftover temp files from crashed writers, and indexes the existing
+// blobs. Blobs that fail the cheapest validity check (size smaller than
+// a header) are removed during indexing; deeper corruption is detected
+// lazily on Get.
+func Open(dir string, opts Options) (*Store, error) {
+	objDir := filepath.Join(dir, "objects")
+	if err := os.MkdirAll(objDir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		root:     dir,
+		maxBytes: opts.MaxBytes,
+		sizes:    make(map[string]int64),
+	}
+	if s.maxBytes == 0 {
+		s.maxBytes = DefaultMaxBytes
+	}
+	err := filepath.WalkDir(objDir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		if strings.HasPrefix(d.Name(), tmpPrefix) {
+			// A writer crashed between create and rename; the entry was
+			// never visible, so removing the temp loses nothing.
+			_ = os.Remove(path)
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		if info.Size() < headerSize {
+			_ = os.Remove(path)
+			s.corrupt.Add(1)
+			return nil
+		}
+		s.sizes[d.Name()] = info.Size()
+		s.bytes += info.Size()
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: indexing %s: %w", dir, err)
+	}
+	return s, nil
+}
+
+// Instrument mirrors the store's counters and occupancy into reg so a
+// daemon's /metrics page shows tier-2 effectiveness live. Call before
+// handing the store to workers; a nil registry is a no-op.
+func (s *Store) Instrument(reg *telemetry.Registry) {
+	s.cHits = reg.Counter(telemetry.MetricStoreHits)
+	s.cMisses = reg.Counter(telemetry.MetricStoreMisses)
+	s.cPuts = reg.Counter(telemetry.MetricStorePuts)
+	s.cCorrupt = reg.Counter(telemetry.MetricStoreCorrupt)
+	s.cStale = reg.Counter(telemetry.MetricStoreStale)
+	s.cGCEvict = reg.Counter(telemetry.MetricStoreGCEvictions)
+	s.gEntries = reg.Gauge(telemetry.MetricStoreEntries)
+	s.gBytes = reg.Gauge(telemetry.MetricStoreBytes)
+	s.mu.Lock()
+	s.gEntries.Set(int64(len(s.sizes)))
+	s.gBytes.Set(s.bytes)
+	s.mu.Unlock()
+}
+
+// Key derives a content address from an ordered list of parts: a
+// SHA-256 over the length-prefixed concatenation, hex encoded. Callers
+// build keys from everything that shapes the stored result (source
+// bytes, prelude fingerprint, option summary) so distinct inputs can
+// never collide on an address.
+func Key(parts ...string) string {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+const tmpPrefix = ".tmp-"
+
+// path maps a key to its blob path, sharded by the first byte to keep
+// directory fan-out bounded on large stores.
+func (s *Store) path(key string) string {
+	shard := "xx"
+	if len(key) >= 2 {
+		shard = key[:2]
+	}
+	return filepath.Join(s.root, "objects", shard, key)
+}
+
+// Get returns the payload stored under key. The second result is false
+// on any miss — absent, truncated, corrupted, or written under a
+// different schema version — and a bad blob is deleted so it cannot
+// fail again. Get never returns an error: a store that degrades is a
+// cold cache, not a broken verifier. A hit refreshes the blob's access
+// time, which is the LRU recency GC evicts by.
+func (s *Store) Get(key string) ([]byte, bool) {
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		s.misses.Add(1)
+		s.cMisses.Inc()
+		return nil, false
+	}
+	payload, ok := decodeBlob(data)
+	if !ok {
+		s.corrupt.Add(1)
+		s.cCorrupt.Inc()
+		s.drop(key)
+		s.misses.Add(1)
+		s.cMisses.Inc()
+		return nil, false
+	}
+	now := time.Now()
+	_ = os.Chtimes(s.path(key), now, now) // best-effort LRU touch
+	s.hits.Add(1)
+	s.cHits.Inc()
+	return payload, true
+}
+
+// Put stores payload under key, atomically: the blob becomes visible
+// only when complete. When the write pushes the store past its byte
+// budget, least-recently-used entries are evicted until it fits.
+func (s *Store) Put(key string, payload []byte) error {
+	blob := encodeBlob(SchemaVersion, payload)
+	dir := filepath.Dir(s.path(key))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, tmpPrefix+"*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	s.puts.Add(1)
+	s.cPuts.Inc()
+
+	s.mu.Lock()
+	if old, ok := s.sizes[key]; ok {
+		s.bytes -= old
+	}
+	s.sizes[key] = int64(len(blob))
+	s.bytes += int64(len(blob))
+	s.gcLocked()
+	s.gEntries.Set(int64(len(s.sizes)))
+	s.gBytes.Set(s.bytes)
+	s.mu.Unlock()
+	return nil
+}
+
+// Invalidate removes an entry whose blob was intact but whose content
+// failed the caller's revalidation (a stale include snapshot). It is
+// counted separately from corruption.
+func (s *Store) Invalidate(key string) {
+	s.stale.Add(1)
+	s.cStale.Inc()
+	s.drop(key)
+}
+
+// drop removes a blob file and its index entry.
+func (s *Store) drop(key string) {
+	_ = os.Remove(s.path(key))
+	s.mu.Lock()
+	if old, ok := s.sizes[key]; ok {
+		s.bytes -= old
+		delete(s.sizes, key)
+	}
+	s.gEntries.Set(int64(len(s.sizes)))
+	s.gBytes.Set(s.bytes)
+	s.mu.Unlock()
+}
+
+// GC evicts least-recently-used blobs until the store fits its byte
+// budget, returning how many entries were removed and how many bytes
+// were freed. Put runs the same collection automatically; GC exists for
+// callers that shrink the budget of a live store or want a scheduled
+// sweep.
+func (s *Store) GC() (evicted int, freed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e0, b0 := s.gcEvictions, s.gcBytes
+	s.gcLocked()
+	s.gEntries.Set(int64(len(s.sizes)))
+	s.gBytes.Set(s.bytes)
+	return int(s.gcEvictions - e0), s.gcBytes - b0
+}
+
+// gcLocked is the LRU-by-size collector; the caller holds s.mu. Recency
+// is the blob file's modification time, which Get refreshes.
+func (s *Store) gcLocked() {
+	if s.maxBytes < 0 || s.bytes <= s.maxBytes {
+		return
+	}
+	type aged struct {
+		key  string
+		size int64
+		at   time.Time
+	}
+	entries := make([]aged, 0, len(s.sizes))
+	for key, size := range s.sizes {
+		info, err := os.Stat(s.path(key))
+		at := time.Time{} // unstattable sorts oldest, evicted first
+		if err == nil {
+			at = info.ModTime()
+		}
+		entries = append(entries, aged{key, size, at})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].at.Before(entries[j].at) })
+	for _, e := range entries {
+		if s.bytes <= s.maxBytes {
+			break
+		}
+		_ = os.Remove(s.path(e.key))
+		delete(s.sizes, e.key)
+		s.bytes -= e.size
+		s.gcEvictions++
+		s.gcBytes += e.size
+		s.cGCEvict.Inc()
+	}
+}
+
+// Stats returns a snapshot of the store's counters and occupancy.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	entries, bytes := len(s.sizes), s.bytes
+	gcE, gcB := s.gcEvictions, s.gcBytes
+	s.mu.Unlock()
+	return Stats{
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Puts:        s.puts.Load(),
+		Corrupt:     s.corrupt.Load(),
+		Stale:       s.stale.Load(),
+		GCEvictions: gcE,
+		GCBytes:     gcB,
+		Entries:     entries,
+		Bytes:       bytes,
+	}
+}
+
+// Len returns the number of retained entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sizes)
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// encodeBlob frames a payload under the given schema version.
+func encodeBlob(version uint32, payload []byte) []byte {
+	out := make([]byte, headerSize+len(payload))
+	copy(out[0:4], blobMagic[:])
+	binary.LittleEndian.PutUint32(out[4:8], version)
+	binary.LittleEndian.PutUint64(out[8:16], uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	copy(out[16:16+sha256.Size], sum[:])
+	copy(out[headerSize:], payload)
+	return out
+}
+
+// decodeBlob verifies a blob's frame and returns its payload. Any
+// mismatch — short file, wrong magic, foreign schema version, length
+// disagreement, checksum failure — reads as invalid.
+func decodeBlob(data []byte) ([]byte, bool) {
+	if len(data) < headerSize {
+		return nil, false
+	}
+	if !bytes.Equal(data[0:4], blobMagic[:]) {
+		return nil, false
+	}
+	if binary.LittleEndian.Uint32(data[4:8]) != SchemaVersion {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint64(data[8:16])
+	payload := data[headerSize:]
+	if uint64(len(payload)) != n {
+		return nil, false
+	}
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], data[16:16+sha256.Size]) {
+		return nil, false
+	}
+	return payload, true
+}

@@ -36,6 +36,26 @@ const (
 	MetricPoolAcquires       = "webssari_pool_acquires_total"
 	MetricStageSeconds       = "webssari_stage_seconds"  // histogram, label stage
 	MetricDegraded           = "webssari_degraded_total" // counter, label cause
+
+	// Tier-2 (on-disk result store) series, mirrored live by
+	// store.Store.Instrument.
+	MetricStoreHits        = "webssari_store_hits_total"
+	MetricStoreMisses      = "webssari_store_misses_total"
+	MetricStorePuts        = "webssari_store_puts_total"
+	MetricStoreCorrupt     = "webssari_store_corrupt_total"
+	MetricStoreStale       = "webssari_store_stale_total"
+	MetricStoreGCEvictions = "webssari_store_gc_evictions_total"
+	MetricStoreEntries     = "webssari_store_entries"
+	MetricStoreBytes       = "webssari_store_bytes"
+
+	// Verification-service (webssarid) series.
+	MetricServiceQueueDepth   = "webssari_service_queue_depth"
+	MetricServiceInFlight     = "webssari_service_in_flight"
+	MetricServiceJobsAccepted = "webssari_service_jobs_accepted_total"
+	MetricServiceJobsRejected = "webssari_service_jobs_rejected_total"
+	MetricServiceJobsDone     = "webssari_service_jobs_completed_total"
+	MetricServiceJobsFailed   = "webssari_service_jobs_failed_total"
+	MetricServiceJobSeconds   = "webssari_service_job_seconds" // histogram
 )
 
 // Name encodes label pairs into a metric name: Name("x_seconds",

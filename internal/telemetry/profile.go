@@ -102,6 +102,10 @@ type RunProfile struct {
 	SolveWallNS   int64 `json:"solve_wall_ns"`
 	// CacheHit is set on per-file profiles served from the compile cache.
 	CacheHit bool `json:"cache_hit,omitempty"`
+	// StoreHit is set on per-file profiles served whole from the on-disk
+	// result store (tier 2): nothing was compiled or solved, so such a
+	// profile has no stage or solver data.
+	StoreHit bool `json:"store_hit,omitempty"`
 	// Stages holds finer-grained per-stage wall times (parse, flow,
 	// rename, constraints, encode, search), sorted by name.
 	Stages []StageProfile `json:"stages,omitempty"`
@@ -211,6 +215,9 @@ func (p *RunProfile) String() string {
 	}
 	if p.CacheHit {
 		b.WriteString(" (compile cached)")
+	}
+	if p.StoreHit {
+		b.WriteString(" (served from result store)")
 	}
 	s := p.Solver
 	fmt.Fprintf(&b, "; solver: %d decisions, %d propagations, %d conflicts, %d restarts, %d learnt",

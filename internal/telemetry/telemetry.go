@@ -19,9 +19,8 @@
 // across its whole worker pool.
 //
 // This package is also the module's single instrumentation entry point:
-// the source-instrumentation half (runtime-guard patching of PHP code,
-// formerly package internal/instrument) lives in the subpackage
-// telemetry/patch.
+// the source-instrumentation half (runtime-guard patching of PHP code)
+// lives in the subpackage telemetry/patch.
 package telemetry
 
 import "context"

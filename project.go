@@ -52,9 +52,16 @@ type ProjectReport struct {
 	// CacheHits and CacheMisses count how many files' front ends were
 	// served from the compile cache vs compiled fresh during this run.
 	// With a cold cache the counts are deterministic at any parallelism
-	// (concurrent compiles of identical content coalesce).
+	// (concurrent compiles of identical content coalesce). Files served
+	// whole from the result store never reach the compile cache and are
+	// counted in neither.
 	CacheHits   int `json:"cache_hits"`
 	CacheMisses int `json:"cache_misses"`
+	// StoreHits and StoreMisses count files served from / written
+	// through the persistent result store (tier 2); both stay zero when
+	// no store is attached (WithStore).
+	StoreHits   int `json:"store_hits,omitempty"`
+	StoreMisses int `json:"store_misses,omitempty"`
 	// Profile aggregates the per-file run profiles (wall times, stages,
 	// solver effort, degradations) and adds the project-level cache and
 	// worker-pool sections. Like the per-file profiles, its wall-clock
@@ -135,11 +142,15 @@ func VerifyDirContext(ctx context.Context, dir string, opts ...Option) (*Project
 
 	parallelism := 0 // NewPool treats <= 0 as GOMAXPROCS
 	var tel *telemetry.Telemetry
+	hasStore := false
+	var observer func(*Report)
 	if cfg, err := buildConfig(opts); err == nil {
 		if cfg.parallelism > 0 {
 			parallelism = cfg.parallelism
 		}
 		tel = cfg.telemetry
+		hasStore = cfg.resultStore != nil
+		observer = cfg.observer
 	}
 	pool := core.NewPool(parallelism)
 	ctx = telemetry.WithTelemetry(ctx, tel)
@@ -191,6 +202,12 @@ func VerifyDirContext(ctx context.Context, dir string, opts ...Option) (*Project
 				return
 			}
 			reps[i] = rep
+			if observer != nil {
+				// Streaming hook: deliver the report the moment it exists,
+				// in completion (not sorted) order, from the worker's own
+				// goroutine — the observer must be concurrency-safe.
+				observer(rep)
+			}
 		}(i, file)
 	}
 	wg.Wait()
@@ -211,10 +228,17 @@ func VerifyDirContext(ctx context.Context, dir string, opts ...Option) (*Project
 		pr.CompileWall += rep.CompileTime
 		pr.SolveWall += rep.SolveTime
 		prof.Merge(rep.Profile)
-		if rep.CacheHit {
-			pr.CacheHits++
+		if rep.StoreHit {
+			pr.StoreHits++
 		} else {
-			pr.CacheMisses++
+			if hasStore {
+				pr.StoreMisses++
+			}
+			if rep.CacheHit {
+				pr.CacheHits++
+			} else {
+				pr.CacheMisses++
+			}
 		}
 		if rep.Verdict == VerdictUnsafe {
 			pr.VulnerableFiles++

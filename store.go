@@ -1,0 +1,209 @@
+package webssari
+
+// This file wires the on-disk result store (internal/store) into the
+// verification entry points as a second cache tier. Tier 1 is the
+// in-process compile cache (compiled Programs, gone at exit); tier 2
+// persists finished Reports across process restarts, keyed by a content
+// fingerprint of everything that shapes a verdict: the source bytes,
+// the trust environment (prelude fingerprint), and every model- or
+// solver-shaping option. Re-verifying an unchanged file under an
+// unchanged configuration is a disk read — no parse, no SAT.
+//
+// Soundness rules:
+//
+//   - Only complete reports are persisted. A degraded run (deadline,
+//     conflict budget, resource ceiling, parse errors) depends on
+//     transient pressure; caching it would pin incompleteness.
+//   - A stored report remembers the include files spliced into its
+//     model (path → hash, plus probed-but-missing candidates). A hit is
+//     revalidated against the current loader before being served; an
+//     edited or newly appeared include invalidates the entry.
+//   - Corruption, truncation, and schema-version changes degrade to a
+//     miss inside internal/store — a damaged store is a cold cache,
+//     never a wrong answer.
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"webssari/internal/core"
+	"webssari/internal/store"
+	"webssari/internal/telemetry"
+)
+
+// ResultStore is the persistent, content-addressed result store
+// (tier 2). Open one with OpenStore and attach it with WithStore; one
+// ResultStore is safe for concurrent use across a whole daemon.
+type ResultStore = store.Store
+
+// OpenStore opens (creating if needed) a result store rooted at dir,
+// retaining at most maxBytes of blobs (0 = store.DefaultMaxBytes,
+// negative = unbounded).
+func OpenStore(dir string, maxBytes int64) (*ResultStore, error) {
+	return store.Open(dir, store.Options{MaxBytes: maxBytes})
+}
+
+// WithStore attaches a persistent result store: Verify (and VerifyDir,
+// which funnels through it) first consults the store and, on a valid
+// hit, returns the persisted report without compiling or solving;
+// complete fresh reports are written back. Patch and VerifyToHTML
+// bypass tier 2 — they need the compiled artifacts, not just the
+// verdict — but still benefit from the tier-1 compile cache.
+func WithStore(s *ResultStore) Option {
+	return func(c *config) error {
+		c.resultStore = s
+		return nil
+	}
+}
+
+// WithFileObserver registers a callback invoked with each file's
+// finished report during VerifyDir, in completion order, as soon as the
+// file's verification ends — the hook behind NDJSON streaming in the
+// xbmc CLI and the webssarid service. The callback may be invoked from
+// multiple worker goroutines concurrently; it must be safe for that.
+// Failed files (ProjectReport.Failures) do not produce a call.
+func WithFileObserver(fn func(*Report)) Option {
+	return func(c *config) error {
+		c.observer = fn
+		return nil
+	}
+}
+
+// resultSchema versions the envelope layout inside store blobs,
+// independent of the store's own framing version. Bump it when the
+// Report JSON shape changes incompatibly.
+const resultSchema = 1
+
+// storedEnvelope is the persisted form of one verification result: the
+// report plus what is needed to revalidate and re-render it.
+type storedEnvelope struct {
+	Schema int    `json:"schema"`
+	Name   string `json:"name"`
+	// IncludeHashes and IncludeMisses snapshot the include resolution
+	// the model was built under (see core.CompileCache revalidation).
+	IncludeHashes map[string]string `json:"include_hashes,omitempty"`
+	IncludeMisses []string          `json:"include_misses,omitempty"`
+	// Text is the rendered human-readable report, persisted separately
+	// because Report excludes it from JSON.
+	Text   string  `json:"text"`
+	Report *Report `json:"report"`
+}
+
+// resultKey fingerprints one verification request: every input that can
+// change the produced Report. Deadlines, parallelism, and telemetry are
+// deliberately excluded — they change whether a run completes, not what
+// a complete run concludes, and incomplete runs are never persisted.
+func resultKey(name string, src []byte, cfg *config) string {
+	return store.Key(
+		"webssari-result-v1",
+		name,
+		string(src),
+		cfg.pre.Fingerprint(),
+		fmt.Sprintf("dir=%s unroll=%d loader=%t", cfg.dir, cfg.unroll, cfg.loader != nil),
+		fmt.Sprintf("paper=%t blockall=%t maxcex=%d routine=%s",
+			cfg.paperMode, cfg.blockAll, cfg.maxCEX, cfg.routine),
+		fmt.Sprintf("solver=%+v", cfg.solver),
+		fmt.Sprintf("limits=%+v", cfg.limits),
+	)
+}
+
+// storeGet consults tier 2 for a finished report. A hit is decoded and
+// revalidated (envelope schema, include snapshot); any failure reads as
+// a miss. The returned report is marked StoreHit with a minimal fresh
+// profile — the persisted run's timings belong to the run that paid
+// them.
+func storeGet(ctx context.Context, cfg *config, name, key string) (*Report, bool) {
+	_, sp := telemetry.StartSpan(ctx, "store_get", "file", name)
+	defer sp.End()
+	payload, ok := cfg.resultStore.Get(key)
+	if !ok {
+		return nil, false
+	}
+	var env storedEnvelope
+	if err := json.Unmarshal(payload, &env); err != nil || env.Schema != resultSchema || env.Report == nil {
+		cfg.resultStore.Invalidate(key)
+		return nil, false
+	}
+	if !storedIncludesCurrent(&env, cfg) {
+		cfg.resultStore.Invalidate(key)
+		return nil, false
+	}
+	rep := env.Report
+	rep.Text = env.Text
+	rep.StoreHit = true
+	rep.Profile = &RunProfile{StoreHit: true}
+	return rep, true
+}
+
+// storedIncludesCurrent revalidates a persisted report's include
+// snapshot against the current loader, mirroring the compile cache's
+// includesCurrent: every spliced include must still hash the same and
+// every probed-but-missing candidate must still be missing.
+func storedIncludesCurrent(env *storedEnvelope, cfg *config) bool {
+	if len(env.IncludeHashes) == 0 && len(env.IncludeMisses) == 0 {
+		return true
+	}
+	if cfg.loader == nil {
+		return false
+	}
+	for path, want := range env.IncludeHashes {
+		data, err := cfg.loader(path)
+		if err != nil {
+			return false
+		}
+		sum := sha256.Sum256(data)
+		if hex.EncodeToString(sum[:]) != want {
+			return false
+		}
+	}
+	for _, cand := range env.IncludeMisses {
+		if _, err := cfg.loader(cand); err == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// storePut persists a finished report. Incomplete reports are skipped
+// (their shape depends on transient pressure); store write failures are
+// deliberately swallowed — a full or read-only disk degrades the cache,
+// not the verification.
+func storePut(ctx context.Context, cfg *config, name, key string, rep *Report, res *core.Result) {
+	if rep.Incomplete {
+		return
+	}
+	_, sp := telemetry.StartSpan(ctx, "store_put", "file", name)
+	defer sp.End()
+	env := storedEnvelope{
+		Schema: resultSchema,
+		Name:   name,
+		Text:   rep.Text,
+		Report: rep,
+	}
+	if res != nil && res.AI != nil {
+		if len(res.AI.IncludeHashes) > 0 {
+			env.IncludeHashes = make(map[string]string, len(res.AI.IncludeHashes))
+			for path, sum := range res.AI.IncludeHashes {
+				env.IncludeHashes[path] = sum
+			}
+		}
+		for cand := range res.AI.IncludeMisses {
+			env.IncludeMisses = append(env.IncludeMisses, cand)
+		}
+		sort.Strings(env.IncludeMisses)
+	}
+	// The profile is per-run, not per-content: strip it from the blob so
+	// identical verdicts persist identically (and blobs stay small).
+	saved := rep.Profile
+	rep.Profile = nil
+	payload, err := json.Marshal(&env)
+	rep.Profile = saved
+	if err != nil {
+		return
+	}
+	_ = cfg.resultStore.Put(key, payload)
+}

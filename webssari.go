@@ -48,6 +48,7 @@ import (
 	"webssari/internal/prelude"
 	"webssari/internal/report"
 	"webssari/internal/sat"
+	"webssari/internal/store"
 	"webssari/internal/telemetry"
 	"webssari/internal/telemetry/patch"
 	"webssari/internal/typestate"
@@ -183,6 +184,11 @@ type Report struct {
 	CompileTime time.Duration `json:"-"`
 	SolveTime   time.Duration `json:"-"`
 	CacheHit    bool          `json:"-"`
+	// StoreHit is set when the whole report was served from the
+	// persistent result store (tier 2, see WithStore): nothing was
+	// compiled or solved. Like CacheHit it is a view excluded from JSON;
+	// the same fact marshals under "profile".
+	StoreHit bool `json:"-"`
 }
 
 // Option configures Verify and Patch.
@@ -203,6 +209,8 @@ type config struct {
 	parallelism int
 	workers     *core.Pool
 	telemetry   *telemetry.Telemetry
+	resultStore *store.Store
+	observer    func(*Report)
 }
 
 // WithPrelude replaces the default trust environment with a prelude parsed
@@ -693,10 +701,24 @@ func Verify(src []byte, name string, opts ...Option) (*Report, error) {
 // VerifyContext is Verify under a context: cancellation or deadline
 // expiry degrades undecided assertions to Unknown and yields a report
 // with VerdictIncomplete rather than aborting.
+//
+// With a WithStore result store attached, the store is consulted first:
+// a valid persisted report for identical content under an identical
+// configuration is returned directly (Report.StoreHit), and complete
+// fresh reports are written back for future runs — including runs in
+// future processes.
 func VerifyContext(ctx context.Context, src []byte, name string, opts ...Option) (*Report, error) {
 	cfg, err := buildConfig(opts)
 	if err != nil {
 		return nil, err
+	}
+	var key string
+	if cfg.resultStore != nil {
+		tctx := telemetry.WithTelemetry(ctx, cfg.telemetry)
+		key = resultKey(name, src, cfg)
+		if rep, ok := storeGet(tctx, cfg, name, key); ok {
+			return rep, nil
+		}
 	}
 	ctx, cancel := cfg.applyDeadline(ctx)
 	defer cancel()
@@ -704,7 +726,11 @@ func VerifyContext(ctx context.Context, src []byte, name string, opts ...Option)
 	if err != nil {
 		return nil, err
 	}
-	return st.finish(buildReport(res, analysis), res), nil
+	rep := st.finish(buildReport(res, analysis), res)
+	if cfg.resultStore != nil {
+		storePut(telemetry.WithTelemetry(ctx, cfg.telemetry), cfg, name, key, rep, res)
+	}
+	return rep, nil
 }
 
 // Patch verifies the source and, when vulnerable, returns a secured
