@@ -1,0 +1,340 @@
+// Package client is the typed Go client for the webssarid verification
+// daemon: submit files and directories, poll job status, fetch results,
+// and follow the per-file NDJSON stream — over the versioned v1 wire
+// format (internal/service/api). The xbmc CLI's -remote mode and the
+// daemon's own integration tests are built on it; hand-rolled HTTP
+// against the daemon should not be necessary.
+//
+//	c := client.New("http://127.0.0.1:8080")
+//	sub, err := c.SubmitDir(ctx, client.SubmitDirRequest{Dir: "/srv/app"})
+//	st, err := c.Wait(ctx, sub.Job)
+//	pr, err := c.DirResult(ctx, sub.Job)
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"webssari"
+	"webssari/internal/service/api"
+)
+
+// Wire types re-exported so client callers need not import the
+// internal api package.
+type (
+	SubmitFileRequest = api.SubmitFileRequest
+	SubmitDirRequest  = api.SubmitDirRequest
+	SubmitResponse    = api.SubmitResponse
+	JobStatus         = api.JobStatus
+	JobState          = api.JobState
+	VersionResponse   = api.VersionResponse
+	Health            = api.Health
+)
+
+// Job lifecycle states, re-exported from the wire package.
+const (
+	StateQueued  = api.StateQueued
+	StateRunning = api.StateRunning
+	StateDone    = api.StateDone
+	StateFailed  = api.StateFailed
+)
+
+// Schema is the wire-format version this client speaks.
+const Schema = api.Schema
+
+// DefaultPollInterval paces Wait's status polling.
+const DefaultPollInterval = 200 * time.Millisecond
+
+// APIError is a non-2xx daemon answer: the HTTP status plus the error
+// message from the response body.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("webssarid: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+// JobFailedError is returned by Wait and the result accessors when the
+// job itself failed (as opposed to the HTTP exchange).
+type JobFailedError struct {
+	Job     string
+	Message string
+}
+
+// Error implements error.
+func (e *JobFailedError) Error() string {
+	return fmt.Sprintf("webssarid: job %s failed: %s", e.Job, e.Message)
+}
+
+// Client talks to one webssarid instance. The zero value is not usable;
+// construct with New. A Client is safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+	poll time.Duration
+}
+
+// ClientOption configures New.
+type ClientOption func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles). The default is http.DefaultClient.
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithPollInterval sets Wait's status-poll cadence.
+func WithPollInterval(d time.Duration) ClientOption {
+	return func(c *Client) { c.poll = d }
+}
+
+// New returns a client for the daemon at base (e.g.
+// "http://127.0.0.1:8080"; a trailing slash is tolerated).
+func New(base string, opts ...ClientOption) *Client {
+	c := &Client{
+		base: strings.TrimRight(base, "/"),
+		hc:   http.DefaultClient,
+		poll: DefaultPollInterval,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// do runs one JSON exchange: method+path, optional request body,
+// optional decoded response. Non-2xx answers decode into *APIError.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		payload, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("client: building request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("client: reading response: %w", err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		apiErr := &APIError{StatusCode: resp.StatusCode}
+		var e api.ErrorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			apiErr.Message = e.Error
+		} else {
+			apiErr.Message = strings.TrimSpace(string(data))
+		}
+		return apiErr
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("client: decoding response: %w", err)
+	}
+	return nil
+}
+
+// Version fetches the daemon's build and schema version.
+func (c *Client) Version(ctx context.Context) (VersionResponse, error) {
+	var v VersionResponse
+	err := c.do(ctx, http.MethodGet, "/v1/version", nil, &v)
+	return v, err
+}
+
+// Health fetches the daemon's liveness and queue occupancy.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var h Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}
+
+// SubmitFile submits one PHP source for verification (202 on success).
+func (c *Client) SubmitFile(ctx context.Context, req SubmitFileRequest) (SubmitResponse, error) {
+	var sub SubmitResponse
+	err := c.do(ctx, http.MethodPost, "/v1/files", req, &sub)
+	return sub, err
+}
+
+// SubmitDir submits a daemon-local directory for verification.
+func (c *Client) SubmitDir(ctx context.Context, req SubmitDirRequest) (SubmitResponse, error) {
+	var sub SubmitResponse
+	err := c.do(ctx, http.MethodPost, "/v1/dirs", req, &sub)
+	return sub, err
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Jobs lists all retained jobs, newest first.
+func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
+	var list api.JobList
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &list); err != nil {
+		return nil, err
+	}
+	return list.Jobs, nil
+}
+
+// Cancel requests a job's cancellation (stop a watch job, abort a
+// running or queued job) and returns the status at request time;
+// cancellation completes asynchronously.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Wait polls until the job reaches a terminal state and returns its
+// final status. A failed job returns *JobFailedError alongside the
+// status; ctx bounds the wait.
+func (c *Client) Wait(ctx context.Context, id string) (JobStatus, error) {
+	ticker := time.NewTicker(c.poll)
+	defer ticker.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			if st.State == StateFailed {
+				return st, &JobFailedError{Job: id, Message: st.Error}
+			}
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// result fetches a finished job's raw report payload.
+func (c *Client) result(ctx context.Context, id string) (api.ResultResponse, error) {
+	var res api.ResultResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &res); err != nil {
+		return res, err
+	}
+	if res.Error != "" {
+		return res, &JobFailedError{Job: id, Message: res.Error}
+	}
+	return res, nil
+}
+
+// FileResult fetches a finished file job's report.
+func (c *Client) FileResult(ctx context.Context, id string) (*webssari.Report, error) {
+	res, err := c.result(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	var rep webssari.Report
+	if err := json.Unmarshal(res.Report, &rep); err != nil {
+		return nil, fmt.Errorf("client: decoding report: %w", err)
+	}
+	return &rep, nil
+}
+
+// FileResultText fetches a finished file job's rendered human-readable
+// report (the ?text=1 view).
+func (c *Client) FileResultText(ctx context.Context, id string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/result?text=1", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	}
+	return string(data), nil
+}
+
+// DirResult fetches a finished directory job's project report.
+func (c *Client) DirResult(ctx context.Context, id string) (*webssari.ProjectReport, error) {
+	res, err := c.result(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	var pr webssari.ProjectReport
+	if err := json.Unmarshal(res.Report, &pr); err != nil {
+		return nil, fmt.Errorf("client: decoding project report: %w", err)
+	}
+	return &pr, nil
+}
+
+// Stream follows a job's NDJSON stream — replayed lines first, then
+// live lines until the job ends, ctx is cancelled, or fn returns an
+// error (which Stream returns). Each line is one raw JSON document:
+// a webssari.Report per finished file, plus (for watch-mode jobs) one
+// ProjectReport summary with "files": null closing each round.
+func (c *Client) Stream(ctx context.Context, id string, fn func(line json.RawMessage) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/stream", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		apiErr := &APIError{StatusCode: resp.StatusCode}
+		var e api.ErrorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			apiErr.Message = e.Error
+		} else {
+			apiErr.Message = strings.TrimSpace(string(data))
+		}
+		return apiErr
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if err := fn(append(json.RawMessage(nil), line...)); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return ctx.Err()
+}

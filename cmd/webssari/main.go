@@ -29,6 +29,10 @@
 //	-seed N           corpus generation seed
 //	-store DIR        persist verification results under DIR so unchanged
 //	                  files are re-verified from disk across runs
+//	-incremental      directory inputs only, requires -store: maintain a
+//	                  persistent include-dependency graph and re-verify
+//	                  only files whose content or transitive includes
+//	                  changed since the previous run
 //	-version          print version and exit
 //
 // Exit codes: 0 every input verified safe, 1 at least one vulnerability
@@ -105,6 +109,7 @@ func run(args []string) int {
 		scale    = fs.Float64("scale", 0.02, "corpus statement scale for -figure10")
 		seed     = fs.Uint64("seed", 2004, "corpus generation seed")
 		storeDir = fs.String("store", "", "persistent result store directory (\"\" disables)")
+		incr     = fs.Bool("incremental", false, "delta re-verification for directory inputs (requires -store)")
 		version  = fs.Bool("version", false, "print version and exit")
 	)
 	fs.Var(&sinks, "sink", "extra sink, NAME or NAME:argpos[,argpos...] (repeatable)")
@@ -129,6 +134,11 @@ func run(args []string) int {
 		return 2
 	}
 
+	if *incr && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "webssari: -incremental requires -store (the dependency graph lives in the result store)")
+		return 2
+	}
+
 	opts := []webssari.Option{webssari.WithLoopUnroll(*unroll)}
 	if *storeDir != "" {
 		st, err := webssari.OpenStore(*storeDir, 0)
@@ -137,6 +147,9 @@ func run(args []string) int {
 			return 2
 		}
 		opts = append(opts, webssari.WithStore(st))
+	}
+	if *incr {
+		opts = append(opts, webssari.WithIncremental())
 	}
 	var tel *webssari.Telemetry
 	if *traceF != "" || *metrics != "" {

@@ -21,6 +21,11 @@
 //	-max-conflicts N   SAT conflict budget per solver call (0 = unlimited)
 //	-no-dirs           reject directory submissions (clients may then only
 //	                   POST source text)
+//	-incremental       default directory jobs to delta re-verification via
+//	                   the persistent dependency graph (requires -store;
+//	                   per-job "incremental" overrides this)
+//	-watch-interval D  snapshot poll interval for watch-mode directory
+//	                   jobs (default 2s)
 //	-grace D           shutdown grace period for draining jobs (default 30s)
 //	-metrics-addr A    serve /metrics, /debug/vars, /debug/pprof on a
 //	                   second address (the API itself always has /metrics)
@@ -29,14 +34,20 @@
 // API (JSON unless noted):
 //
 //	POST /v1/files            {"name","source"[,"dir"]} → 202 {job,status,result,stream}
-//	POST /v1/dirs             {"dir"}                   → 202
+//	POST /v1/dirs             {"dir"[,"incremental","watch","watch_interval_ms"]} → 202
 //	GET  /v1/jobs             recent jobs, newest first
 //	GET  /v1/jobs/{id}        one job's status
+//	DELETE /v1/jobs/{id}      cancel a queued, running, or watch job
 //	GET  /v1/jobs/{id}/result finished report (409 while running; ?text=1
 //	                          for the human rendering of a file job)
 //	GET  /v1/jobs/{id}/stream NDJSON, one report per file as it completes
+//	                          (watch jobs add one summary line per round)
+//	GET  /v1/version          build and schema version
 //	GET  /healthz             liveness and queue occupancy
 //	GET  /metrics             Prometheus exposition
+//
+// Every JSON response carries "schema": "v1"; request bodies with
+// unknown fields are rejected with 400.
 //
 // On SIGTERM or SIGINT the daemon stops accepting work (503), lets
 // queued and in-flight jobs finish (up to -grace), and exits 0 on a
@@ -80,6 +91,8 @@ func run(args []string, ready chan<- string) int {
 		timeout     = fs.Duration("timeout", 0, "wall-clock deadline per verification unit (0 = none)")
 		maxConf     = fs.Uint64("max-conflicts", 0, "SAT conflict budget per solver call (0 = unlimited)")
 		noDirs      = fs.Bool("no-dirs", false, "reject directory submissions")
+		incr        = fs.Bool("incremental", false, "default directory jobs to delta re-verification (requires -store)")
+		watchIvl    = fs.Duration("watch-interval", service.DefaultWatchInterval, "snapshot poll interval for watch-mode jobs")
 		grace       = fs.Duration("grace", 30*time.Second, "shutdown grace period for draining jobs")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on a second address")
 		version     = fs.Bool("version", false, "print version and exit")
@@ -93,6 +106,10 @@ func run(args []string, ready chan<- string) int {
 	}
 	if fs.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "webssarid: unexpected arguments (the daemon takes submissions over HTTP)")
+		return 2
+	}
+	if *incr && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "webssarid: -incremental requires -store (the dependency graph lives in the result store)")
 		return 2
 	}
 
@@ -127,6 +144,8 @@ func run(args []string, ready chan<- string) int {
 		JobDeadline:    *timeout,
 		MaxConflicts:   *maxConf,
 		DisableDirs:    *noDirs,
+		Incremental:    *incr,
+		WatchInterval:  *watchIvl,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

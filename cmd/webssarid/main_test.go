@@ -2,20 +2,26 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
+	"os"
 	"path/filepath"
 	"regexp"
 	"strconv"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
+
+	"webssari"
+	"webssari/client"
 )
 
 // startDaemon runs the daemon body in-process on an ephemeral port and
-// returns its base URL and the exit-code channel.
-func startDaemon(t *testing.T, extra ...string) (string, <-chan int) {
+// returns a client for it and the exit-code channel.
+func startDaemon(t *testing.T, extra ...string) (*client.Client, string, <-chan int) {
 	t.Helper()
 	ready := make(chan string, 1)
 	exit := make(chan int, 1)
@@ -23,68 +29,54 @@ func startDaemon(t *testing.T, extra ...string) (string, <-chan int) {
 	go func() { exit <- run(args, ready) }()
 	select {
 	case addr := <-ready:
-		return "http://" + addr, exit
+		base := "http://" + addr
+		return client.New(base, client.WithPollInterval(20*time.Millisecond)), base, exit
 	case code := <-exit:
 		t.Fatalf("daemon exited before binding: %d", code)
 	case <-time.After(10 * time.Second):
 		t.Fatal("daemon did not bind")
 	}
-	return "", nil
+	return nil, "", nil
 }
 
-func postJSON(t *testing.T, url string, body any) (int, map[string]any) {
+// submitDirAndWait submits a directory job and waits for it to finish.
+func submitDirAndWait(t *testing.T, c *client.Client, dir string) string {
 	t.Helper()
-	data, err := json.Marshal(body)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	sub, err := c.SubmitDir(ctx, client.SubmitDirRequest{Dir: dir})
+	if err != nil {
+		t.Fatalf("submit dir: %v", err)
+	}
+	if sub.SchemaV != client.Schema {
+		t.Fatalf("submit response schema = %q, want %q", sub.SchemaV, client.Schema)
+	}
+	if _, err := c.Wait(ctx, sub.Job); err != nil {
+		t.Fatalf("job %s: %v", sub.Job, err)
+	}
+	return sub.Job
+}
+
+// projectJSON fetches a finished dir job's report as a decoded JSON tree
+// (the client's typed accessor, re-marshalled, so comparisons see the
+// wire shape).
+func projectJSON(t *testing.T, c *client.Client, id string) map[string]any {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	pr, err := c.DirResult(ctx, id)
+	if err != nil {
+		t.Fatalf("result %s: %v", id, err)
+	}
+	data, err := json.Marshal(pr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
-	if err != nil {
+	var tree map[string]any
+	if err := json.Unmarshal(data, &tree); err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	var out map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		t.Fatalf("decoding response: %v", err)
-	}
-	return resp.StatusCode, out
-}
-
-func getJSON(t *testing.T, url string) map[string]any {
-	t.Helper()
-	resp, err := http.Get(url)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var out map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		t.Fatalf("decoding %s: %v", url, err)
-	}
-	return out
-}
-
-// submitDirAndWait submits a directory job and polls it to completion.
-func submitDirAndWait(t *testing.T, base, dir string) string {
-	t.Helper()
-	code, sub := postJSON(t, base+"/v1/dirs", map[string]string{"dir": dir})
-	if code != http.StatusAccepted {
-		t.Fatalf("submit dir: HTTP %d (%v)", code, sub)
-	}
-	id := sub["job"].(string)
-	deadline := time.Now().Add(60 * time.Second)
-	for time.Now().Before(deadline) {
-		st := getJSON(t, base+"/v1/jobs/"+id)
-		switch st["state"] {
-		case "done":
-			return id
-		case "failed":
-			t.Fatalf("job failed: %v", st["error"])
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
-	t.Fatal("job did not finish")
-	return ""
+	return tree
 }
 
 // stripProfiles removes every nondeterministic "profile" object (and the
@@ -117,20 +109,18 @@ func TestDaemonEndToEnd(t *testing.T) {
 		t.Skip("end-to-end daemon test")
 	}
 	storeDir := t.TempDir()
-	base, exit := startDaemon(t, "-store", storeDir, "-grace", "60s")
+	c, base, exit := startDaemon(t, "-store", storeDir, "-grace", "60s")
 	examples, err := filepath.Abs(filepath.Join("..", "..", "examples", "php"))
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	id1 := submitDirAndWait(t, base, examples)
-	id2 := submitDirAndWait(t, base, examples)
+	id1 := submitDirAndWait(t, c, examples)
+	id2 := submitDirAndWait(t, c, examples)
 
 	// The corpus has deliberate vulnerabilities: both runs say unsafe.
-	res1 := getJSON(t, base+"/v1/jobs/"+id1+"/result")
-	res2 := getJSON(t, base+"/v1/jobs/"+id2+"/result")
-	rep1 := res1["report"].(map[string]any)
-	rep2 := res2["report"].(map[string]any)
+	rep1 := projectJSON(t, c, id1)
+	rep2 := projectJSON(t, c, id2)
 	if rep1["vulnerable_files"].(float64) == 0 {
 		t.Fatalf("examples corpus reported no vulnerable files: %v", rep1)
 	}
@@ -155,11 +145,11 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 
 	// SIGTERM with a job in flight: the daemon drains it and exits 0.
-	code, sub := postJSON(t, base+"/v1/dirs", map[string]string{"dir": examples})
-	if code != http.StatusAccepted {
-		t.Fatalf("pre-shutdown submit: HTTP %d", code)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := c.SubmitDir(ctx, client.SubmitDirRequest{Dir: examples}); err != nil {
+		t.Fatalf("pre-shutdown submit: %v", err)
 	}
-	lastID := sub["job"].(string)
 	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +161,6 @@ func TestDaemonEndToEnd(t *testing.T) {
 	case <-time.After(90 * time.Second):
 		t.Fatal("daemon did not exit after SIGTERM")
 	}
-	_ = lastID // drained to completion by the exit-0 contract
 }
 
 // scrapeMetric fetches a Prometheus page and returns one series' value.
@@ -210,8 +199,8 @@ func TestDaemonStorePersistsAcrossRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	base, exit := startDaemon(t, "-store", storeDir)
-	submitDirAndWait(t, base, examples)
+	c, _, exit := startDaemon(t, "-store", storeDir)
+	submitDirAndWait(t, c, examples)
 	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}
@@ -219,8 +208,8 @@ func TestDaemonStorePersistsAcrossRestart(t *testing.T) {
 		t.Fatalf("first daemon exited %d", code)
 	}
 
-	base, exit = startDaemon(t, "-store", storeDir)
-	submitDirAndWait(t, base, examples)
+	c, base, exit := startDaemon(t, "-store", storeDir)
+	submitDirAndWait(t, c, examples)
 	if hits := scrapeMetric(t, base+"/metrics", "webssari_store_hits_total"); hits < 1 {
 		t.Fatalf("restarted daemon store hits = %d, want >= 1", hits)
 	}
@@ -229,6 +218,128 @@ func TestDaemonStorePersistsAcrossRestart(t *testing.T) {
 	}
 	if code := <-exit; code != 0 {
 		t.Fatalf("second daemon exited %d", code)
+	}
+}
+
+// TestDaemonIncrementalAndWatch exercises the delta path end to end
+// through the daemon: an -incremental daemon re-verifies an unchanged
+// project entirely from the dependency graph, a watch job picks up an
+// edit and re-verifies within its poll interval, and DELETE ends the
+// watch cleanly with the last round's verdict.
+func TestDaemonIncrementalAndWatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end daemon test")
+	}
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("lib.php", "<?php $greeting = $_GET['q']; ?>\n")
+	write("page.php", "<?php include 'lib.php'; echo $greeting; ?>\n")
+
+	c, base, exit := startDaemon(t,
+		"-store", t.TempDir(), "-incremental", "-watch-interval", "50ms", "-grace", "60s")
+
+	// Cold then warm one-shot runs. The counters are cumulative: the cold
+	// full run plans both files, the warm run plans nothing and serves
+	// both from the graph.
+	submitDirAndWait(t, c, dir)
+	id2 := submitDirAndWait(t, c, dir)
+	if planned := scrapeMetric(t, base+"/metrics", "webssari_incremental_planned_total"); planned != 2 {
+		t.Fatalf("cold+warm runs planned %d file(s) total, want 2 (cold run only)", planned)
+	}
+	if skipped := scrapeMetric(t, base+"/metrics", "webssari_incremental_skipped_total"); skipped != 2 {
+		t.Fatalf("warm re-verification skipped %d file(s), want 2", skipped)
+	}
+	if full := scrapeMetric(t, base+"/metrics", "webssari_incremental_full_runs_total"); full != 1 {
+		t.Fatalf("full-run counter = %d, want 1 (the cold run)", full)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	pr, err := c.DirResult(ctx, id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Verdict() != webssari.VerdictUnsafe {
+		t.Fatalf("graph-served project verdict = %q, want unsafe", pr.Verdict())
+	}
+
+	// Watch: first round streams 2 file lines + 1 summary; an edit that
+	// breaks page.php's sink triggers a second round re-verifying only
+	// the dependents of lib.php (both files here — page includes lib).
+	sub, err := c.SubmitDir(ctx, client.SubmitDirRequest{Dir: dir, Watch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type round struct{ files, summaries int }
+	lines := make(chan json.RawMessage, 64)
+	streamDone := make(chan error, 1)
+	go func() {
+		streamDone <- c.Stream(ctx, sub.Job, func(line json.RawMessage) error {
+			lines <- line
+			return nil
+		})
+	}()
+	collectRound := func() round {
+		t.Helper()
+		var r round
+		for {
+			select {
+			case line := <-lines:
+				if strings.Contains(string(line), `"vulnerable_files"`) {
+					r.summaries++
+					return r
+				}
+				r.files++
+			case <-time.After(30 * time.Second):
+				t.Fatalf("watch round incomplete: %+v", r)
+			}
+		}
+	}
+	first := collectRound()
+	if first.files != 2 || first.summaries != 1 {
+		t.Fatalf("watch round 1 streamed %+v, want 2 files + 1 summary", first)
+	}
+
+	// Sanitize the include: the next round must see the change and flip
+	// the verdict to safe. Content length changes, so even a coarse mtime
+	// cannot mask the edit.
+	write("lib.php", "<?php $greeting = htmlspecialchars($_GET['q']); ?>\n")
+	second := collectRound()
+	if second.summaries != 1 {
+		t.Fatalf("watch round 2 streamed %+v, want a summary line", second)
+	}
+
+	st, err := c.Cancel(ctx, sub.Job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Watch {
+		t.Fatalf("job status watch = false, want true")
+	}
+	final, err := c.Wait(ctx, sub.Job)
+	if err != nil {
+		t.Fatalf("watch job after cancel: %v", err)
+	}
+	if final.State != client.StateDone {
+		t.Fatalf("cancelled watch job state = %q, want done", final.State)
+	}
+	if final.Rounds < 2 {
+		t.Fatalf("watch job rounds = %d, want >= 2", final.Rounds)
+	}
+	if final.Verdict != webssari.VerdictSafe {
+		t.Fatalf("verdict after sanitizing edit = %q, want safe", final.Verdict)
+	}
+	<-streamDone
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := <-exit; code != 0 {
+		t.Fatalf("daemon exited %d after SIGTERM, want 0", code)
 	}
 }
 
@@ -243,5 +354,12 @@ func TestVersionFlag(t *testing.T) {
 func TestRejectsPositionalArgs(t *testing.T) {
 	if code := run([]string{"file.php"}, nil); code != 2 {
 		t.Fatalf("positional args exited %d, want 2", code)
+	}
+}
+
+// TestIncrementalNeedsStore pins the flag-validation contract.
+func TestIncrementalNeedsStore(t *testing.T) {
+	if code := run([]string{"-incremental"}, nil); code != 2 {
+		t.Fatalf("-incremental without -store exited %d, want 2", code)
 	}
 }

@@ -27,18 +27,32 @@
 // newline-delimited JSON stream the webssarid daemon emits — one report
 // object per file as it completes, then one final project summary line —
 // and -store DIR attaches the persistent result store so unchanged
-// files re-verify from disk across runs. -version prints the build's
-// version banner and exits.
+// files re-verify from disk across runs. -incremental (requires -store)
+// additionally maintains a persistent include-dependency graph and
+// re-verifies only files whose content or transitive includes changed
+// since the last run. -version prints the build's version banner and
+// exits.
+//
+// Remote mode: -remote URL hands the target to a running webssarid
+// daemon through the typed client package instead of verifying
+// in-process — a file's source is uploaded, a directory path is resolved
+// on the daemon's filesystem. -watch (directories only) keeps the remote
+// job alive, re-verifying on every change and streaming each round's
+// NDJSON lines to stdout until interrupted (Ctrl-C cancels the job
+// server-side before exiting).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"webssari"
+	"webssari/client"
 	"webssari/internal/buildinfo"
 	"webssari/internal/cnf"
 	"webssari/internal/constraint"
@@ -70,6 +84,9 @@ func run(args []string) int {
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address (\":0\" picks a free port)")
 		ndjsonOut   = fs.Bool("ndjson", false, "directory mode: stream per-file reports as NDJSON to stdout")
 		storeDir    = fs.String("store", "", "directory mode: persistent result store directory (\"\" disables)")
+		incremental = fs.Bool("incremental", false, "directory mode: delta re-verification via the dependency graph (requires -store)")
+		remoteURL   = fs.String("remote", "", "verify via a webssarid daemon at this base URL instead of in-process")
+		watchMode   = fs.Bool("watch", false, "remote directory mode: re-verify on every change until interrupted")
 		version     = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -85,6 +102,21 @@ func run(args []string) int {
 	}
 	if *jobs < 0 {
 		fmt.Fprintf(os.Stderr, "xbmc: -j must be ≥ 0, got %d\n", *jobs)
+		return 2
+	}
+	if *watchMode && *remoteURL == "" {
+		fmt.Fprintln(os.Stderr, "xbmc: -watch requires -remote (watch jobs run on the daemon)")
+		return 2
+	}
+	if *remoteURL != "" {
+		if *stage != "" || *naive {
+			fmt.Fprintln(os.Stderr, "xbmc: -stage and -naive are local-only; they cannot combine with -remote")
+			return 2
+		}
+		return runRemote(fs.Arg(0), *remoteURL, *incremental, *watchMode, *ndjsonOut, *timeout)
+	}
+	if *incremental && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "xbmc: -incremental requires -store (the dependency graph lives in the result store)")
 		return 2
 	}
 
@@ -136,10 +168,13 @@ func run(args []string) int {
 			}
 			opts = append(opts, webssari.WithStore(st))
 		}
+		if *incremental {
+			opts = append(opts, webssari.WithIncremental())
+		}
 		return verifyDir(target, opts, *ndjsonOut, *verbose)
 	}
-	if *ndjsonOut || *storeDir != "" {
-		fmt.Fprintln(os.Stderr, "xbmc: -ndjson and -store apply to directory mode only")
+	if *ndjsonOut || *storeDir != "" || *incremental {
+		fmt.Fprintln(os.Stderr, "xbmc: -ndjson, -store, and -incremental apply to directory mode only")
 		return 2
 	}
 
@@ -337,7 +372,13 @@ func verifyDir(dir string, opts []webssari.Option, ndjson, verbose bool) int {
 	if verbose && pr.Profile != nil {
 		fmt.Fprintf(os.Stderr, "xbmc: %s: %s\n", dir, pr.Profile)
 	}
-	switch pr.Verdict() {
+	return verdictExit(pr.Verdict())
+}
+
+// verdictExit maps a three-valued verdict to the process exit code
+// shared by local and remote modes: 0 safe, 1 unsafe, 3 incomplete.
+func verdictExit(verdict string) int {
+	switch verdict {
 	case webssari.VerdictUnsafe:
 		return 1
 	case webssari.VerdictIncomplete:
@@ -345,6 +386,134 @@ func verifyDir(dir string, opts []webssari.Option, ndjson, verbose bool) int {
 	default:
 		return 0
 	}
+}
+
+// runRemote verifies the target through a webssarid daemon via the
+// typed client package, preserving the local exit-code contract. A file
+// target has its source uploaded; a directory target must exist on the
+// daemon's filesystem. Watch jobs stream until interrupted; Ctrl-C
+// cancels the remote job before exiting.
+func runRemote(target, base string, incremental, watch, ndjson bool, timeout time.Duration) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if timeout > 0 && !watch {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	c := client.New(base)
+
+	info, statErr := os.Stat(target)
+	if watch || (statErr == nil && info.IsDir()) {
+		return runRemoteDir(ctx, c, target, incremental, watch, ndjson)
+	}
+
+	src, err := os.ReadFile(target)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
+		return 2
+	}
+	sub, err := c.SubmitFile(ctx, client.SubmitFileRequest{Name: target, Source: string(src)})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
+		return 2
+	}
+	if _, err := c.Wait(ctx, sub.Job); err != nil {
+		fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
+		return 2
+	}
+	text, err := c.FileResultText(ctx, sub.Job)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
+		return 2
+	}
+	fmt.Print(text)
+	rep, err := c.FileResult(ctx, sub.Job)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
+		return 2
+	}
+	return verdictExit(rep.Verdict)
+}
+
+// runRemoteDir submits one daemon-side directory job (one-shot or
+// watch) and renders its outcome.
+func runRemoteDir(ctx context.Context, c *client.Client, dir string, incremental, watch, ndjson bool) int {
+	req := client.SubmitDirRequest{Dir: dir, Watch: watch}
+	if incremental {
+		on := true
+		req.Incremental = &on
+	}
+	sub, err := c.SubmitDir(ctx, req)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
+		return 2
+	}
+
+	streamDone := make(chan error, 1)
+	if ndjson || watch {
+		go func() {
+			streamDone <- c.Stream(ctx, sub.Job, func(line json.RawMessage) error {
+				_, werr := os.Stdout.Write(append(line, '\n'))
+				return werr
+			})
+		}()
+	}
+
+	if watch {
+		// Stream until the job ends on its own (daemon drain) or the user
+		// interrupts; on interrupt, cancel the remote job so the daemon
+		// stops polling, then exit with the last round's verdict.
+		serr := <-streamDone
+		cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		st, cerr := c.Cancel(cctx, sub.Job)
+		if cerr != nil {
+			fmt.Fprintf(os.Stderr, "xbmc: cancelling watch job: %v\n", cerr)
+			if serr != nil && serr != context.Canceled {
+				fmt.Fprintf(os.Stderr, "xbmc: %v\n", serr)
+			}
+			return 2
+		}
+		if final, werr := c.Wait(cctx, sub.Job); werr == nil {
+			st = final
+		}
+		fmt.Fprintf(os.Stderr, "xbmc: watch ended after %d round(s)\n", st.Rounds)
+		return verdictExit(st.Verdict)
+	}
+
+	if _, err := c.Wait(ctx, sub.Job); err != nil {
+		fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
+		return 2
+	}
+	pr, err := c.DirResult(ctx, sub.Job)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
+		return 2
+	}
+	if ndjson {
+		// Per-file lines came from the daemon's stream; close with the
+		// same project-summary line local -ndjson emits.
+		if serr := <-streamDone; serr != nil && ctx.Err() == nil {
+			fmt.Fprintf(os.Stderr, "xbmc: %v\n", serr)
+		}
+		summary := *pr
+		summary.Files = nil
+		_ = service.NewNDJSON(os.Stdout).Encode(&summary)
+	} else {
+		for _, rep := range pr.Files {
+			fmt.Printf("%s: %s (%d group(s), %d symptom(s))\n",
+				rep.File, rep.Verdict, rep.Groups, rep.Symptoms)
+		}
+	}
+	for _, fail := range pr.Failures {
+		fmt.Fprintf(os.Stderr, "xbmc: %s: %s stage: %s\n", fail.File, fail.Stage, fail.Cause)
+	}
+	if !ndjson {
+		fmt.Printf("project %s: %d file(s), %d vulnerable, %d incomplete, %d failed\n",
+			dir, len(pr.Files), pr.VulnerableFiles, pr.IncompleteFiles, len(pr.Failures))
+	}
+	return verdictExit(pr.Verdict())
 }
 
 // writeTraceFile dumps the collected spans as Chrome trace-event JSON.

@@ -1,0 +1,6 @@
+<?php
+// A standalone page with no includes: its verdict does not depend on
+// header.php, so incremental re-verification must keep serving it from
+// the store when the shared header is edited.
+echo "<html><body><p>About this site.</p></body></html>";
+?>

@@ -1,0 +1,126 @@
+// Package api defines the versioned wire types of the webssarid
+// HTTP/JSON interface. Every response body carries `"schema": "v1"`;
+// request bodies reject unknown fields, so client typos fail loudly
+// instead of being silently ignored. The daemon (internal/service) and
+// the Go client (package client) share these types, and the schema
+// constant is the compatibility contract between them: additive changes
+// keep "v1", breaking changes bump it.
+package api
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// Schema is the wire-format version stamped into every response.
+const Schema = "v1"
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+// Job lifecycle states: queued → running → done | failed.
+const (
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool { return s == StateDone || s == StateFailed }
+
+// SubmitFileRequest is the POST /v1/files body.
+type SubmitFileRequest struct {
+	// Name labels the source in reports (defaults to "input.php").
+	Name string `json:"name,omitempty"`
+	// Source is the PHP text to verify.
+	Source string `json:"source"`
+	// Dir, when set, roots include resolution at a server-local
+	// directory. Rejected when the daemon disables directory access.
+	Dir string `json:"dir,omitempty"`
+}
+
+// SubmitDirRequest is the POST /v1/dirs body.
+type SubmitDirRequest struct {
+	// Dir is a server-local directory to verify recursively.
+	Dir string `json:"dir"`
+	// Incremental overrides the daemon's default delta-verification
+	// setting for this job; nil keeps the server default. Requires the
+	// daemon to run with a result store to have any effect.
+	Incremental *bool `json:"incremental,omitempty"`
+	// Watch keeps the job alive after the first verification: the daemon
+	// polls the directory snapshot and re-verifies on every change,
+	// streaming each round's per-file reports plus a summary line over
+	// the job's NDJSON stream, until the job is cancelled (DELETE) or the
+	// server drains.
+	Watch bool `json:"watch,omitempty"`
+	// WatchIntervalMS is the snapshot poll interval in milliseconds
+	// (0 = server default).
+	WatchIntervalMS int `json:"watch_interval_ms,omitempty"`
+}
+
+// SubmitResponse answers an accepted submission (HTTP 202).
+type SubmitResponse struct {
+	SchemaV string `json:"schema"`
+	Job     string `json:"job"`
+	Status  string `json:"status"`
+	Result  string `json:"result"`
+	Stream  string `json:"stream"`
+}
+
+// JobStatus is one job's status rendering. SchemaV is set on top-level
+// responses (GET /v1/jobs/{id}) and empty inside JobList entries.
+type JobStatus struct {
+	SchemaV   string     `json:"schema,omitempty"`
+	ID        string     `json:"id"`
+	Kind      string     `json:"kind"`
+	Target    string     `json:"target"`
+	State     JobState   `json:"state"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	Verdict   string     `json:"verdict,omitempty"`
+	// Watch marks a watch-mode job; Rounds counts its completed
+	// verification rounds.
+	Watch  bool `json:"watch,omitempty"`
+	Rounds int  `json:"rounds,omitempty"`
+}
+
+// JobList is the GET /v1/jobs response (newest first).
+type JobList struct {
+	SchemaV string      `json:"schema"`
+	Jobs    []JobStatus `json:"jobs"`
+}
+
+// ResultResponse is the GET /v1/jobs/{id}/result response. Report is
+// the raw webssari.Report (file jobs) or webssari.ProjectReport (dir
+// jobs) JSON; typed accessors live in the client package.
+type ResultResponse struct {
+	SchemaV string          `json:"schema"`
+	ID      string          `json:"id"`
+	Kind    string          `json:"kind"`
+	Error   string          `json:"error,omitempty"`
+	Report  json.RawMessage `json:"report,omitempty"`
+}
+
+// VersionResponse is the GET /v1/version response.
+type VersionResponse struct {
+	SchemaV string `json:"schema"`
+	// Version is the daemon's buildinfo banner.
+	Version string `json:"version"`
+}
+
+// Health is the GET /healthz response.
+type Health struct {
+	SchemaV  string `json:"schema"`
+	Status   string `json:"status"`
+	Queued   int    `json:"queued"`
+	InFlight int64  `json:"inflight"`
+}
+
+// ErrorResponse is the body of every non-2xx JSON answer.
+type ErrorResponse struct {
+	SchemaV string `json:"schema"`
+	Error   string `json:"error"`
+}

@@ -23,19 +23,39 @@
 //     queued and in-flight jobs run to completion, then the server
 //     stops. cmd/webssarid triggers this on SIGTERM.
 //
+// Directory jobs support two refinements on top of PR-4 semantics:
+//
+//   - Delta verification: with a store attached and incremental mode on
+//     (Config.Incremental, overridable per job), re-submitting a
+//     directory re-verifies only changed files plus their
+//     reverse-dependency closure (webssari.WithIncremental).
+//   - Watch mode: a {"watch": true} directory job stays alive after its
+//     first round, polling the directory's stat snapshot (no OS watcher
+//     dependency) and re-verifying on every change; each round streams
+//     its per-file reports plus one summary line over the job's NDJSON
+//     channel. Watch jobs end on DELETE /v1/jobs/{id} or server drain.
+//
+// Wire format: every JSON response is stamped `"schema": "v1"`, request
+// bodies reject unknown fields, and the payload types live in the
+// shared internal/service/api package (see also the root client
+// package).
+//
 // Endpoints:
 //
-//	POST /v1/files            {"name","source"[,"dir"]} → 202 {job}
-//	POST /v1/dirs             {"dir"}                   → 202 {job}
-//	GET  /v1/jobs             job summaries (newest first)
-//	GET  /v1/jobs/{id}        one job's status
-//	GET  /v1/jobs/{id}/result finished job's full report (409 while running)
-//	GET  /v1/jobs/{id}/stream NDJSON: per-file reports as they complete
-//	GET  /healthz             liveness + queue occupancy
-//	GET  /metrics             Prometheus exposition (with a Telemetry)
+//	POST   /v1/files            api.SubmitFileRequest → 202 api.SubmitResponse
+//	POST   /v1/dirs             api.SubmitDirRequest  → 202 api.SubmitResponse
+//	GET    /v1/jobs             api.JobList (newest first)
+//	GET    /v1/jobs/{id}        api.JobStatus
+//	DELETE /v1/jobs/{id}        cancel: stop a watch job / abort a running job
+//	GET    /v1/jobs/{id}/result api.ResultResponse (409 while running)
+//	GET    /v1/jobs/{id}/stream NDJSON: per-file reports as they complete
+//	GET    /v1/version          api.VersionResponse (buildinfo + schema)
+//	GET    /healthz             api.Health: liveness + queue occupancy
+//	GET    /metrics             Prometheus exposition (with a Telemetry)
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -48,7 +68,9 @@ import (
 	"time"
 
 	"webssari"
+	"webssari/internal/buildinfo"
 	"webssari/internal/core"
+	"webssari/internal/service/api"
 	"webssari/internal/store"
 	"webssari/internal/telemetry"
 )
@@ -90,19 +112,31 @@ type Config struct {
 	// DisableDirs rejects directory submissions — for deployments where
 	// the daemon must not read server-local paths chosen by clients.
 	DisableDirs bool
+	// Incremental makes directory jobs use delta re-verification by
+	// default (webssari.WithIncremental; needs Store). Individual
+	// submissions can override it via api.SubmitDirRequest.Incremental.
+	Incremental bool
+	// WatchInterval is the snapshot poll interval of watch-mode
+	// directory jobs (0 = DefaultWatchInterval).
+	WatchInterval time.Duration
 	// Options are extra engine options appended to every job (preludes,
 	// extra sinks).
 	Options []webssari.Option
 }
 
-// jobState is a job's lifecycle phase.
-type jobState string
+// DefaultWatchInterval is the watch-mode poll cadence when
+// Config.WatchInterval is zero: fast enough to feel live, cheap enough
+// (a stat walk) to run forever.
+const DefaultWatchInterval = 2 * time.Second
+
+// jobState aliases the wire-level lifecycle states (internal/service/api).
+type jobState = api.JobState
 
 const (
-	stateQueued  jobState = "queued"
-	stateRunning jobState = "running"
-	stateDone    jobState = "done"
-	stateFailed  jobState = "failed"
+	stateQueued  = api.StateQueued
+	stateRunning = api.StateRunning
+	stateDone    = api.StateDone
+	stateFailed  = api.StateFailed
 )
 
 // job is one submitted verification unit.
@@ -114,6 +148,11 @@ type job struct {
 	source []byte // file jobs only
 	dir    string // file jobs: optional include root
 
+	// Directory-job refinements (set before admission, then read-only).
+	incremental *bool         // per-job override of Config.Incremental
+	watch       bool          // watch mode: re-verify on every change
+	interval    time.Duration // watch poll interval (0 = server default)
+
 	mu        sync.Mutex
 	state     jobState
 	submitted time.Time
@@ -122,6 +161,9 @@ type job struct {
 	errMsg    string
 	fileRep   *webssari.Report
 	dirRep    *webssari.ProjectReport
+	rounds    int                // watch jobs: completed verification rounds
+	cancel    context.CancelFunc // set while running; DELETE triggers it
+	canceled  bool               // cancel requested (possibly pre-start)
 
 	// stream is the job's NDJSON line log: per-file reports appended as
 	// they complete, broadcast to live followers. Guarded by mu.
@@ -130,26 +172,14 @@ type job struct {
 	done  chan struct{} // closed on completion
 }
 
-// jobStatus is the status-endpoint rendering of a job.
-type jobStatus struct {
-	ID        string     `json:"id"`
-	Kind      string     `json:"kind"`
-	Target    string     `json:"target"`
-	State     jobState   `json:"state"`
-	Submitted time.Time  `json:"submitted"`
-	Started   *time.Time `json:"started,omitempty"`
-	Finished  *time.Time `json:"finished,omitempty"`
-	Error     string     `json:"error,omitempty"`
-	Verdict   string     `json:"verdict,omitempty"`
-}
-
 // status snapshots the job under its lock.
-func (j *job) status() jobStatus {
+func (j *job) status() api.JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	st := jobStatus{
+	st := api.JobStatus{
 		ID: j.ID, Kind: j.Kind, Target: j.Target,
 		State: j.state, Submitted: j.submitted, Error: j.errMsg,
+		Watch: j.watch, Rounds: j.rounds,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -220,6 +250,9 @@ type Server struct {
 
 	wg             sync.WaitGroup // running jobs
 	dispatcherDone chan struct{}
+	// stopWatch ends every watch job's poll loop; closed when Drain
+	// begins so long-running watch jobs cannot stall a graceful stop.
+	stopWatch chan struct{}
 
 	gQueue    *telemetry.GaugeMetric
 	gInFlight *telemetry.GaugeMetric
@@ -249,6 +282,7 @@ func New(cfg Config) *Server {
 		deadline:       cfg.JobDeadline,
 		jobs:           make(map[string]*job),
 		dispatcherDone: make(chan struct{}),
+		stopWatch:      make(chan struct{}),
 	}
 	if cfg.Telemetry != nil && cfg.Telemetry.Metrics != nil {
 		reg := cfg.Telemetry.Metrics
@@ -277,8 +311,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/dirs", s.handleSubmitDir)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
+	s.mux.HandleFunc("GET /v1/version", s.handleVersion)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if s.cfg.Telemetry != nil && s.cfg.Telemetry.Metrics != nil {
 		s.mux.Handle("GET /metrics", s.cfg.Telemetry.Metrics.Handler())
@@ -317,6 +353,9 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.admitMu.Lock()
 		close(s.queue)
 		s.admitMu.Unlock()
+		if s.stopWatch != nil {
+			close(s.stopWatch) // watch jobs finish their round and stop
+		}
 	}
 	done := make(chan struct{})
 	go func() {
@@ -389,37 +428,39 @@ func (s *Server) admit(j *job) (ok bool, draining bool) {
 	}
 }
 
-// jobOptions assembles the engine options one job runs under.
+// jobOptions assembles the engine options one job runs under. The
+// daemon-level knobs travel as one declarative webssari.Config — the
+// round-trippable form the v1 API is built on — with any extra
+// Config.Options appended after it (later options win).
 func (s *Server) jobOptions() []webssari.Option {
-	var opts []webssari.Option
-	if s.cfg.Store != nil {
-		opts = append(opts, webssari.WithStore(s.cfg.Store))
+	base := webssari.Config{
+		Store:        s.cfg.Store,
+		Telemetry:    s.cfg.Telemetry,
+		Deadline:     s.deadline,
+		MaxConflicts: s.cfg.MaxConflicts,
+		Parallelism:  s.cfg.JobParallelism,
 	}
-	if s.cfg.Telemetry != nil {
-		opts = append(opts, webssari.WithTelemetry(s.cfg.Telemetry))
-	}
-	if s.deadline > 0 {
-		opts = append(opts, webssari.WithDeadline(s.deadline))
-	}
-	if s.cfg.MaxConflicts > 0 {
-		opts = append(opts, webssari.WithBudget(s.cfg.MaxConflicts))
-	}
-	if s.cfg.JobParallelism > 0 {
-		opts = append(opts, webssari.WithParallelism(s.cfg.JobParallelism))
-	}
-	return append(opts, s.cfg.Options...)
+	return append([]webssari.Option{webssari.WithConfig(base)}, s.cfg.Options...)
 }
 
 // runJob executes one job on a worker slot.
 func (s *Server) runJob(j *job) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	j.mu.Lock()
+	if j.canceled { // cancelled while still queued: never start
+		j.mu.Unlock()
+		s.failJob(j, context.Canceled)
+		return
+	}
 	j.state = stateRunning
 	j.started = time.Now()
+	j.cancel = cancel
 	j.mu.Unlock()
 	s.gInFlight.Set(s.inFlight.Add(1))
 	defer func() { s.gInFlight.Set(s.inFlight.Add(-1)) }()
 
-	ctx := telemetry.WithTelemetry(context.Background(), s.cfg.Telemetry)
+	ctx = telemetry.WithTelemetry(ctx, s.cfg.Telemetry)
 	ctx, sp := telemetry.StartRootSpan(ctx, "job", "id", j.ID, "kind", j.Kind, "target", j.Target)
 	defer sp.End()
 
@@ -444,12 +485,24 @@ func (s *Server) runJob(j *job) {
 		opts := append(s.jobOptions(), webssari.WithFileObserver(func(rep *webssari.Report) {
 			_ = stream.Encode(rep)
 		}))
-		var pr *webssari.ProjectReport
-		pr, err = webssari.VerifyDirContext(ctx, j.Target, opts...)
-		if err == nil {
-			j.mu.Lock()
-			j.dirRep = pr
-			j.mu.Unlock()
+		incremental := s.cfg.Incremental
+		if j.incremental != nil {
+			incremental = *j.incremental
+		}
+		if incremental && s.cfg.Store != nil {
+			opts = append(opts, webssari.WithIncremental())
+		}
+		if j.watch {
+			err = s.runWatch(ctx, j, opts, stream)
+		} else {
+			var pr *webssari.ProjectReport
+			pr, err = webssari.VerifyDirContext(ctx, j.Target, opts...)
+			if err == nil {
+				j.mu.Lock()
+				j.dirRep = pr
+				j.rounds++
+				j.mu.Unlock()
+			}
 		}
 	default:
 		err = fmt.Errorf("unknown job kind %q", j.Kind)
@@ -461,6 +514,68 @@ func (s *Server) runJob(j *job) {
 	}
 	s.finishJob(j, stateDone)
 	s.cDone.Inc()
+}
+
+// runWatch is the watch-mode directory job loop: verify, publish the
+// round, then poll the directory's stat snapshot until it changes and
+// go again. The loop ends cleanly — state done, last report retained —
+// on job cancellation (DELETE) or server drain; a verification or
+// snapshot error fails the job. With incremental mode on, every round
+// after the first costs a plan over the snapshot plus re-verification
+// of only the changed closure.
+func (s *Server) runWatch(ctx context.Context, j *job, opts []webssari.Option, stream *NDJSON) error {
+	interval := j.interval
+	if interval <= 0 {
+		interval = s.cfg.WatchInterval
+	}
+	if interval <= 0 {
+		interval = DefaultWatchInterval
+	}
+	for {
+		// Fingerprint before verifying: an edit racing the verification
+		// triggers the next round instead of being missed.
+		fp, err := webssari.SnapshotFingerprint(j.Target)
+		if err != nil {
+			return fmt.Errorf("snapshotting %s: %w", j.Target, err)
+		}
+		pr, err := webssari.VerifyDirContext(ctx, j.Target, opts...)
+		if err != nil {
+			return err
+		}
+		// One summary line closes each round on the stream: the project
+		// report without its per-file bodies (they streamed individually),
+		// the same convention as xbmc -ndjson.
+		summary := *pr
+		summary.Files = nil
+		_ = stream.Encode(&summary)
+		j.mu.Lock()
+		j.dirRep = pr
+		j.rounds++
+		j.mu.Unlock()
+
+		ticker := time.NewTicker(interval)
+		waiting := true
+		for waiting {
+			select {
+			case <-s.stopWatch:
+				ticker.Stop()
+				return nil
+			case <-ctx.Done():
+				ticker.Stop()
+				return nil
+			case <-ticker.C:
+				cur, err := webssari.SnapshotFingerprint(j.Target)
+				if err != nil {
+					ticker.Stop()
+					return fmt.Errorf("snapshotting %s: %w", j.Target, err)
+				}
+				if cur != fp {
+					waiting = false
+				}
+			}
+		}
+		ticker.Stop()
+	}
 }
 
 // failJob marks a job failed.
@@ -489,15 +604,18 @@ func (s *Server) finishJob(j *job, state jobState) {
 
 // --- HTTP handlers ---
 
-// submitFileRequest is the POST /v1/files body.
-type submitFileRequest struct {
-	// Name labels the source in reports (defaults to "input.php").
-	Name string `json:"name"`
-	// Source is the PHP text to verify.
-	Source string `json:"source"`
-	// Dir, when set, roots include resolution at a server-local
-	// directory (the equivalent of WithDir). Rejected under DisableDirs.
-	Dir string `json:"dir,omitempty"`
+// decodeRequest parses a JSON request body into dst, rejecting unknown
+// fields and trailing content — the v1 schema's strictness contract.
+func decodeRequest(body []byte, dst any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing content after JSON body")
+	}
+	return nil
 }
 
 func (s *Server) handleSubmitFile(w http.ResponseWriter, r *http.Request) {
@@ -511,8 +629,8 @@ func (s *Server) handleSubmitFile(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("source exceeds %d bytes", s.maxSrc))
 		return
 	}
-	var req submitFileRequest
-	if err := json.Unmarshal(body, &req); err != nil {
+	var req api.SubmitFileRequest
+	if err := decodeRequest(body, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
 		return
 	}
@@ -531,19 +649,18 @@ func (s *Server) handleSubmitFile(w http.ResponseWriter, r *http.Request) {
 	s.enqueue(w, s.newJob("file", name, []byte(req.Source), req.Dir))
 }
 
-// submitDirRequest is the POST /v1/dirs body.
-type submitDirRequest struct {
-	// Dir is a server-local directory to verify recursively.
-	Dir string `json:"dir"`
-}
-
 func (s *Server) handleSubmitDir(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.DisableDirs {
 		writeError(w, http.StatusForbidden, "directory submissions are disabled")
 		return
 	}
-	var req submitDirRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	var req api.SubmitDirRequest
+	if err := decodeRequest(body, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
 		return
 	}
@@ -556,7 +673,13 @@ func (s *Server) handleSubmitDir(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("%q is not a readable directory", req.Dir))
 		return
 	}
-	s.enqueue(w, s.newJob("dir", req.Dir, nil, ""))
+	j := s.newJob("dir", req.Dir, nil, "")
+	j.incremental = req.Incremental
+	j.watch = req.Watch
+	if req.WatchIntervalMS > 0 {
+		j.interval = time.Duration(req.WatchIntervalMS) * time.Millisecond
+	}
+	s.enqueue(w, j)
 }
 
 // enqueue admits a job and writes the submission response.
@@ -574,11 +697,12 @@ func (s *Server) enqueue(w http.ResponseWriter, j *job) {
 		return
 	}
 	w.WriteHeader(http.StatusAccepted)
-	writeJSON(w, map[string]any{
-		"job":    j.ID,
-		"status": fmt.Sprintf("/v1/jobs/%s", j.ID),
-		"result": fmt.Sprintf("/v1/jobs/%s/result", j.ID),
-		"stream": fmt.Sprintf("/v1/jobs/%s/stream", j.ID),
+	writeJSON(w, api.SubmitResponse{
+		SchemaV: api.Schema,
+		Job:     j.ID,
+		Status:  fmt.Sprintf("/v1/jobs/%s", j.ID),
+		Result:  fmt.Sprintf("/v1/jobs/%s/result", j.ID),
+		Stream:  fmt.Sprintf("/v1/jobs/%s/stream", j.ID),
 	})
 }
 
@@ -609,12 +733,12 @@ func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 		jobs = append(jobs, s.jobs[id])
 	}
 	s.jobsMu.Unlock()
-	out := make([]jobStatus, 0, len(jobs))
+	out := make([]api.JobStatus, 0, len(jobs))
 	for _, j := range jobs {
 		out = append(out, j.status())
 	}
 	sort.Slice(out, func(i, k int) bool { return out[i].Submitted.After(out[k].Submitted) })
-	writeJSON(w, map[string]any{"jobs": out})
+	writeJSON(w, api.JobList{SchemaV: api.Schema, Jobs: out})
 }
 
 func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
@@ -623,7 +747,40 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no such job")
 		return
 	}
-	writeJSON(w, j.status())
+	st := j.status()
+	st.SchemaV = api.Schema
+	writeJSON(w, st)
+}
+
+// handleJobCancel stops a job: a watch job ends its loop cleanly (state
+// done, last round's report retained), a running one-shot job winds
+// down through context cancellation into a failed state, and a queued
+// job is failed before it starts. Cancellation is asynchronous — the
+// response reports the state at request time; poll or follow the stream
+// for the terminal state.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.mu.Lock()
+	j.canceled = true
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	st := j.status()
+	st.SchemaV = api.Schema
+	writeJSON(w, st)
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, api.VersionResponse{
+		SchemaV: api.Schema,
+		Version: buildinfo.Version("webssarid"),
+	})
 }
 
 func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
@@ -641,7 +798,7 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, fmt.Sprintf("job is %s; poll status or follow the stream", state))
 		return
 	case stateFailed:
-		writeJSON(w, map[string]any{"id": j.ID, "kind": j.Kind, "error": errMsg})
+		writeJSON(w, api.ResultResponse{SchemaV: api.Schema, ID: j.ID, Kind: j.Kind, Error: errMsg})
 		return
 	}
 	if r.URL.Query().Get("text") == "1" && fileRep != nil {
@@ -649,14 +806,22 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		_, _ = io.WriteString(w, fileRep.Text)
 		return
 	}
+	var report any
 	switch {
 	case fileRep != nil:
-		writeJSON(w, map[string]any{"id": j.ID, "kind": j.Kind, "report": fileRep})
+		report = fileRep
 	case dirRep != nil:
-		writeJSON(w, map[string]any{"id": j.ID, "kind": j.Kind, "report": dirRep})
+		report = dirRep
 	default:
 		writeError(w, http.StatusInternalServerError, "job finished without a report")
+		return
 	}
+	raw, err := json.Marshal(report)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding report: "+err.Error())
+		return
+	}
+	writeJSON(w, api.ResultResponse{SchemaV: api.Schema, ID: j.ID, Kind: j.Kind, Report: raw})
 }
 
 func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
@@ -703,10 +868,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
 		status = "draining"
 	}
-	writeJSON(w, map[string]any{
-		"status":   status,
-		"queued":   len(s.queue),
-		"inflight": s.inFlight.Load(),
+	writeJSON(w, api.Health{
+		SchemaV:  api.Schema,
+		Status:   status,
+		Queued:   len(s.queue),
+		InFlight: s.inFlight.Load(),
 	})
 }
 
@@ -720,5 +886,5 @@ func writeJSON(w http.ResponseWriter, v any) {
 func writeError(w http.ResponseWriter, code int, msg string) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+	_ = json.NewEncoder(w).Encode(api.ErrorResponse{SchemaV: api.Schema, Error: msg})
 }

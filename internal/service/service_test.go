@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"webssari/internal/service/api"
 	"webssari/internal/store"
 	"webssari/internal/telemetry"
 )
@@ -429,5 +430,157 @@ func TestJobHistoryEviction(t *testing.T) {
 	}
 	if s.lookup(running.ID) == nil {
 		t.Fatal("running job was evicted from the history")
+	}
+}
+
+// TestSchemaStamp checks every JSON response carries the v1 schema
+// marker — the versioning contract of satellite importance: clients key
+// compatibility off this field.
+func TestSchemaStamp(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, sub := postJSON(t, ts, "/v1/files", map[string]string{"source": safeSrc})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	id := sub["job"].(string)
+	waitDone(t, ts, id)
+
+	paths := []string{
+		"/v1/jobs",
+		"/v1/jobs/" + id,
+		"/v1/jobs/" + id + "/result",
+		"/v1/version",
+		"/healthz",
+	}
+	if sub["schema"] != api.Schema {
+		t.Fatalf("submit response schema = %v, want %q", sub["schema"], api.Schema)
+	}
+	for _, path := range paths {
+		_, body := getJSON(t, ts, path)
+		if body["schema"] != api.Schema {
+			t.Fatalf("%s schema = %v, want %q", path, body["schema"], api.Schema)
+		}
+	}
+	// Errors are stamped too.
+	_, errBody := getJSON(t, ts, "/v1/jobs/nope")
+	if errBody["schema"] != api.Schema {
+		t.Fatalf("error response schema = %v, want %q", errBody["schema"], api.Schema)
+	}
+}
+
+// TestRejectsUnknownFields pins the strict-decoding contract: a typoed
+// request field answers 400 instead of being silently dropped.
+func TestRejectsUnknownFields(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body := postJSON(t, ts, "/v1/files", map[string]string{
+		"source": safeSrc, "sorce": "typo",
+	})
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown file field: HTTP %d (%v), want 400", code, body)
+	}
+	code, body = postJSON(t, ts, "/v1/dirs", map[string]any{
+		"dir": t.TempDir(), "incremenal": true,
+	})
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown dir field: HTTP %d (%v), want 400", code, body)
+	}
+}
+
+// TestVersionEndpoint checks GET /v1/version reports a build banner.
+func TestVersionEndpoint(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body := getJSON(t, ts, "/v1/version")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/version: HTTP %d", code)
+	}
+	if v, _ := body["version"].(string); !strings.Contains(v, "webssarid") {
+		t.Fatalf("version banner = %v", body["version"])
+	}
+}
+
+// cancelJob issues DELETE /v1/jobs/{id} and checks it answers 200.
+func cancelJob(t *testing.T, ts *httptest.Server, id string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel %s: HTTP %d", id, resp.StatusCode)
+	}
+}
+
+// TestCancelWatchAndQueuedJobs exercises both DELETE paths with one
+// worker: a watch job pins the worker indefinitely, a file job queues
+// behind it; cancelling the queued job fails it without running, and
+// cancelling the watch job ends its loop cleanly in state done.
+func TestCancelWatchAndQueuedJobs(t *testing.T) {
+	s := New(Config{Workers: 1, WatchInterval: 10 * time.Millisecond})
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.php"), []byte(safeSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, watchSub := postJSON(t, ts, "/v1/dirs", map[string]any{"dir": dir, "watch": true})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit watch job: HTTP %d (%v)", code, watchSub)
+	}
+	watchID := watchSub["job"].(string)
+
+	// Wait for the watch job to complete its first round, proving it holds
+	// the only worker.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		_, st := getJSON(t, ts, "/v1/jobs/"+watchID)
+		if rounds, _ := st["rounds"].(float64); rounds >= 1 {
+			break
+		}
+		if st["state"] == string(stateFailed) {
+			t.Fatalf("watch job failed: %v", st["error"])
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("watch job never completed a round")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	code, sub := postJSON(t, ts, "/v1/files", map[string]string{"source": safeSrc})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit queued job: HTTP %d", code)
+	}
+	queuedID := sub["job"].(string)
+
+	cancelJob(t, ts, queuedID)
+	cancelJob(t, ts, watchID)
+
+	if st := waitDone(t, ts, queuedID); st["state"] != string(stateFailed) {
+		t.Fatalf("cancelled queued job state = %v, want failed", st["state"])
+	}
+	st := waitDone(t, ts, watchID)
+	if st["state"] != string(stateDone) {
+		t.Fatalf("cancelled watch job state = %v (error %v), want done", st["state"], st["error"])
+	}
+	if st["watch"] != true {
+		t.Fatalf("watch job status lacks watch marker: %v", st)
 	}
 }

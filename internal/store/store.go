@@ -387,6 +387,45 @@ func (s *Store) Len() int {
 // Root returns the store's root directory.
 func (s *Store) Root() string { return s.root }
 
+// A Namespace re-addresses keys under a label so one Store can hold
+// independent kinds of blobs (verification results, dependency graphs)
+// without key collisions: every operation maps key → NamespacedKey
+// before hitting the store, so namespaced blobs share the framing,
+// crash-safety, GC budget, and telemetry of the store they live in.
+type Namespace struct {
+	s     *Store
+	label string
+}
+
+// Namespace returns a view of the store whose keys are re-addressed
+// under label. The empty label is the store's root namespace.
+func (s *Store) Namespace(label string) Namespace { return Namespace{s: s, label: label} }
+
+// NamespacedKey maps a caller key into a namespace: the final content
+// address of a blob stored via Namespace{label}.Put(key, …). Exposed so
+// tests and tooling can locate namespaced blobs on disk.
+func NamespacedKey(label, key string) string {
+	if label == "" {
+		return key
+	}
+	return Key("namespace", label, key)
+}
+
+// Get returns the payload stored under key within the namespace.
+func (n Namespace) Get(key string) ([]byte, bool) { return n.s.Get(NamespacedKey(n.label, key)) }
+
+// Put stores the payload under key within the namespace.
+func (n Namespace) Put(key string, payload []byte) error {
+	return n.s.Put(NamespacedKey(n.label, key), payload)
+}
+
+// Invalidate removes the entry stored under key within the namespace.
+func (n Namespace) Invalidate(key string) { n.s.Invalidate(NamespacedKey(n.label, key)) }
+
+// KeyOf returns the final store key of a namespaced entry — the address
+// Path-style tooling would look up (see Store.path sharding).
+func (n Namespace) KeyOf(key string) string { return NamespacedKey(n.label, key) }
+
 // encodeBlob frames a payload under the given schema version.
 func encodeBlob(version uint32, payload []byte) []byte {
 	out := make([]byte, headerSize+len(payload))

@@ -48,6 +48,16 @@ const (
 	MetricStoreEntries     = "webssari_store_entries"
 	MetricStoreBytes       = "webssari_store_bytes"
 
+	// Incremental re-verification (delta planner) series: how many files
+	// the planner scheduled for verification, how many it served from the
+	// store without re-verifying, how many previously known files it
+	// invalidated (changed content, changed include, appeared include),
+	// and how many runs degraded to a full (non-incremental) pass.
+	MetricIncrementalPlanned     = "webssari_incremental_planned_total"
+	MetricIncrementalSkipped     = "webssari_incremental_skipped_total"
+	MetricIncrementalInvalidated = "webssari_incremental_invalidated_total"
+	MetricIncrementalFullRuns    = "webssari_incremental_full_runs_total"
+
 	// Verification-service (webssarid) series.
 	MetricServiceQueueDepth   = "webssari_service_queue_depth"
 	MetricServiceInFlight     = "webssari_service_in_flight"

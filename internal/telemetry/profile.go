@@ -89,6 +89,25 @@ type CacheProfile struct {
 	Entries   int   `json:"entries"`
 }
 
+// IncrementalProfile summarizes one incremental VerifyDir plan: how the
+// delta planner partitioned the project snapshot. Planned + Skipped
+// equals the number of entry files the run reported on.
+type IncrementalProfile struct {
+	// Planned counts files scheduled for (re-)verification: changed
+	// files, their reverse-dependency closure, files new to the graph,
+	// and files whose remembered store entry had been evicted.
+	Planned int `json:"planned"`
+	// Skipped counts files served from the result store by remembered
+	// key, without re-hashing or re-verifying anything.
+	Skipped int `json:"skipped"`
+	// Invalidated counts previously known files among Planned — the
+	// actual delta, excluding files the graph had never seen.
+	Invalidated int `json:"invalidated"`
+	// Full is set when no usable dependency graph existed (first run,
+	// corruption, config change) and the whole project was verified.
+	Full bool `json:"full,omitempty"`
+}
+
 // RunProfile is the exportable summary of one verification run — per
 // file (attached to Report) or per project (attached to ProjectReport,
 // where the per-file profiles are aggregated and the pool/cache sections
@@ -121,6 +140,11 @@ type RunProfile struct {
 	// Cache and Pool are populated on project profiles.
 	Cache *CacheProfile `json:"cache,omitempty"`
 	Pool  *PoolProfile  `json:"pool,omitempty"`
+	// Incremental is populated on project profiles of incremental runs
+	// (WithIncremental): the delta planner's partition of the snapshot.
+	// Like the rest of the profile it is stripped before byte-identical
+	// report comparisons.
+	Incremental *IncrementalProfile `json:"incremental,omitempty"`
 }
 
 // CompileWall returns the front-end wall time as a Duration.
@@ -229,6 +253,13 @@ func (p *RunProfile) String() string {
 	if p.Pool != nil {
 		fmt.Fprintf(&b, "; pool: %d/%d peak workers, %d peak waiters",
 			p.Pool.MaxInUse, p.Pool.Capacity, p.Pool.MaxWaiting)
+	}
+	if inc := p.Incremental; inc != nil {
+		fmt.Fprintf(&b, "; incremental: planned %d, skipped %d, invalidated %d",
+			inc.Planned, inc.Skipped, inc.Invalidated)
+		if inc.Full {
+			b.WriteString(" (full run)")
+		}
 	}
 	for _, st := range p.Stages {
 		fmt.Fprintf(&b, "\n  stage %-12s %12v  (×%d)", st.Name,

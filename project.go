@@ -13,6 +13,8 @@ import (
 	"time"
 
 	"webssari/internal/core"
+	"webssari/internal/incremental"
+	"webssari/internal/store"
 	"webssari/internal/telemetry"
 )
 
@@ -116,29 +118,81 @@ func VerifyDir(dir string, opts ...Option) (*ProjectReport, error) {
 // analysis is deterministic and results are assembled in sorted file
 // order.
 func VerifyDirContext(ctx context.Context, dir string, opts ...Option) (*ProjectReport, error) {
-	pr := &ProjectReport{Dir: dir}
-	var phpFiles []string
+	snap, walkFails, err := snapshotDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("webssari: walking %s: %w", dir, err)
+	}
+	if cfg, err := buildConfig(opts); err == nil && cfg.incremental && cfg.resultStore != nil {
+		return verifyDirIncremental(ctx, dir, snap, walkFails, opts, cfg)
+	}
+	return verifyDirFiles(ctx, dir, snap, walkFails, nil, opts)
+}
+
+// snapshotDir walks dir collecting every .php entry file's stat
+// fingerprint (path, size, mtime), sorted by path — the input both to
+// plain project verification (which uses only the paths) and to the
+// incremental delta planner (which uses the fingerprints). Unwalkable
+// subtrees are recorded as failures; only an unwalkable root is fatal.
+func snapshotDir(dir string) (incremental.Snapshot, []FileFailure, error) {
+	var snap incremental.Snapshot
+	var fails []FileFailure
 	rootSeen := false
 	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			if !rootSeen {
 				return err // the root itself is unwalkable: fatal
 			}
-			pr.Failures = append(pr.Failures, FileFailure{
-				File: path, Stage: "walk", Cause: err.Error(),
-			})
+			fails = append(fails, FileFailure{File: path, Stage: "walk", Cause: err.Error()})
 			return nil
 		}
 		rootSeen = true
 		if !d.IsDir() && strings.HasSuffix(strings.ToLower(d.Name()), ".php") {
-			phpFiles = append(phpFiles, path)
+			fm := incremental.FileMeta{Path: path}
+			if info, ierr := d.Info(); ierr == nil {
+				fm.Size = info.Size()
+				fm.MTimeNS = info.ModTime().UnixNano()
+			}
+			snap.Files = append(snap.Files, fm)
 		}
 		return nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("webssari: walking %s: %w", dir, err)
+		return incremental.Snapshot{}, nil, err
 	}
-	sort.Strings(phpFiles)
+	sort.Slice(snap.Files, func(i, j int) bool { return snap.Files[i].Path < snap.Files[j].Path })
+	return snap, fails, nil
+}
+
+// SnapshotFingerprint returns a fingerprint of dir's PHP entry files —
+// paths, sizes, and mtimes, nothing content-based — that changes
+// whenever a file under dir is added, removed, or modified. It is cheap
+// (one stat walk, no reads) and is what the webssarid watch mode polls
+// to decide when to re-verify; a fingerprint match does not prove
+// content equality (mtime granularity), only a mismatch is meaningful.
+func SnapshotFingerprint(dir string) (string, error) {
+	snap, _, err := snapshotDir(dir)
+	if err != nil {
+		return "", err
+	}
+	parts := make([]string, 0, len(snap.Files))
+	for _, fm := range snap.Files {
+		parts = append(parts, fmt.Sprintf("%s|%d|%d", fm.Path, fm.Size, fm.MTimeNS))
+	}
+	return store.Key(append([]string{"webssari-snapshot-v1"}, parts...)...), nil
+}
+
+// verifyDirFiles verifies a snapshot's files on the worker pool and
+// assembles the project report. Files present in served were already
+// resolved by the caller (the incremental reuse path) and are stamped
+// into the report — and delivered to the observer — without consuming a
+// worker or being subject to the dispatch deadline.
+func verifyDirFiles(ctx context.Context, dir string, snap incremental.Snapshot, walkFails []FileFailure, served map[string]*Report, opts []Option) (*ProjectReport, error) {
+	pr := &ProjectReport{Dir: dir}
+	pr.Failures = append(pr.Failures, walkFails...)
+	phpFiles := make([]string, len(snap.Files))
+	for i, fm := range snap.Files {
+		phpFiles[i] = fm.Path
+	}
 
 	parallelism := 0 // NewPool treats <= 0 as GOMAXPROCS
 	var tel *telemetry.Telemetry
@@ -165,14 +219,28 @@ func VerifyDirContext(ctx context.Context, dir string, opts ...Option) (*Project
 	// sorted file order so the report is independent of scheduling.
 	reps := make([]*Report, len(phpFiles))
 	fails := make([]*FileFailure, len(phpFiles))
+	for i, file := range phpFiles {
+		if rep, ok := served[file]; ok {
+			reps[i] = rep
+			if observer != nil {
+				observer(rep)
+			}
+		}
+	}
 	var wg sync.WaitGroup
 	for i, file := range phpFiles {
+		if reps[i] != nil {
+			continue // served from the incremental plan
+		}
 		if ctx.Err() != nil || pool.Acquire(ctx) != nil {
 			// Deadline expired before this file was dispatched: everything
 			// not yet started degrades to a recorded failure, and workers
 			// already running wind down through their own ctx checks — the
 			// pool can never deadlock on an expired context.
 			for j := i; j < len(phpFiles); j++ {
+				if reps[j] != nil {
+					continue
+				}
 				fails[j] = &FileFailure{
 					File: phpFiles[j], Stage: "deadline", Cause: ctx.Err().Error(),
 				}

@@ -27,7 +27,6 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
-	"fmt"
 	"sort"
 
 	"webssari/internal/core"
@@ -94,7 +93,9 @@ type storedEnvelope struct {
 }
 
 // resultKey fingerprints one verification request: every input that can
-// change the produced Report. Deadlines, parallelism, and telemetry are
+// change the produced Report — the entry name, the source bytes, and
+// the verdict-shaping configuration (configFingerprint, shared with the
+// dependency-graph address). Deadlines, parallelism, and telemetry are
 // deliberately excluded — they change whether a run completes, not what
 // a complete run concludes, and incomplete runs are never persisted.
 func resultKey(name string, src []byte, cfg *config) string {
@@ -102,12 +103,7 @@ func resultKey(name string, src []byte, cfg *config) string {
 		"webssari-result-v1",
 		name,
 		string(src),
-		cfg.pre.Fingerprint(),
-		fmt.Sprintf("dir=%s unroll=%d loader=%t", cfg.dir, cfg.unroll, cfg.loader != nil),
-		fmt.Sprintf("paper=%t blockall=%t maxcex=%d routine=%s",
-			cfg.paperMode, cfg.blockAll, cfg.maxCEX, cfg.routine),
-		fmt.Sprintf("solver=%+v", cfg.solver),
-		fmt.Sprintf("limits=%+v", cfg.limits),
+		cfg.configFingerprint(),
 	)
 }
 
@@ -115,10 +111,41 @@ func resultKey(name string, src []byte, cfg *config) string {
 // revalidated (envelope schema, include snapshot); any failure reads as
 // a miss. The returned report is marked StoreHit with a minimal fresh
 // profile — the persisted run's timings belong to the run that paid
-// them.
-func storeGet(ctx context.Context, cfg *config, name, key string) (*Report, bool) {
+// them. The decoded envelope rides along so callers can record the
+// persisted include resolution into the dependency graph.
+func storeGet(ctx context.Context, cfg *config, name, key string) (*Report, *storedEnvelope, bool) {
 	_, sp := telemetry.StartSpan(ctx, "store_get", "file", name)
 	defer sp.End()
+	env, ok := storeDecode(cfg, key)
+	if !ok {
+		return nil, nil, false
+	}
+	if !storedIncludesCurrent(env, cfg) {
+		cfg.resultStore.Invalidate(key)
+		return nil, nil, false
+	}
+	return serveStored(env), env, true
+}
+
+// storeGetTrusted serves a persisted report by key without revalidating
+// its include snapshot — the incremental planner's reuse path, where the
+// delta plan has already proved (via the dependency graph's fingerprints)
+// that neither the entry file nor any spliced include changed. This is
+// what makes an unchanged subtree cost one disk read per file instead of
+// one read per include edge.
+func storeGetTrusted(ctx context.Context, cfg *config, name, key string) (*Report, *storedEnvelope, bool) {
+	_, sp := telemetry.StartSpan(ctx, "store_get", "file", name)
+	defer sp.End()
+	env, ok := storeDecode(cfg, key)
+	if !ok {
+		return nil, nil, false
+	}
+	return serveStored(env), env, true
+}
+
+// storeDecode fetches and decodes one envelope; undecodable or
+// foreign-schema blobs are invalidated and read as a miss.
+func storeDecode(cfg *config, key string) (*storedEnvelope, bool) {
 	payload, ok := cfg.resultStore.Get(key)
 	if !ok {
 		return nil, false
@@ -128,15 +155,17 @@ func storeGet(ctx context.Context, cfg *config, name, key string) (*Report, bool
 		cfg.resultStore.Invalidate(key)
 		return nil, false
 	}
-	if !storedIncludesCurrent(&env, cfg) {
-		cfg.resultStore.Invalidate(key)
-		return nil, false
-	}
+	return &env, true
+}
+
+// serveStored prepares a decoded envelope's report for return: rendered
+// text restored, StoreHit marked, and a minimal fresh profile.
+func serveStored(env *storedEnvelope) *Report {
 	rep := env.Report
 	rep.Text = env.Text
 	rep.StoreHit = true
 	rep.Profile = &RunProfile{StoreHit: true}
-	return rep, true
+	return rep
 }
 
 // storedIncludesCurrent revalidates a persisted report's include
@@ -166,6 +195,63 @@ func storedIncludesCurrent(env *storedEnvelope, cfg *config) bool {
 		}
 	}
 	return true
+}
+
+// depRecord is what one file's verification teaches the dependency
+// graph: the entry's content hash, the store key its report lives
+// under, and the include resolution its model was built from.
+type depRecord struct {
+	Name       string
+	SourceHash string
+	ResultKey  string
+	// Includes maps resolved include path → hex content hash; Misses
+	// lists probed-but-absent candidates (sorted).
+	Includes map[string]string
+	Misses   []string
+}
+
+// recordDeps reports one finished file to the configured dependency
+// recorder (set internally by incremental VerifyDir). Exactly one of
+// res (fresh verification) and env (store hit) carries the include
+// resolution. No-op without a recorder.
+func (c *config) recordDeps(name string, src []byte, key string, res *core.Result, env *storedEnvelope) {
+	if c.depRecorder == nil {
+		return
+	}
+	sum := sha256.Sum256(src)
+	r := depRecord{Name: name, SourceHash: hex.EncodeToString(sum[:]), ResultKey: key}
+	switch {
+	case res != nil && res.AI != nil:
+		if len(res.AI.IncludeHashes) > 0 {
+			r.Includes = make(map[string]string, len(res.AI.IncludeHashes))
+			for path, h := range res.AI.IncludeHashes {
+				r.Includes[path] = h
+			}
+		}
+		for cand := range res.AI.IncludeMisses {
+			r.Misses = append(r.Misses, cand)
+		}
+		sort.Strings(r.Misses)
+	case env != nil:
+		if len(env.IncludeHashes) > 0 {
+			r.Includes = make(map[string]string, len(env.IncludeHashes))
+			for path, h := range env.IncludeHashes {
+				r.Includes[path] = h
+			}
+		}
+		r.Misses = append([]string(nil), env.IncludeMisses...)
+	}
+	c.depRecorder(r)
+}
+
+// withDepRecorder registers the internal callback incremental VerifyDir
+// uses to collect each verified file's include resolution and store key.
+// Invoked from worker goroutines; the callback must be concurrency-safe.
+func withDepRecorder(fn func(depRecord)) Option {
+	return func(c *config) error {
+		c.depRecorder = fn
+		return nil
+	}
 }
 
 // storePut persists a finished report. Incomplete reports are skipped

@@ -211,6 +211,17 @@ type config struct {
 	telemetry   *telemetry.Telemetry
 	resultStore *store.Store
 	observer    func(*Report)
+	incremental bool
+	depRecorder func(depRecord)
+	// The prelude-shaping options also record their textual form so the
+	// resolved configuration round-trips through the exported Config
+	// (ExportConfig / WithConfig) — the prelude itself holds only the
+	// merged lattice, not where its entries came from.
+	preludeText   string
+	extraPreludes []string
+	sinkSpecs     []SinkSpec
+	sanitizers    []string
+	sources       []string
 }
 
 // WithPrelude replaces the default trust environment with a prelude parsed
@@ -223,6 +234,13 @@ func WithPrelude(text string) Option {
 			return err
 		}
 		c.pre = p
+		// Replacing the prelude discards earlier merged-in entries, so the
+		// recorded forms reset too — Config mirrors the effective state.
+		c.preludeText = text
+		c.extraPreludes = nil
+		c.sinkSpecs = nil
+		c.sanitizers = nil
+		c.sources = nil
 		return nil
 	}
 }
@@ -240,7 +258,11 @@ func WithExtraPrelude(text string) Option {
 			c.pre = prelude.Default()
 		}
 		// Re-parse over the existing lattice by registering directly.
-		return mergeTextual(c.pre, extra)
+		if err := mergeTextual(c.pre, extra); err != nil {
+			return err
+		}
+		c.extraPreludes = append(c.extraPreludes, text)
+		return nil
 	}
 }
 
@@ -295,6 +317,7 @@ func WithSink(name string, args ...int) Option {
 			c.pre = prelude.Default()
 		}
 		c.pre.AddSink(name, c.pre.Lattice().Top(), args...)
+		c.sinkSpecs = append(c.sinkSpecs, SinkSpec{Name: name, Args: append([]int(nil), args...)})
 		return nil
 	}
 }
@@ -306,6 +329,7 @@ func WithSanitizer(name string) Option {
 			c.pre = prelude.Default()
 		}
 		c.pre.AddSanitizer(name, c.pre.Lattice().Bottom())
+		c.sanitizers = append(c.sanitizers, name)
 		return nil
 	}
 }
@@ -317,6 +341,7 @@ func WithSource(name string) Option {
 			c.pre = prelude.Default()
 		}
 		c.pre.AddSource(name, c.pre.Lattice().Top())
+		c.sources = append(c.sources, name)
 		return nil
 	}
 }
@@ -716,7 +741,8 @@ func VerifyContext(ctx context.Context, src []byte, name string, opts ...Option)
 	if cfg.resultStore != nil {
 		tctx := telemetry.WithTelemetry(ctx, cfg.telemetry)
 		key = resultKey(name, src, cfg)
-		if rep, ok := storeGet(tctx, cfg, name, key); ok {
+		if rep, env, ok := storeGet(tctx, cfg, name, key); ok {
+			cfg.recordDeps(name, src, key, nil, env)
 			return rep, nil
 		}
 	}
@@ -730,6 +756,12 @@ func VerifyContext(ctx context.Context, src []byte, name string, opts ...Option)
 	if cfg.resultStore != nil {
 		storePut(telemetry.WithTelemetry(ctx, cfg.telemetry), cfg, name, key, rep, res)
 	}
+	if rep.Incomplete {
+		// Incomplete reports are never persisted; an empty key makes the
+		// dependency graph re-plan the file instead of trusting a miss.
+		key = ""
+	}
+	cfg.recordDeps(name, src, key, res, nil)
 	return rep, nil
 }
 
