@@ -10,20 +10,26 @@ package webssari_test
 // paper-vs-measured values.
 
 import (
+	"context"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
 	"strconv"
 	"testing"
+	"time"
 
 	"webssari"
+	"webssari/client"
+	"webssari/internal/cluster"
 	"webssari/internal/core"
 	"webssari/internal/corpus"
 	"webssari/internal/fixing"
 	"webssari/internal/flow"
 	"webssari/internal/prelude"
 	"webssari/internal/sat"
+	"webssari/internal/service"
 )
 
 // corpusScale reads the statement-scale factor for corpus benchmarks from
@@ -542,4 +548,69 @@ func BenchmarkParallelVerifyDir(b *testing.B) {
 		b.ReportMetric(float64(vuln), "vuln-files")
 		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
 	})
+}
+
+// BenchmarkClusterVerifyDir prices cluster mode against a plain local
+// run over the bundled examples/php corpus: the local engine, a
+// 1-worker cluster (pure dispatch overhead), and a 3-worker cluster.
+// Workers are real service daemons behind httptest servers in this
+// process, so on a single-CPU host the cluster cannot be faster than
+// local — the numbers bound the HTTP dispatch and polling tax per file.
+// The compile cache is reset each iteration (it is process-global, so
+// in-process workers would otherwise share warmth with the baseline).
+func BenchmarkClusterVerifyDir(b *testing.B) {
+	dir := filepath.Join("examples", "php")
+	ctx := context.Background()
+
+	b.Run("local", func(b *testing.B) {
+		var vuln int
+		for i := 0; i < b.N; i++ {
+			webssari.ResetCompileCache()
+			pr, err := webssari.VerifyDir(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			vuln = pr.VulnerableFiles
+		}
+		b.ReportMetric(float64(vuln), "vuln-files")
+	})
+
+	for _, workers := range []int{1, 3} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			c := cluster.New(cluster.Config{
+				// No agents heartbeat in this benchmark; a huge interval
+				// keeps the eviction loop out of the measurement.
+				HeartbeatInterval: time.Hour,
+				PollInterval:      2 * time.Millisecond,
+			})
+			defer c.Close()
+			coordTS := httptest.NewServer(c.Handler())
+			defer coordTS.Close()
+			cl := client.New(coordTS.URL)
+			for w := 0; w < workers; w++ {
+				ts := httptest.NewServer(service.New(service.Config{}).Handler())
+				defer ts.Close()
+				if _, err := cl.RegisterWorker(ctx, client.RegisterWorkerRequest{
+					Addr: ts.URL, Name: fmt.Sprintf("bench-w%d", w),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			var remote int
+			for i := 0; i < b.N; i++ {
+				webssari.ResetCompileCache()
+				pr, err := c.VerifyDir(ctx, dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if pr.Profile.Cluster.Degraded {
+					b.Fatal("benchmark run degraded to local execution")
+				}
+				remote = pr.Profile.Cluster.Remote
+			}
+			b.ReportMetric(float64(remote), "remote-files")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+		})
+	}
 }

@@ -18,7 +18,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -57,11 +59,22 @@ const DefaultPollInterval = 200 * time.Millisecond
 type APIError struct {
 	StatusCode int
 	Message    string
+	// RetryAfter is the server's Retry-After hint (zero when absent) —
+	// set on 429 (queue full) and 503 (draining) answers. WithRetryPolicy
+	// honors it automatically; callers retrying by hand should too.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
 func (e *APIError) Error() string {
 	return fmt.Sprintf("webssarid: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+// Temporary reports whether the error is a transient rejection (429
+// queue-full or 503 draining) that a later retry may clear. No job was
+// created, so retrying the submission is safe.
+func (e *APIError) Temporary() bool {
+	return e.StatusCode == http.StatusTooManyRequests || e.StatusCode == http.StatusServiceUnavailable
 }
 
 // JobFailedError is returned by Wait and the result accessors when the
@@ -76,12 +89,60 @@ func (e *JobFailedError) Error() string {
 	return fmt.Sprintf("webssarid: job %s failed: %s", e.Job, e.Message)
 }
 
+// RetryPolicy makes the client retry transient rejections — 429 (queue
+// full) and 503 (draining/overloaded) — with capped exponential backoff
+// plus jitter, honoring the server's Retry-After hint when it is longer
+// than the computed backoff. Only those two statuses retry: the daemon
+// rejects them before creating a job, so a retry can never duplicate
+// work. Transport errors and other HTTP statuses surface immediately.
+type RetryPolicy struct {
+	// MaxRetries is the number of retry attempts after the initial try
+	// (0 disables retrying).
+	MaxRetries int
+	// BaseDelay is the first backoff (default 100ms); each further
+	// attempt doubles it up to MaxDelay (default 5s), which also caps an
+	// outsized Retry-After.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+// DefaultRetryPolicy is a modest ready-made policy: 4 retries, 100ms
+// base, 5s cap — it rides out a brief queue-full spike without hammering
+// a draining server.
+var DefaultRetryPolicy = RetryPolicy{MaxRetries: 4, BaseDelay: 100 * time.Millisecond, MaxDelay: 5 * time.Second}
+
+// delay computes the backoff before retry attempt n (1-based), blending
+// the exponential schedule with the server hint and adding jitter in
+// [d/2, d] so synchronized clients do not retry in lockstep.
+func (p RetryPolicy) delay(attempt int, hint time.Duration) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	d := base << (attempt - 1)
+	if d <= 0 || d > max {
+		d = max
+	}
+	if hint > d {
+		d = hint
+	}
+	if d > max {
+		d = max
+	}
+	return d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
+}
+
 // Client talks to one webssarid instance. The zero value is not usable;
 // construct with New. A Client is safe for concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
-	poll time.Duration
+	base  string
+	hc    *http.Client
+	poll  time.Duration
+	retry RetryPolicy
 }
 
 // ClientOption configures New.
@@ -96,6 +157,12 @@ func WithHTTPClient(hc *http.Client) ClientOption {
 // WithPollInterval sets Wait's status-poll cadence.
 func WithPollInterval(d time.Duration) ClientOption {
 	return func(c *Client) { c.poll = d }
+}
+
+// WithRetryPolicy enables transparent retries of transient rejections
+// (see RetryPolicy). The default client never retries.
+func WithRetryPolicy(p RetryPolicy) ClientOption {
+	return func(c *Client) { c.retry = p }
 }
 
 // New returns a client for the daemon at base (e.g.
@@ -114,7 +181,26 @@ func New(base string, opts ...ClientOption) *Client {
 
 // do runs one JSON exchange: method+path, optional request body,
 // optional decoded response. Non-2xx answers decode into *APIError.
+// With a retry policy configured, transient rejections (429/503) are
+// retried with backoff before surfacing.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, method, path, in, out)
+		apiErr, ok := err.(*APIError)
+		if !ok || !apiErr.Temporary() || attempt >= c.retry.MaxRetries {
+			return err
+		}
+		timer := time.NewTimer(c.retry.delay(attempt+1, apiErr.RetryAfter))
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return err // the rejection, not ctx.Err(): it carries more signal
+		case <-timer.C:
+		}
+	}
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		payload, err := json.Marshal(in)
@@ -141,6 +227,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
 		apiErr := &APIError{StatusCode: resp.StatusCode}
+		if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs >= 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
 		var e api.ErrorResponse
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
 			apiErr.Message = e.Error

@@ -1,0 +1,53 @@
+package client
+
+// Cluster-coordination calls: the worker-facing slice of the v1 wire
+// schema a webssarid coordinator serves under /v1/cluster. The cluster
+// agent (internal/cluster) registers and heartbeats through these; they
+// are exported so tests and operational tooling can drive the same
+// endpoints.
+
+import (
+	"context"
+	"net/http"
+
+	"webssari/internal/service/api"
+)
+
+// Cluster wire types re-exported alongside the job types.
+type (
+	RegisterWorkerRequest  = api.RegisterWorkerRequest
+	RegisterWorkerResponse = api.RegisterWorkerResponse
+	WorkerStatus           = api.WorkerStatus
+	ClusterStatus          = api.ClusterStatus
+)
+
+// RegisterWorker joins (or re-joins) the cluster, announcing the
+// worker's advertised address. The response carries the assigned worker
+// ID and the heartbeat cadence the coordinator expects.
+func (c *Client) RegisterWorker(ctx context.Context, req RegisterWorkerRequest) (RegisterWorkerResponse, error) {
+	var resp RegisterWorkerResponse
+	err := c.do(ctx, http.MethodPost, "/v1/cluster/workers", req, &resp)
+	return resp, err
+}
+
+// Heartbeat refreshes a worker's liveness. A 404 *APIError means the
+// coordinator no longer knows the worker (evicted, or the coordinator
+// restarted) — the agent re-registers on it.
+func (c *Client) Heartbeat(ctx context.Context, workerID string) error {
+	return c.do(ctx, http.MethodPost, "/v1/cluster/workers/"+workerID+"/heartbeat", nil, nil)
+}
+
+// DeregisterWorker removes a worker gracefully: the coordinator stops
+// routing to it immediately and re-dispatches anything in flight, with
+// no eviction counted.
+func (c *Client) DeregisterWorker(ctx context.Context, workerID string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/cluster/workers/"+workerID, nil, nil)
+}
+
+// Cluster fetches the coordinator's live membership and dispatch
+// counters.
+func (c *Client) Cluster(ctx context.Context) (ClusterStatus, error) {
+	var st ClusterStatus
+	err := c.do(ctx, http.MethodGet, "/v1/cluster", nil, &st)
+	return st, err
+}

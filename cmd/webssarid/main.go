@@ -31,6 +31,34 @@
 //	                   second address (the API itself always has /metrics)
 //	-version           print version and exit
 //
+// Cluster flags — a daemon is standalone by default; -coord makes it a
+// coordinator, -join makes it a worker:
+//
+//	-coord             coordinator mode: accept worker registrations at
+//	                   /v1/cluster, shard each job's files across live
+//	                   workers (consistent hashing over store content
+//	                   keys), and serve -store to the cluster at
+//	                   /v1/store. With zero live workers jobs degrade to
+//	                   local execution — they never fail for lack of a
+//	                   cluster.
+//	-join URL          worker mode: register with the coordinator at URL,
+//	                   heartbeat, and deregister on shutdown
+//	-advertise URL     base URL the coordinator should dispatch to
+//	                   (default: http://<bound addr>; required when the
+//	                   bound address is not reachable from the
+//	                   coordinator)
+//	-worker-name S     optional worker label in /v1/cluster status
+//	-heartbeat D       heartbeat interval a coordinator expects (default 2s)
+//	-heartbeat-misses N missed heartbeats before eviction (default 3)
+//	-store-remote URL  use the coordinator's shared result store at URL
+//	                   instead of a local -store (workers; typically the
+//	                   -join URL)
+//
+// Workers must run with the same analysis options as the coordinator —
+// registration carries a configuration fingerprint and mismatches are
+// rejected — so that clustered verdicts stay byte-identical to local
+// ones.
+//
 // API (JSON unless noted):
 //
 //	POST /v1/files            {"name","source"[,"dir"]} → 202 {job,status,result,stream}
@@ -66,8 +94,11 @@ import (
 	"syscall"
 	"time"
 
+	"webssari"
 	"webssari/internal/buildinfo"
+	"webssari/internal/cluster"
 	"webssari/internal/service"
+	"webssari/internal/service/api"
 	"webssari/internal/store"
 	"webssari/internal/telemetry"
 )
@@ -96,6 +127,14 @@ func run(args []string, ready chan<- string) int {
 		grace       = fs.Duration("grace", 30*time.Second, "shutdown grace period for draining jobs")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on a second address")
 		version     = fs.Bool("version", false, "print version and exit")
+
+		coord       = fs.Bool("coord", false, "coordinator mode: accept worker registrations and shard jobs across them")
+		joinURL     = fs.String("join", "", "worker mode: register with the coordinator at this URL")
+		advertise   = fs.String("advertise", "", "base URL the coordinator dispatches to (default: the bound address)")
+		workerName  = fs.String("worker-name", "", "worker label shown in cluster status")
+		heartbeat   = fs.Duration("heartbeat", cluster.DefaultHeartbeatInterval, "cluster heartbeat interval")
+		hbMisses    = fs.Int("heartbeat-misses", cluster.DefaultHeartbeatMisses, "missed heartbeats before a worker is evicted")
+		storeRemote = fs.String("store-remote", "", "use the shared result store served by the coordinator at this URL")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -108,8 +147,16 @@ func run(args []string, ready chan<- string) int {
 		fmt.Fprintln(os.Stderr, "webssarid: unexpected arguments (the daemon takes submissions over HTTP)")
 		return 2
 	}
-	if *incr && *storeDir == "" {
-		fmt.Fprintln(os.Stderr, "webssarid: -incremental requires -store (the dependency graph lives in the result store)")
+	if *incr && *storeDir == "" && *storeRemote == "" {
+		fmt.Fprintln(os.Stderr, "webssarid: -incremental requires -store or -store-remote (the dependency graph lives in the result store)")
+		return 2
+	}
+	if *coord && *joinURL != "" {
+		fmt.Fprintln(os.Stderr, "webssarid: -coord and -join are mutually exclusive (a daemon is a coordinator or a worker, not both)")
+		return 2
+	}
+	if *storeRemote != "" && *storeDir != "" {
+		fmt.Fprintln(os.Stderr, "webssarid: -store and -store-remote are mutually exclusive")
 		return 2
 	}
 
@@ -125,6 +172,11 @@ func run(args []string, ready chan<- string) int {
 		fmt.Fprintf(os.Stderr, "webssarid: result store at %s (%d entr(ies) resident)\n",
 			*storeDir, st.Stats().Entries)
 	}
+	var remoteStore *cluster.RemoteStore
+	if *storeRemote != "" {
+		remoteStore = cluster.NewRemoteStore(*storeRemote, nil)
+		fmt.Fprintf(os.Stderr, "webssarid: shared result store via %s\n", *storeRemote)
+	}
 	if *metricsAddr != "" {
 		msrv, err := telemetry.Serve(*metricsAddr, tel.Metrics)
 		if err != nil {
@@ -135,7 +187,16 @@ func run(args []string, ready chan<- string) int {
 		fmt.Fprintf(os.Stderr, "webssarid: metrics served at http://%s/metrics\n", msrv.Addr)
 	}
 
-	svc := service.New(service.Config{
+	// The verdict-shaping daemon configuration, fingerprinted so cluster
+	// registration can reject a worker whose options differ from the
+	// coordinator's (mismatched options would break verdict identity).
+	fingerprint := cluster.Fingerprint(webssari.WithConfig(webssari.Config{
+		Deadline:     *timeout,
+		MaxConflicts: *maxConf,
+		Parallelism:  *jobs,
+	}))
+
+	svcCfg := service.Config{
 		Store:          st,
 		Telemetry:      tel,
 		Workers:        *workers,
@@ -146,17 +207,72 @@ func run(args []string, ready chan<- string) int {
 		DisableDirs:    *noDirs,
 		Incremental:    *incr,
 		WatchInterval:  *watchIvl,
-	})
+	}
+	if remoteStore != nil {
+		svcCfg.StoreBackend = remoteStore
+	}
+
+	var coordinator *cluster.Coordinator
+	if *coord {
+		ccfg := cluster.Config{
+			HeartbeatInterval: *heartbeat,
+			HeartbeatMisses:   *hbMisses,
+			Fingerprint:       fingerprint,
+			Telemetry:         tel,
+		}
+		if st != nil {
+			ccfg.Store = st
+		}
+		coordinator = cluster.New(ccfg)
+		defer coordinator.Close()
+		svcCfg.Runner = coordinator
+		fmt.Fprintf(os.Stderr, "webssarid: coordinator mode (heartbeat %s, eviction after %d misses)\n",
+			*heartbeat, *hbMisses)
+	}
+
+	svc := service.New(svcCfg)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "webssarid: listen %s: %v\n", *addr, err)
 		return 2
 	}
-	srv := &http.Server{Handler: svc.Handler()}
+	handler := svc.Handler()
+	if coordinator != nil {
+		// Cluster and shared-store endpoints ride beside the service API.
+		outer := http.NewServeMux()
+		ch := coordinator.Handler()
+		outer.Handle("/v1/cluster", ch)
+		outer.Handle("/v1/cluster/", ch)
+		outer.Handle("/v1/store/", ch)
+		outer.Handle("/", handler)
+		handler = outer
+	}
+	srv := &http.Server{Handler: handler}
 	fmt.Fprintf(os.Stderr, "webssarid: serving on http://%s\n", ln.Addr())
 	if ready != nil {
 		ready <- ln.Addr().String()
+	}
+
+	var agent *cluster.Agent
+	if *joinURL != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = "http://" + ln.Addr().String()
+		}
+		jctx, jcancel := context.WithTimeout(context.Background(), 30*time.Second)
+		agent, err = cluster.Join(jctx, *joinURL, api.RegisterWorkerRequest{
+			Addr:        adv,
+			Name:        *workerName,
+			Fingerprint: fingerprint,
+		}, nil)
+		jcancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "webssarid: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "webssarid: joined cluster at %s as %s (advertising %s)\n",
+			*joinURL, agent.ID(), adv)
 	}
 
 	serveErr := make(chan error, 1)
@@ -174,10 +290,19 @@ func run(args []string, ready chan<- string) int {
 		return 2
 	}
 
-	// Drain: stop accepting (503 via the service, connection refusal via
-	// the listener shutdown), finish accepted jobs, then exit.
+	// Drain: leave the cluster first (so the coordinator reroutes new
+	// work instead of dispatching into the drain), then stop accepting
+	// (503 via the service, connection refusal via the listener
+	// shutdown), finish accepted jobs, and exit.
 	ctx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
+	if agent != nil {
+		if err := agent.Close(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "webssarid: leaving cluster: %v\n", err)
+		} else {
+			fmt.Fprintln(os.Stderr, "webssarid: left cluster")
+		}
+	}
 	drained := svc.Drain(ctx)
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(os.Stderr, "webssarid: shutdown: %v\n", err)

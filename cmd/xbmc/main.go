@@ -401,7 +401,9 @@ func runRemote(target, base string, incremental, watch, ndjson bool, timeout tim
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	c := client.New(base)
+	// A transient 429 (queue full) or 503 (draining) rejection retries
+	// with backoff, honoring the daemon's Retry-After hint.
+	c := client.New(base, client.WithRetryPolicy(client.DefaultRetryPolicy))
 
 	info, statErr := os.Stat(target)
 	if watch || (statErr == nil && info.IsDir()) {

@@ -73,6 +73,11 @@ type Config struct {
 	// beyond pointer identity.
 	Store     *ResultStore `json:"-"`
 	Telemetry *Telemetry   `json:"-"`
+	// StoreBackend attaches a non-local result-store backend
+	// (WithStoreBackend) — e.g. a cluster worker's remote view of the
+	// coordinator's store. Ignored when Store is also set (the concrete
+	// local store wins). Live handle, excluded from JSON like Store.
+	StoreBackend StoreBackend `json:"-"`
 }
 
 // WithConfig applies an entire Config as one option. It composes with
@@ -128,6 +133,8 @@ func WithConfig(cc Config) Option {
 		}
 		if cc.Store != nil {
 			opts = append(opts, WithStore(cc.Store))
+		} else if cc.StoreBackend != nil {
+			opts = append(opts, WithStoreBackend(cc.StoreBackend))
 		}
 		if cc.Telemetry != nil {
 			opts = append(opts, WithTelemetry(cc.Telemetry))
@@ -155,7 +162,7 @@ func ExportConfig(opts ...Option) (Config, error) {
 }
 
 func (c *config) export() Config {
-	return Config{
+	cc := Config{
 		Prelude:            c.preludeText,
 		ExtraPreludes:      append([]string(nil), c.extraPreludes...),
 		Sinks:              append([]SinkSpec(nil), c.sinkSpecs...),
@@ -171,9 +178,18 @@ func (c *config) export() Config {
 		Limits:             c.limits,
 		Parallelism:        c.parallelism,
 		Incremental:        c.incremental,
-		Store:              c.resultStore,
 		Telemetry:          c.telemetry,
 	}
+	// The store handle exports under the most specific field that holds
+	// it: a local *ResultStore as Store, anything else as StoreBackend.
+	switch s := c.resultStore.(type) {
+	case nil:
+	case *ResultStore:
+		cc.Store = s
+	default:
+		cc.StoreBackend = s
+	}
+	return cc
 }
 
 // WithIncremental enables delta re-verification for VerifyDir runs that

@@ -99,7 +99,7 @@ func verifyDirIncremental(ctx context.Context, dir string, snap incremental.Snap
 		return verifyDirFiles(ctx, dir, snap, walkFails, nil, opts)
 	}
 	configFP := fcfg.configFingerprint()
-	ns := cfg.resultStore.Namespace(GraphNamespace)
+	ns := store.NamespaceOf(cfg.resultStore, GraphNamespace)
 	gkey := graphKey(dir, configFP)
 
 	_, psp := telemetry.StartSpan(tctx, "plan_delta", "dir", dir)

@@ -1,0 +1,136 @@
+package cluster
+
+// Agent is the worker side of cluster membership: join the coordinator
+// (retrying while it comes up), heartbeat on the cadence the
+// coordinator dictates, re-register transparently if the coordinator
+// forgets us (eviction during a network partition, coordinator
+// restart), and deregister on shutdown so the drain is graceful instead
+// of an eviction.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"webssari/client"
+	"webssari/internal/service/api"
+)
+
+// Agent maintains one worker's cluster membership. Create with Join;
+// stop with Close.
+type Agent struct {
+	coord *client.Client
+	req   api.RegisterWorkerRequest
+
+	mu       sync.Mutex
+	id       string
+	interval time.Duration
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// Join registers with the coordinator at coordinatorURL and starts the
+// heartbeat loop. Registration retries with backoff while the
+// coordinator is unreachable (workers and coordinator may boot in any
+// order), bounded by ctx; a definitive rejection — bad request,
+// fingerprint conflict — fails immediately. hc nil uses
+// http.DefaultClient.
+func Join(ctx context.Context, coordinatorURL string, req api.RegisterWorkerRequest, hc *http.Client) (*Agent, error) {
+	opts := []client.ClientOption{client.WithRetryPolicy(client.DefaultRetryPolicy)}
+	if hc != nil {
+		opts = append(opts, client.WithHTTPClient(hc))
+	}
+	a := &Agent{
+		coord: client.New(coordinatorURL, opts...),
+		req:   req,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	backoff := 100 * time.Millisecond
+	for {
+		resp, err := a.coord.RegisterWorker(ctx, req)
+		if err == nil {
+			a.id = resp.Worker
+			a.interval = time.Duration(resp.HeartbeatIntervalMS) * time.Millisecond
+			if a.interval <= 0 {
+				a.interval = DefaultHeartbeatInterval
+			}
+			break
+		}
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) && apiErr.StatusCode >= 400 && apiErr.StatusCode < 500 && !apiErr.Temporary() {
+			return nil, fmt.Errorf("cluster: joining %s: %w", coordinatorURL, err)
+		}
+		timer := time.NewTimer(backoff)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, fmt.Errorf("cluster: joining %s: %w (last error: %v)", coordinatorURL, ctx.Err(), err)
+		case <-timer.C:
+		}
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+	go a.heartbeatLoop()
+	return a, nil
+}
+
+// ID returns the coordinator-assigned worker ID.
+func (a *Agent) ID() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.id
+}
+
+// heartbeatLoop refreshes liveness until Close. A 404 means the
+// coordinator no longer knows us — evicted during a partition, or the
+// coordinator restarted with empty membership — so the agent re-joins
+// under a fresh ID rather than silently falling out of the cluster.
+// Other errors are left for the next tick; the eviction budget
+// (HeartbeatMisses) is exactly the tolerance for them.
+func (a *Agent) heartbeatLoop() {
+	defer close(a.done)
+	ticker := time.NewTicker(a.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-ticker.C:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), a.interval)
+		err := a.coord.Heartbeat(ctx, a.ID())
+		cancel()
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusNotFound {
+			rctx, rcancel := context.WithTimeout(context.Background(), a.interval)
+			if resp, rerr := a.coord.RegisterWorker(rctx, a.req); rerr == nil {
+				a.mu.Lock()
+				a.id = resp.Worker
+				a.mu.Unlock()
+			}
+			rcancel()
+		}
+	}
+}
+
+// Close stops heartbeating and deregisters from the coordinator
+// (best-effort, bounded by ctx). Safe to call more than once.
+func (a *Agent) Close(ctx context.Context) error {
+	a.stopOnce.Do(func() { close(a.stop) })
+	<-a.done
+	if err := a.coord.DeregisterWorker(ctx, a.ID()); err != nil {
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusNotFound {
+			return nil // already evicted: the goal state
+		}
+		return err
+	}
+	return nil
+}

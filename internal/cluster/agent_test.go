@@ -1,0 +1,91 @@
+package cluster
+
+// Agent lifecycle under chaos: join, steady-state heartbeating, network
+// partition (dropped heartbeats) leading to eviction, automatic re-join
+// once the partition heals, and graceful deregistration.
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"webssari/internal/service"
+	"webssari/internal/service/api"
+)
+
+func TestAgentJoinHeartbeatRejoinDeregister(t *testing.T) {
+	var dropAll atomic.Bool
+	var evictions atomic.Int32
+	c, coordTS := newTestCoordinator(t, Config{
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatMisses:   2,
+		Hooks: Hooks{
+			// The "network": while dropAll is set, heartbeats are
+			// acknowledged but never recorded. The partition heals the
+			// moment the eviction lands.
+			DropHeartbeat: func(string) bool { return dropAll.Load() },
+			OnEvict: func(string) {
+				evictions.Add(1)
+				dropAll.Store(false)
+			},
+		},
+	})
+	worker := newWorkerServer(t, service.Config{})
+
+	ctx := context.Background()
+	agent, err := Join(ctx, coordTS.URL, api.RegisterWorkerRequest{Addr: worker.URL, Name: "chaos-worker"}, nil)
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	t.Cleanup(func() { _ = agent.Close(context.Background()) })
+	firstID := agent.ID()
+	if firstID == "" {
+		t.Fatal("join returned an empty worker ID")
+	}
+
+	// Steady state: a heartbeating agent survives well past the
+	// eviction window.
+	time.Sleep(8 * 20 * time.Millisecond)
+	if n := c.liveWorkers(); n != 1 {
+		t.Fatalf("live workers = %d after steady-state heartbeating; want 1 (agent was evicted despite heartbeating)", n)
+	}
+
+	// Partition: drop every heartbeat until the eviction lands.
+	dropAll.Store(true)
+	waitFor(t, 10*time.Second, "the partitioned agent to be evicted", func() bool {
+		return evictions.Load() >= 1
+	})
+
+	// Healed: the agent's next heartbeat gets a 404 and it must rejoin
+	// under a fresh ID, without any external intervention.
+	waitFor(t, 10*time.Second, "the agent to re-register after the partition healed", func() bool {
+		return c.liveWorkers() == 1 && agent.ID() != firstID
+	})
+
+	// Graceful leave: deregistration, not eviction.
+	if err := agent.Close(ctx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if n := c.liveWorkers(); n != 0 {
+		t.Fatalf("live workers = %d after graceful close; want 0", n)
+	}
+	if n := evictions.Load(); n != 1 {
+		t.Fatalf("evictions = %d; the graceful leave must not count as an eviction", n)
+	}
+}
+
+func TestAgentJoinRetriesWhileCoordinatorIsDown(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	// Nothing listens here: Join must keep retrying until its context
+	// expires, then report the last error — not fail on first refusal.
+	start := time.Now()
+	_, err := Join(ctx, "http://127.0.0.1:1", api.RegisterWorkerRequest{Addr: "http://127.0.0.1:2", Name: "w"}, nil)
+	if err == nil {
+		t.Fatal("join succeeded against a dead coordinator")
+	}
+	if elapsed := time.Since(start); elapsed < 200*time.Millisecond {
+		t.Fatalf("join gave up after %v; it should retry until the context expires", elapsed)
+	}
+}

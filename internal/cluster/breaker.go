@@ -1,0 +1,110 @@
+package cluster
+
+// Per-worker circuit breaker. A worker that fails several dispatches in
+// a row is probably down or wedged; routing more files at it just burns
+// the retry budget. The breaker trips open after `threshold` consecutive
+// failures, rejects dispatches for `cooldown`, then admits exactly one
+// half-open probe — success closes it, failure re-opens it for another
+// cooldown. Any success resets the consecutive-failure count.
+
+import (
+	"sync"
+	"time"
+)
+
+const (
+	breakerClosed   = "closed"
+	breakerOpen     = "open"
+	breakerHalfOpen = "half-open"
+)
+
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for tests
+
+	state       string
+	consecutive int
+	openedAt    time.Time
+	probing     bool // half-open: one probe already admitted
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now, state: breakerClosed}
+}
+
+// Allow reports whether a dispatch may be routed to the worker now. In
+// the open state it flips to half-open once the cooldown has elapsed and
+// admits a single probe.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a completed dispatch, closing the breaker.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.consecutive = 0
+	b.probing = false
+}
+
+// Failure records a failed dispatch and returns true when this failure
+// tripped the breaker open (for the trip counter — re-opening from
+// half-open counts as a trip too).
+func (b *breaker) Failure() (tripped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	switch b.state {
+	case breakerClosed:
+		if b.consecutive >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+			return true
+		}
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+		return true
+	}
+	return false
+}
+
+// State returns the breaker state name for status renderings.
+func (b *breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// Render an elapsed cooldown as half-open without mutating: Allow is
+	// the only state-advancing reader.
+	if b.state == breakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		return breakerHalfOpen
+	}
+	return b.state
+}

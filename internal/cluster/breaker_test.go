@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker's injectable now().
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(threshold, cooldown)
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Minute)
+	if !b.Allow() {
+		t.Fatal("fresh breaker must allow")
+	}
+	if b.Failure() || b.Failure() {
+		t.Fatal("breaker tripped before reaching the threshold")
+	}
+	if b.State() != breakerClosed {
+		t.Fatalf("state = %s below threshold; want closed", b.State())
+	}
+	if !b.Failure() {
+		t.Fatal("threshold-th consecutive failure must report the trip")
+	}
+	if b.State() != breakerOpen {
+		t.Fatalf("state = %s after trip; want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker must refuse before the cooldown elapses")
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Minute)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	if b.Failure() || b.Failure() {
+		t.Fatal("success must reset the consecutive-failure count")
+	}
+	if !b.Failure() {
+		t.Fatal("three fresh failures after the reset must trip")
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Minute)
+	b.Failure() // trip immediately
+	if b.Allow() {
+		t.Fatal("open breaker allowed during cooldown")
+	}
+	clk.advance(time.Minute)
+	if b.State() != breakerHalfOpen {
+		t.Fatalf("state = %s after cooldown; want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker must admit one probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+}
+
+func TestBreakerProbeSuccessCloses(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Minute)
+	b.Failure()
+	clk.advance(time.Minute)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	b.Success()
+	if b.State() != breakerClosed {
+		t.Fatalf("state = %s after probe success; want closed", b.State())
+	}
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("closed breaker must allow freely")
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(3, time.Minute)
+	b.Failure()
+	b.Failure()
+	b.Failure()
+	clk.advance(time.Minute)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	if !b.Failure() {
+		t.Fatal("a failed half-open probe must count as a trip")
+	}
+	if b.State() != breakerOpen {
+		t.Fatalf("state = %s after failed probe; want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker allowed during the fresh cooldown")
+	}
+	clk.advance(time.Minute)
+	if !b.Allow() {
+		t.Fatal("re-opened breaker must admit a probe after another cooldown")
+	}
+}

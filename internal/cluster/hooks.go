@@ -1,0 +1,32 @@
+package cluster
+
+// Hooks are the cluster's fault-injection points — the distributed
+// extension of the engine's PR-1 Hooks idea. Production runs leave them
+// nil; the chaos tests and the CI cluster job use them to kill workers
+// mid-job, drop or delay heartbeats, and inject dispatch failures at
+// exact, deterministic moments instead of racing timers.
+//
+// All hooks may be invoked concurrently and must be safe for that.
+
+import "time"
+
+type Hooks struct {
+	// BeforeDispatch runs before each per-file dispatch attempt
+	// (attempt counts from 1). Returning an error aborts the attempt as
+	// a transient dispatch failure — it counts against the worker's
+	// breaker and the file's retry budget exactly like a network error.
+	// Chaos tests use it to SIGKILL the victim worker at the precise
+	// moment a file is about to land on it.
+	BeforeDispatch func(workerID, file string, attempt int) error
+	// DropHeartbeat, when it returns true, makes the coordinator ignore
+	// an arriving heartbeat (the worker still gets a 200 — the loss is
+	// on the "network"). Sustained drops get the worker evicted.
+	DropHeartbeat func(workerID string) bool
+	// DelayHeartbeat returns an artificial processing delay for a
+	// worker's heartbeat (0 = none) — late heartbeats that should not
+	// quite trip eviction.
+	DelayHeartbeat func(workerID string) time.Duration
+	// OnEvict observes each eviction after the worker is removed and its
+	// in-flight dispatches cancelled.
+	OnEvict func(workerID string)
+}

@@ -1,0 +1,181 @@
+package cluster
+
+// The shared result store over HTTP: the coordinator serves its local
+// content-addressed store at /v1/store/{key}, and workers attach a
+// RemoteStore (a store.Backend) pointing back at it, so any worker can
+// serve any cached verdict and every worker's fresh verdicts land in one
+// place. Keys are the store's own length-prefixed SHA-256 hex digests —
+// opaque, uniform, and URL-safe.
+//
+// Failure semantics follow the store contract: a Get that cannot reach
+// the coordinator is a miss (cold cache, never a wrong answer); Put
+// returns an error that callers already swallow; Invalidate is
+// best-effort.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+
+	"webssari/internal/store"
+)
+
+// maxStoreBlob bounds one stored payload on the wire (a result envelope
+// or dependency graph; far below this in practice).
+const maxStoreBlob = 64 << 20
+
+// storeKeyRE validates wire keys. Every store key — results, namespaced
+// graph blobs — is a 64-digit lowercase hex SHA-256 (store.Key), and
+// the validation is load-bearing: the key becomes a filesystem path
+// inside the store, so nothing path-like may pass.
+var storeKeyRE = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+// RemoteStore implements store.Backend against a coordinator's
+// /v1/store endpoints.
+type RemoteStore struct {
+	base string
+	hc   *http.Client
+}
+
+// NewRemoteStore returns a backend reading and writing the store served
+// at base (e.g. "http://coordinator:8722"). hc nil uses
+// http.DefaultClient.
+func NewRemoteStore(base string, hc *http.Client) *RemoteStore {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	return &RemoteStore{base: base, hc: hc}
+}
+
+// Get fetches the payload under key; any transport or server problem
+// degrades to a miss.
+func (r *RemoteStore) Get(key string) ([]byte, bool) {
+	if !storeKeyRE.MatchString(key) {
+		return nil, false
+	}
+	resp, err := r.hc.Get(r.base + "/v1/store/" + key)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, false
+	}
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, maxStoreBlob+1))
+	if err != nil || len(payload) > maxStoreBlob {
+		return nil, false
+	}
+	return payload, true
+}
+
+// Put stores the payload under key on the coordinator.
+func (r *RemoteStore) Put(key string, payload []byte) error {
+	if !storeKeyRE.MatchString(key) {
+		return fmt.Errorf("cluster: malformed store key %q", key)
+	}
+	req, err := http.NewRequest(http.MethodPut, r.base+"/v1/store/"+key, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return fmt.Errorf("cluster: remote store put: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Invalidate removes the entry under key, best-effort.
+func (r *RemoteStore) Invalidate(key string) {
+	if !storeKeyRE.MatchString(key) {
+		return
+	}
+	req, err := http.NewRequest(http.MethodDelete, r.base+"/v1/store/"+key, nil)
+	if err != nil {
+		return
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+}
+
+var _ store.Backend = (*RemoteStore)(nil)
+
+// storeServer serves a local backend at /v1/store/{key} (GET/PUT/DELETE)
+// for RemoteStore peers. Registered on the coordinator's mux.
+type storeServer struct {
+	backend store.Backend
+}
+
+func (s *storeServer) register(mux *http.ServeMux) {
+	mux.HandleFunc("GET /v1/store/{key}", s.handleGet)
+	mux.HandleFunc("PUT /v1/store/{key}", s.handlePut)
+	mux.HandleFunc("DELETE /v1/store/{key}", s.handleDelete)
+}
+
+func (s *storeServer) key(w http.ResponseWriter, r *http.Request) (string, bool) {
+	key := r.PathValue("key")
+	if !storeKeyRE.MatchString(key) {
+		http.Error(w, "malformed store key", http.StatusBadRequest)
+		return "", false
+	}
+	return key, true
+}
+
+func (s *storeServer) handleGet(w http.ResponseWriter, r *http.Request) {
+	key, ok := s.key(w, r)
+	if !ok {
+		return
+	}
+	payload, ok := s.backend.Get(key)
+	if !ok {
+		http.Error(w, "no such entry", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(payload)
+}
+
+func (s *storeServer) handlePut(w http.ResponseWriter, r *http.Request) {
+	key, ok := s.key(w, r)
+	if !ok {
+		return
+	}
+	payload, err := io.ReadAll(io.LimitReader(r.Body, maxStoreBlob+1))
+	if err != nil {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(payload) > maxStoreBlob {
+		http.Error(w, "payload too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	if err := s.backend.Put(key, payload); err != nil {
+		http.Error(w, "storing: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *storeServer) handleDelete(w http.ResponseWriter, r *http.Request) {
+	key, ok := s.key(w, r)
+	if !ok {
+		return
+	}
+	s.backend.Invalidate(key)
+	w.WriteHeader(http.StatusNoContent)
+}

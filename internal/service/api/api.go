@@ -124,3 +124,72 @@ type ErrorResponse struct {
 	SchemaV string `json:"schema"`
 	Error   string `json:"error"`
 }
+
+// --- Cluster coordination (coordinator mode of webssarid) ---
+
+// RegisterWorkerRequest is the POST /v1/cluster/workers body a worker
+// daemon sends to join the cluster.
+type RegisterWorkerRequest struct {
+	// Addr is the worker's advertised base URL
+	// (e.g. "http://10.0.0.7:8722") — the address the coordinator
+	// dispatches jobs to, which may differ from the listen address
+	// behind NAT or in containers.
+	Addr string `json:"addr"`
+	// Name is an optional human-readable label shown in cluster status.
+	Name string `json:"name,omitempty"`
+	// Fingerprint summarizes the worker's verdict-shaping configuration.
+	// When both sides set one, the coordinator rejects a mismatch (409):
+	// a worker with different analysis options would silently break the
+	// cluster's byte-identical-verdicts invariant.
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+// RegisterWorkerResponse acknowledges a registration.
+type RegisterWorkerResponse struct {
+	SchemaV string `json:"schema"`
+	// Worker is the coordinator-assigned worker ID, used in heartbeat
+	// and deregistration paths.
+	Worker string `json:"worker"`
+	// HeartbeatIntervalMS is the heartbeat cadence the coordinator
+	// expects; missing several in a row gets the worker evicted.
+	HeartbeatIntervalMS int `json:"heartbeat_interval_ms"`
+}
+
+// Ack is the minimal success body of state-changing cluster calls
+// (heartbeat, deregistration).
+type Ack struct {
+	SchemaV string `json:"schema"`
+	Status  string `json:"status"`
+}
+
+// WorkerStatus is one worker's row in ClusterStatus.
+type WorkerStatus struct {
+	ID   string `json:"id"`
+	Name string `json:"name,omitempty"`
+	Addr string `json:"addr"`
+	// Live is true while the worker heartbeats; an evicted or
+	// deregistered worker disappears from the listing instead.
+	Live bool `json:"live"`
+	// LastHeartbeatMS is how long ago the last heartbeat arrived.
+	LastHeartbeatMS int64 `json:"last_heartbeat_ms"`
+	// Breaker is the worker's circuit-breaker state
+	// ("closed" | "open" | "half-open").
+	Breaker string `json:"breaker"`
+	// Dispatches and Failures count per-file dispatch attempts routed to
+	// this worker and how many of them failed.
+	Dispatches int64 `json:"dispatches"`
+	Failures   int64 `json:"failures,omitempty"`
+}
+
+// ClusterStatus is the GET /v1/cluster response.
+type ClusterStatus struct {
+	SchemaV string         `json:"schema"`
+	Workers []WorkerStatus `json:"workers"`
+	// Live counts currently registered workers.
+	Live int `json:"live"`
+	// Evictions, Redispatches, and DegradedRuns mirror the cluster
+	// telemetry counters over the coordinator's lifetime.
+	Evictions    int64 `json:"evictions"`
+	Redispatches int64 `json:"redispatches"`
+	DegradedRuns int64 `json:"degraded_runs"`
+}

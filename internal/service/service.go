@@ -88,10 +88,39 @@ const DefaultMaxSourceBytes = 4 << 20
 // queries.
 const defaultRetainedJobs = 256
 
+// Runner is the execution backend a Server routes verification jobs
+// through. The default (nil Config.Runner) runs the engine in process;
+// a webssarid in coordinator mode installs the cluster coordinator
+// here, which dispatches per-file work across registered workers. The
+// contract is the engine's: implementations must produce reports
+// byte-identical (profiles aside) to the local entry points under the
+// same options.
+type Runner interface {
+	VerifyFile(ctx context.Context, src []byte, name string, opts ...webssari.Option) (*webssari.Report, error)
+	VerifyDir(ctx context.Context, dir string, opts ...webssari.Option) (*webssari.ProjectReport, error)
+}
+
+// localRunner is the default Runner: the in-process engine.
+type localRunner struct{}
+
+func (localRunner) VerifyFile(ctx context.Context, src []byte, name string, opts ...webssari.Option) (*webssari.Report, error) {
+	return webssari.VerifyContext(ctx, src, name, opts...)
+}
+
+func (localRunner) VerifyDir(ctx context.Context, dir string, opts ...webssari.Option) (*webssari.ProjectReport, error) {
+	return webssari.VerifyDirContext(ctx, dir, opts...)
+}
+
 // Config assembles a Server.
 type Config struct {
 	// Store is the persistent result store (tier 2); nil disables it.
 	Store *store.Store
+	// StoreBackend is an alternative result-store backend used when
+	// Store is nil — a cluster worker's remote view of the
+	// coordinator's store. Ignored when Store is set.
+	StoreBackend store.Backend
+	// Runner executes verification jobs (nil: in-process engine).
+	Runner Runner
 	// Telemetry receives metrics and spans; nil runs uninstrumented.
 	Telemetry *telemetry.Telemetry
 	// Workers bounds concurrently running jobs (<= 0: GOMAXPROCS).
@@ -233,6 +262,7 @@ func (j *job) follow() (replay [][]byte, live <-chan []byte, running bool) {
 // Server is the verification service.
 type Server struct {
 	cfg      Config
+	runner   Runner
 	mux      *http.ServeMux
 	pool     *core.Pool
 	queue    chan *job
@@ -273,8 +303,13 @@ func New(cfg Config) *Server {
 	if maxSrc <= 0 {
 		maxSrc = DefaultMaxSourceBytes
 	}
+	runner := cfg.Runner
+	if runner == nil {
+		runner = localRunner{}
+	}
 	s := &Server{
 		cfg:            cfg,
+		runner:         runner,
 		mux:            http.NewServeMux(),
 		pool:           core.NewPool(cfg.Workers),
 		queue:          make(chan *job, qs),
@@ -435,6 +470,7 @@ func (s *Server) admit(j *job) (ok bool, draining bool) {
 func (s *Server) jobOptions() []webssari.Option {
 	base := webssari.Config{
 		Store:        s.cfg.Store,
+		StoreBackend: s.cfg.StoreBackend,
 		Telemetry:    s.cfg.Telemetry,
 		Deadline:     s.deadline,
 		MaxConflicts: s.cfg.MaxConflicts,
@@ -474,7 +510,7 @@ func (s *Server) runJob(j *job) {
 			opts = append(opts, webssari.WithDir(j.dir))
 		}
 		var rep *webssari.Report
-		rep, err = webssari.VerifyContext(ctx, j.source, j.Target, opts...)
+		rep, err = s.runner.VerifyFile(ctx, j.source, j.Target, opts...)
 		if err == nil {
 			_ = stream.Encode(rep)
 			j.mu.Lock()
@@ -489,14 +525,14 @@ func (s *Server) runJob(j *job) {
 		if j.incremental != nil {
 			incremental = *j.incremental
 		}
-		if incremental && s.cfg.Store != nil {
+		if incremental && (s.cfg.Store != nil || s.cfg.StoreBackend != nil) {
 			opts = append(opts, webssari.WithIncremental())
 		}
 		if j.watch {
 			err = s.runWatch(ctx, j, opts, stream)
 		} else {
 			var pr *webssari.ProjectReport
-			pr, err = webssari.VerifyDirContext(ctx, j.Target, opts...)
+			pr, err = s.runner.VerifyDir(ctx, j.Target, opts...)
 			if err == nil {
 				j.mu.Lock()
 				j.dirRep = pr
@@ -538,7 +574,7 @@ func (s *Server) runWatch(ctx context.Context, j *job, opts []webssari.Option, s
 		if err != nil {
 			return fmt.Errorf("snapshotting %s: %w", j.Target, err)
 		}
-		pr, err := webssari.VerifyDirContext(ctx, j.Target, opts...)
+		pr, err := s.runner.VerifyDir(ctx, j.Target, opts...)
 		if err != nil {
 			return err
 		}
@@ -687,6 +723,10 @@ func (s *Server) enqueue(w http.ResponseWriter, j *job) {
 	ok, draining := s.admit(j)
 	if draining {
 		s.dropJob(j)
+		// A draining daemon is gone shortly; in a cluster the load
+		// balancer or retrying client should come back to whoever
+		// replaces it, not hammer the drain.
+		w.Header().Set("Retry-After", "5")
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}

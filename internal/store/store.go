@@ -62,6 +62,24 @@ var blobMagic = [4]byte{'W', 'S', 'S', 'R'}
 
 const headerSize = 4 + 4 + 8 + sha256.Size
 
+// Backend is the interface the engine's result-store plumbing runs
+// against: the content-addressed Get/Put/Invalidate surface of a Store,
+// without tying callers to the on-disk implementation. *Store is the
+// canonical local backend; a cluster can substitute a shared or remote
+// backend (e.g. internal/cluster.RemoteStore) so any worker can serve
+// any cached verdict. Implementations must be safe for concurrent use
+// and must degrade, never error, on damaged or unreachable storage:
+// Get answers false, Put's error is advisory, Invalidate is best-effort.
+type Backend interface {
+	// Get returns the payload stored under key; false on any miss.
+	Get(key string) ([]byte, bool)
+	// Put stores payload under key.
+	Put(key string, payload []byte) error
+	// Invalidate removes an entry whose payload was intact but failed
+	// the caller's revalidation.
+	Invalidate(key string)
+}
+
 // Options configures Open.
 type Options struct {
 	// MaxBytes bounds the total size of retained blobs (headers
@@ -387,19 +405,23 @@ func (s *Store) Len() int {
 // Root returns the store's root directory.
 func (s *Store) Root() string { return s.root }
 
-// A Namespace re-addresses keys under a label so one Store can hold
+// A Namespace re-addresses keys under a label so one backend can hold
 // independent kinds of blobs (verification results, dependency graphs)
 // without key collisions: every operation maps key → NamespacedKey
-// before hitting the store, so namespaced blobs share the framing,
+// before hitting the backend, so namespaced blobs share the framing,
 // crash-safety, GC budget, and telemetry of the store they live in.
 type Namespace struct {
-	s     *Store
+	s     Backend
 	label string
 }
 
 // Namespace returns a view of the store whose keys are re-addressed
 // under label. The empty label is the store's root namespace.
 func (s *Store) Namespace(label string) Namespace { return Namespace{s: s, label: label} }
+
+// NamespaceOf is Namespace over any Backend — the form the engine uses,
+// since a cluster may substitute a remote backend for the local store.
+func NamespaceOf(b Backend, label string) Namespace { return Namespace{s: b, label: label} }
 
 // NamespacedKey maps a caller key into a namespace: the final content
 // address of a blob stored via Namespace{label}.Put(key, …). Exposed so

@@ -66,6 +66,26 @@ const (
 	MetricServiceJobsDone     = "webssari_service_jobs_completed_total"
 	MetricServiceJobsFailed   = "webssari_service_jobs_failed_total"
 	MetricServiceJobSeconds   = "webssari_service_job_seconds" // histogram
+
+	// Cluster-coordinator series. Per-worker health is a labeled gauge
+	// family (Name(MetricClusterWorkerUp, "worker", id) — 1 while live, 0
+	// after eviction or deregistration); the counters record dispatch
+	// outcomes: every remote per-file dispatch attempt, attempts that
+	// failed transiently, files re-dispatched to another worker after
+	// their first-choice worker died or tripped, breaker trips, runs that
+	// degraded to local execution, and the local/remote split of files.
+	MetricClusterWorkersLive      = "webssari_cluster_workers_live"
+	MetricClusterWorkerUp         = "webssari_cluster_worker_up" // gauge, label worker
+	MetricClusterRegistrations    = "webssari_cluster_registrations_total"
+	MetricClusterHeartbeats       = "webssari_cluster_heartbeats_total"
+	MetricClusterEvictions        = "webssari_cluster_evictions_total"
+	MetricClusterDispatches       = "webssari_cluster_dispatches_total"
+	MetricClusterDispatchFailures = "webssari_cluster_dispatch_failures_total"
+	MetricClusterRedispatches     = "webssari_cluster_redispatches_total"
+	MetricClusterBreakerTrips     = "webssari_cluster_breaker_trips_total"
+	MetricClusterDegradedRuns     = "webssari_cluster_degraded_runs_total"
+	MetricClusterLocalFiles       = "webssari_cluster_local_files_total"
+	MetricClusterRemoteFiles      = "webssari_cluster_remote_files_total"
 )
 
 // Name encodes label pairs into a metric name: Name("x_seconds",

@@ -108,6 +108,31 @@ type IncrementalProfile struct {
 	Full bool `json:"full,omitempty"`
 }
 
+// ClusterProfile summarizes how a clustered project run placed its
+// files. Like every other profile section it is informational only —
+// stripped before byte-identical report comparisons — because placement
+// never changes a verdict, only where it was computed.
+type ClusterProfile struct {
+	// Workers is the number of live workers when the run started.
+	Workers int `json:"workers"`
+	// Remote counts files verified on a worker daemon; Local counts
+	// files executed in-process (degradation or deterministic replay).
+	Remote int `json:"remote_files"`
+	Local  int `json:"local_files,omitempty"`
+	// Redispatches counts files that were re-sent to another worker
+	// after their first-choice worker failed or was evicted mid-job.
+	Redispatches int `json:"redispatches,omitempty"`
+	// Replayed counts files re-executed locally to reproduce a
+	// deterministic remote failure (a worker reported the job itself
+	// failed, so the error is a property of the input, not the worker).
+	Replayed int `json:"replayed,omitempty"`
+	// Degraded is set when at least one file fell back to local
+	// execution because no worker could take it (zero live workers, or
+	// the retry budget ran out everywhere) — the run completed, but not
+	// at cluster capacity.
+	Degraded bool `json:"degraded,omitempty"`
+}
+
 // RunProfile is the exportable summary of one verification run — per
 // file (attached to Report) or per project (attached to ProjectReport,
 // where the per-file profiles are aggregated and the pool/cache sections
@@ -145,6 +170,9 @@ type RunProfile struct {
 	// Like the rest of the profile it is stripped before byte-identical
 	// report comparisons.
 	Incremental *IncrementalProfile `json:"incremental,omitempty"`
+	// Cluster is populated on project profiles of clustered runs: how
+	// the coordinator placed the files across workers.
+	Cluster *ClusterProfile `json:"cluster,omitempty"`
 }
 
 // CompileWall returns the front-end wall time as a Duration.
@@ -259,6 +287,19 @@ func (p *RunProfile) String() string {
 			inc.Planned, inc.Skipped, inc.Invalidated)
 		if inc.Full {
 			b.WriteString(" (full run)")
+		}
+	}
+	if cl := p.Cluster; cl != nil {
+		fmt.Fprintf(&b, "; cluster: %d worker(s), %d remote / %d local file(s)",
+			cl.Workers, cl.Remote, cl.Local)
+		if cl.Redispatches > 0 {
+			fmt.Fprintf(&b, ", %d redispatched", cl.Redispatches)
+		}
+		if cl.Replayed > 0 {
+			fmt.Fprintf(&b, ", %d replayed", cl.Replayed)
+		}
+		if cl.Degraded {
+			b.WriteString(" (degraded)")
 		}
 	}
 	for _, st := range p.Stages {

@@ -198,6 +198,7 @@ func verifyDirFiles(ctx context.Context, dir string, snap incremental.Snapshot, 
 	var tel *telemetry.Telemetry
 	hasStore := false
 	var observer func(*Report)
+	verify := VerifyContext
 	if cfg, err := buildConfig(opts); err == nil {
 		if cfg.parallelism > 0 {
 			parallelism = cfg.parallelism
@@ -205,6 +206,12 @@ func verifyDirFiles(ctx context.Context, dir string, snap incremental.Snapshot, 
 		tel = cfg.telemetry
 		hasStore = cfg.resultStore != nil
 		observer = cfg.observer
+		if cfg.fileVerifier != nil {
+			// Cluster dispatch seam: each file's verification is delegated
+			// (typically to a remote worker) under the same per-file options
+			// a local worker would receive; see WithFileVerifier's contract.
+			verify = cfg.fileVerifier
+		}
 	}
 	pool := core.NewPool(parallelism)
 	ctx = telemetry.WithTelemetry(ctx, tel)
@@ -259,7 +266,7 @@ func verifyDirFiles(ctx context.Context, dir string, snap incremental.Snapshot, 
 			// This worker holds one pool slot; withWorkers lets the file's
 			// assertion fan-out borrow further free slots (non-blocking).
 			fileOpts := append([]Option{WithDir(dir), withWorkers(pool)}, opts...)
-			rep, err := VerifyContext(ctx, src, file, fileOpts...)
+			rep, err := verify(ctx, src, file, fileOpts...)
 			if err != nil {
 				stage := "analysis"
 				var ee *EngineError

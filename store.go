@@ -54,7 +54,51 @@ func OpenStore(dir string, maxBytes int64) (*ResultStore, error) {
 // verdict — but still benefit from the tier-1 compile cache.
 func WithStore(s *ResultStore) Option {
 	return func(c *config) error {
-		c.resultStore = s
+		if s != nil {
+			c.resultStore = s
+		}
+		return nil
+	}
+}
+
+// StoreBackend is the abstract result-store surface (tier 2): the local
+// on-disk *ResultStore implements it, and so can a shared or remote
+// backend — the cluster's workers attach one pointing at the
+// coordinator's store so any worker can serve any cached verdict.
+type StoreBackend = store.Backend
+
+// WithStoreBackend attaches an arbitrary result-store backend. It is
+// WithStore generalized: everything said there — soundness rules,
+// include revalidation, degrade-to-miss on damage — holds for any
+// backend, which must additionally tolerate an unreachable remote by
+// degrading to a cold cache.
+func WithStoreBackend(b StoreBackend) Option {
+	return func(c *config) error {
+		if b != nil {
+			c.resultStore = b
+		}
+		return nil
+	}
+}
+
+// FileVerifier replaces the engine invocation for each entry file of a
+// project run (VerifyDir/VerifyDirContext): instead of verifying src in
+// process, the project walker calls fn with exactly the per-file options
+// a local worker would use. It is the cluster dispatch seam — the
+// coordinator's implementation ships the source to a worker daemon and
+// decodes the returned report — and the contract is strict: fn must
+// return a report identical to what VerifyContext(ctx, src, name,
+// opts...) would produce, or an equivalent error, so project verdicts
+// stay byte-identical (profiles aside) however files are placed. fn is
+// invoked from multiple worker goroutines concurrently.
+type FileVerifier func(ctx context.Context, src []byte, name string, opts ...Option) (*Report, error)
+
+// WithFileVerifier installs a FileVerifier for project runs. Single-file
+// entry points (Verify, Patch) ignore it — they are already the unit the
+// verifier would dispatch.
+func WithFileVerifier(fn FileVerifier) Option {
+	return func(c *config) error {
+		c.fileVerifier = fn
 		return nil
 	}
 }

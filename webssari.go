@@ -195,24 +195,25 @@ type Report struct {
 type Option func(*config) error
 
 type config struct {
-	pre         *prelude.Prelude
-	loader      func(string) ([]byte, error)
-	dir         string
-	unroll      int
-	paperMode   bool
-	blockAll    bool
-	routine     string
-	solver      sat.Options
-	maxCEX      int
-	deadline    time.Duration
-	limits      ResourceLimits
-	parallelism int
-	workers     *core.Pool
-	telemetry   *telemetry.Telemetry
-	resultStore *store.Store
-	observer    func(*Report)
-	incremental bool
-	depRecorder func(depRecord)
+	pre          *prelude.Prelude
+	loader       func(string) ([]byte, error)
+	dir          string
+	unroll       int
+	paperMode    bool
+	blockAll     bool
+	routine      string
+	solver       sat.Options
+	maxCEX       int
+	deadline     time.Duration
+	limits       ResourceLimits
+	parallelism  int
+	workers      *core.Pool
+	telemetry    *telemetry.Telemetry
+	resultStore  store.Backend
+	observer     func(*Report)
+	fileVerifier FileVerifier
+	incremental  bool
+	depRecorder  func(depRecord)
 	// The prelude-shaping options also record their textual form so the
 	// resolved configuration round-trips through the exported Config
 	// (ExportConfig / WithConfig) — the prelude itself holds only the
