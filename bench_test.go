@@ -27,6 +27,8 @@ import (
 	"webssari/internal/corpus"
 	"webssari/internal/fixing"
 	"webssari/internal/flow"
+	"webssari/internal/ir"
+	"webssari/internal/php/parser"
 	"webssari/internal/prelude"
 	"webssari/internal/sat"
 	"webssari/internal/service"
@@ -613,4 +615,92 @@ func BenchmarkClusterVerifyDir(b *testing.B) {
 			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
 		})
 	}
+}
+
+// BenchmarkCompileStages measures the front end's cost with the typed
+// flow IR in the middle (parse → lower → BuildUnit) against the legacy
+// direct-AST walk (parse → BuildAST) it replaced, plus lowering alone,
+// over the bundled examples/php corpus. A full core.Compile run reports
+// the per-stage wall-time split (parse/lower/flow/rename/constraints)
+// via b.ReportMetric; BENCH_compile.json records the numbers.
+func BenchmarkCompileStages(b *testing.B) {
+	dir := filepath.Join("examples", "php")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	type file struct {
+		name string
+		src  []byte
+	}
+	var files []file
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".php" {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		files = append(files, file{filepath.Join(dir, e.Name()), src})
+		total += int64(len(src))
+	}
+	fopts := flow.Options{Prelude: prelude.Default(), Dir: dir, Loader: os.ReadFile}
+
+	b.Run("lower-only", func(b *testing.B) {
+		b.SetBytes(total)
+		for i := 0; i < b.N; i++ {
+			for _, f := range files {
+				if unit, _ := ir.LowerSource(f.name, f.src); unit == nil {
+					b.Fatalf("nil unit for %s", f.name)
+				}
+			}
+		}
+	})
+	b.Run("legacy-ast-flow", func(b *testing.B) {
+		b.SetBytes(total)
+		for i := 0; i < b.N; i++ {
+			for _, f := range files {
+				res := parser.Parse(f.name, f.src)
+				if _, err := flow.BuildAST(res.File, fopts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("ir-flow", func(b *testing.B) {
+		b.SetBytes(total)
+		for i := 0; i < b.N; i++ {
+			for _, f := range files {
+				res := parser.Parse(f.name, f.src)
+				if _, err := flow.Build(res.File, fopts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("full-compile", func(b *testing.B) {
+		b.SetBytes(total)
+		var stats core.CompileStats
+		for i := 0; i < b.N; i++ {
+			stats = core.CompileStats{}
+			for _, f := range files {
+				prog, errs := core.Compile(f.name, f.src, core.Options{Flow: fopts})
+				if prog == nil {
+					b.Fatalf("compile %s: %v", f.name, errs)
+				}
+				stats.ParseNS += prog.Stats.ParseNS
+				stats.LowerNS += prog.Stats.LowerNS
+				stats.FlowNS += prog.Stats.FlowNS
+				stats.RenameNS += prog.Stats.RenameNS
+				stats.ConstraintsNS += prog.Stats.ConstraintsNS
+			}
+		}
+		b.ReportMetric(float64(stats.ParseNS), "parse-ns")
+		b.ReportMetric(float64(stats.LowerNS), "lower-ns")
+		b.ReportMetric(float64(stats.FlowNS), "flow-ns")
+		b.ReportMetric(float64(stats.RenameNS), "rename-ns")
+		b.ReportMetric(float64(stats.ConstraintsNS), "constraints-ns")
+	})
 }

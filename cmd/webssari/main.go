@@ -24,6 +24,8 @@
 //	-trace FILE       write Chrome trace-event JSON of every pipeline span
 //	-metrics-addr A   serve Prometheus /metrics (plus /debug/vars and
 //	                  /debug/pprof/) on A for the run; ":0" picks a port
+//	-dump-ir          print each input's typed flow IR (internal/ir
+//	                  textual form) and exit without solving anything
 //	-figure10         run TS and BMC over the synthetic Figure 10 corpus
 //	-scale F          corpus statement-scale for -figure10 (default 0.02)
 //	-seed N           corpus generation seed
@@ -52,6 +54,7 @@ import (
 	"webssari/internal/buildinfo"
 	"webssari/internal/core"
 	"webssari/internal/corpus"
+	"webssari/internal/ir"
 )
 
 // Exit codes, by precedence: an error outranks a finding, a finding
@@ -108,6 +111,7 @@ func run(args []string) int {
 		fig10    = fs.Bool("figure10", false, "regenerate the Figure 10 table")
 		scale    = fs.Float64("scale", 0.02, "corpus statement scale for -figure10")
 		seed     = fs.Uint64("seed", 2004, "corpus generation seed")
+		dumpIR   = fs.Bool("dump-ir", false, "print each input's typed flow IR and exit (no solving)")
 		storeDir = fs.String("store", "", "persistent result store directory (\"\" disables)")
 		incr     = fs.Bool("incremental", false, "delta re-verification for directory inputs (requires -store)")
 		version  = fs.Bool("version", false, "print version and exit")
@@ -132,6 +136,16 @@ func run(args []string) int {
 	if *jobs < 0 {
 		fmt.Fprintf(os.Stderr, "webssari: -j must be ≥ 0, got %d\n", *jobs)
 		return 2
+	}
+
+	if *dumpIR {
+		for _, target := range fs.Args() {
+			if err := ir.DumpTree(os.Stdout, os.Stderr, target); err != nil {
+				fmt.Fprintf(os.Stderr, "webssari: %v\n", err)
+				return 2
+			}
+		}
+		return 0
 	}
 
 	if *incr && *storeDir == "" {

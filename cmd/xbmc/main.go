@@ -58,6 +58,7 @@ import (
 	"webssari/internal/constraint"
 	"webssari/internal/core"
 	"webssari/internal/flow"
+	"webssari/internal/ir"
 	"webssari/internal/prelude"
 	"webssari/internal/rename"
 	"webssari/internal/sat"
@@ -73,6 +74,7 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("xbmc", flag.ContinueOnError)
 	var (
 		stage       = fs.String("stage", "", "dump a pipeline stage: ai | renamed | constraints | cnf")
+		dumpIR      = fs.Bool("dump-ir", false, "print each file's typed flow IR and exit (no solving)")
 		naive       = fs.Bool("naive", false, "use the xBMC0.1 location-variable encoding")
 		unroll      = fs.Int("unroll", 1, "loop deconstruction factor")
 		outDir      = fs.String("o", "", "directory for DIMACS dumps (with -stage cnf)")
@@ -103,6 +105,17 @@ func run(args []string) int {
 	if *jobs < 0 {
 		fmt.Fprintf(os.Stderr, "xbmc: -j must be ≥ 0, got %d\n", *jobs)
 		return 2
+	}
+	if *dumpIR {
+		if *remoteURL != "" || *stage != "" || *naive {
+			fmt.Fprintln(os.Stderr, "xbmc: -dump-ir cannot combine with -remote, -stage, or -naive")
+			return 2
+		}
+		if err := ir.DumpTree(os.Stdout, os.Stderr, fs.Arg(0)); err != nil {
+			fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
+			return 2
+		}
+		return 0
 	}
 	if *watchMode && *remoteURL == "" {
 		fmt.Fprintln(os.Stderr, "xbmc: -watch requires -remote (watch jobs run on the daemon)")

@@ -1,0 +1,159 @@
+package webssari_test
+
+import (
+	"bytes"
+	"testing"
+
+	"webssari"
+	"webssari/internal/telemetry"
+)
+
+// TestIncrementalFunctionLevelReuse pins the function-level delta inside
+// the file-level delta: editing one function re-verifies only the
+// assertions whose constraint slice touches it; assertions proved safe
+// earlier whose check fingerprint is unchanged are served without a SAT
+// search. CI runs this by name to assert the delta actually shrinks.
+func TestIncrementalFunctionLevelReuse(t *testing.T) {
+	dir := t.TempDir()
+	const before = `<?php
+function head($x) { echo htmlspecialchars($x); }
+head($_GET['a']);
+function tail($y) { echo htmlspecialchars($y); }
+tail($_GET['b']);
+`
+	// The edit stays inside tail's body and after head's assertion in
+	// command order, so head's constraint slice is untouched. Routing the
+	// sanitized value through a local changes tail's equations (a new SSA
+	// variable), not just its source text — a purely cosmetic edit would
+	// leave both check fingerprints equal and both assertions reusable.
+	const after = `<?php
+function head($x) { echo htmlspecialchars($x); }
+head($_GET['a']);
+function tail($y) { $t = htmlspecialchars($y); echo $t; }
+tail($_GET['b']);
+`
+	writeFile(t, dir, "page.php", before)
+	opts, tel := incrementalOpts(t)
+
+	pr1, err := webssari.VerifyDir(dir, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc1 := incProfile(t, pr1)
+	if inc1.ReusedAsserts != 0 {
+		t.Fatalf("cold run reused %d asserts, want 0", inc1.ReusedAsserts)
+	}
+	if len(pr1.Files) != 1 || !pr1.Files[0].Safe {
+		t.Fatalf("cold run: %+v, want one safe file", pr1.Files)
+	}
+	checkedCold := tel.Metrics.Counter(telemetry.MetricAssertionsChecked).Value()
+	if checkedCold < 2 {
+		t.Fatalf("cold run checked %d assertions, want >= 2", checkedCold)
+	}
+
+	writeFile(t, dir, "page.php", after)
+	pr2, err := webssari.VerifyDir(dir, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc2 := incProfile(t, pr2)
+	if inc2.Planned != 1 {
+		t.Fatalf("edited run planned %d files, want 1: %+v", inc2.Planned, inc2)
+	}
+	// head's assertion is fingerprint-identical and was proved safe, so
+	// it must be reused; tail's assertion changed and must be re-solved.
+	if inc2.ReusedAsserts != 1 {
+		t.Fatalf("edited run reused %d asserts, want exactly 1 (head): %+v",
+			inc2.ReusedAsserts, inc2)
+	}
+	if len(pr2.Files) != 1 || !pr2.Files[0].Safe {
+		t.Fatalf("edited run: %+v, want one safe file", pr2.Files)
+	}
+	if got := tel.Metrics.Counter(telemetry.MetricIncrementalReusedAsserts).Value(); got != 1 {
+		t.Fatalf("reused-asserts metric = %d, want 1", got)
+	}
+
+	// The reused verdict must be indistinguishable from a recomputed one:
+	// a cold run over the edited tree agrees byte for byte (profiles and
+	// run-relative counters stripped).
+	coldOpts, _ := incrementalOpts(t)
+	prCold, err := webssari.VerifyDir(dir, coldOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshalProjectStripped(t, pr2), marshalProjectStripped(t, prCold)) {
+		t.Fatal("reuse-assisted report diverged from a cold recomputation")
+	}
+
+	// Editing head instead reuses nothing: head's own fingerprint changes,
+	// and tail's check fingerprint covers its whole constraint prefix —
+	// which includes head's inlined equations. The function-level delta is
+	// deliberately prefix-asymmetric; this is the conservative direction.
+	writeFile(t, dir, "page.php", `<?php
+function head($x) { $h = htmlspecialchars($x); echo $h; }
+head($_GET['a']);
+function tail($y) { $t = htmlspecialchars($y); echo $t; }
+tail($_GET['b']);
+`)
+	pr3, err := webssari.VerifyDir(dir, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc3 := incProfile(t, pr3)
+	if inc3.ReusedAsserts != 0 {
+		t.Fatalf("editing the first function reused %d asserts, want 0: %+v", inc3.ReusedAsserts, inc3)
+	}
+	if len(pr3.Files) != 1 || !pr3.Files[0].Safe {
+		t.Fatalf("head-edited run: %+v, want one safe file", pr3.Files)
+	}
+}
+
+// TestIncrementalReuseSkippedForUnsafeAsserts pins soundness: only
+// assertions proved safe are reusable; violations are always re-derived
+// so counterexamples stay fresh.
+func TestIncrementalReuseSkippedForUnsafeAsserts(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "bad.php", `<?php
+function render($x) { echo $x; }
+render($_GET['a']);
+function safe($y) { echo htmlspecialchars($y); }
+safe($_GET['b']);
+`)
+	opts, _ := incrementalOpts(t)
+	pr1, err := webssari.VerifyDir(dir, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr1.Files[0].Safe {
+		t.Fatal("corpus is broken: expected a violation")
+	}
+
+	// Touch the file (whitespace shifts positions but no fingerprint
+	// changes) to force a re-verification pass over it.
+	writeFile(t, dir, "bad.php", `<?php
+
+function render($x) { echo $x; }
+render($_GET['a']);
+function safe($y) { echo htmlspecialchars($y); }
+safe($_GET['b']);
+`)
+	pr2, err := webssari.VerifyDir(dir, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc2 := incProfile(t, pr2)
+	if inc2.Planned != 1 {
+		t.Fatalf("planned %d, want 1", inc2.Planned)
+	}
+	// safe()'s assertion is reused; render()'s violation is re-derived
+	// with real counterexamples.
+	if inc2.ReusedAsserts != 1 {
+		t.Fatalf("reused %d asserts, want 1 (only the safe one)", inc2.ReusedAsserts)
+	}
+	if pr2.Files[0].Safe {
+		t.Fatal("violation disappeared after reuse")
+	}
+	if len(pr2.Files[0].Findings) == 0 {
+		t.Fatal("re-verified violation carries no findings")
+	}
+}

@@ -9,11 +9,13 @@ package core
 
 import (
 	"context"
+	"sync"
 	"time"
 
 	"webssari/internal/ai"
 	"webssari/internal/constraint"
 	"webssari/internal/flow"
+	"webssari/internal/ir"
 	"webssari/internal/php/ast"
 	"webssari/internal/php/parser"
 	"webssari/internal/rename"
@@ -30,6 +32,10 @@ import (
 // across Verify/Patch calls. Solve copies the slices it extends
 // (warnings, parse errors) rather than appending to the Program's.
 type Program struct {
+	// Unit is the typed flow IR the entry file lowered to (before include
+	// splicing); nil when the Program was compiled from a bare AI (e.g.
+	// CompileAI). The incremental planner reads its function fingerprints.
+	Unit *ir.Unit
 	// AI is the abstract interpretation AI(F(p)).
 	AI *ai.Program
 	// Renamed is AI under the single-assignment renaming ρ.
@@ -42,6 +48,10 @@ type Program struct {
 	ParseErrors []string
 	// Stats is the front end's per-stage wall-time breakdown.
 	Stats CompileStats
+
+	// fpOnce/fps memoize CheckFingerprints; see fingerprint.go.
+	fpOnce sync.Once
+	fps    []string
 }
 
 // CompileStats records the front end's per-stage wall time. It is always
@@ -50,6 +60,7 @@ type Program struct {
 // cached Program carries the stats of its original compile.)
 type CompileStats struct {
 	ParseNS       int64
+	LowerNS       int64
 	FlowNS        int64
 	RenameNS      int64
 	ConstraintsNS int64
@@ -89,12 +100,29 @@ func Compile(name string, src []byte, opts Options) (*Program, []error) {
 	errs = append(errs, parsed.Errs...)
 
 	var (
+		unit     *ir.Unit
+		lowerErr error
+	)
+	start = time.Now()
+	_, sp = telemetry.StartSpan(ctx, "lower", "file", name)
+	err = guard("lower", func() { unit, lowerErr = ir.Lower(parsed.File) })
+	sp.End()
+	lowerNS := time.Since(start).Nanoseconds()
+	observeStage(ctx, "lower", lowerNS)
+	if err != nil {
+		return nil, append([]error{err}, errs...)
+	}
+	if lowerErr != nil {
+		return nil, append([]error{lowerErr}, errs...)
+	}
+
+	var (
 		prog     *ai.Program
 		buildErr error
 	)
 	start = time.Now()
 	_, sp = telemetry.StartSpan(ctx, "flow", "file", name)
-	err = guard("flow", func() { prog, buildErr = flow.Build(parsed.File, opts.Flow) })
+	err = guard("flow", func() { prog, buildErr = flow.BuildUnit(unit, opts.Flow) })
 	sp.End()
 	flowNS := time.Since(start).Nanoseconds()
 	observeStage(ctx, "flow", flowNS)
@@ -109,7 +137,9 @@ func Compile(name string, src []byte, opts Options) (*Program, []error) {
 	if cerr != nil {
 		return nil, append(errs, cerr)
 	}
+	p.Unit = unit
 	p.Stats.ParseNS = parseNS
+	p.Stats.LowerNS = lowerNS
 	p.Stats.FlowNS = flowNS
 	for _, perr := range parsed.Errs {
 		p.ParseErrors = append(p.ParseErrors, perr.Error())
@@ -121,8 +151,17 @@ func Compile(name string, src []byte, opts Options) (*Program, []error) {
 func CompileFile(file *ast.File, opts Options) (*Program, error) {
 	ctx := opts.context()
 	start := time.Now()
-	_, sp := telemetry.StartSpan(ctx, "flow")
-	prog, err := flow.Build(file, opts.Flow)
+	_, sp := telemetry.StartSpan(ctx, "lower")
+	unit, err := ir.Lower(file)
+	sp.End()
+	lowerNS := time.Since(start).Nanoseconds()
+	observeStage(ctx, "lower", lowerNS)
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	_, sp = telemetry.StartSpan(ctx, "flow")
+	prog, err := flow.BuildUnit(unit, opts.Flow)
 	sp.End()
 	flowNS := time.Since(start).Nanoseconds()
 	observeStage(ctx, "flow", flowNS)
@@ -133,6 +172,8 @@ func CompileFile(file *ast.File, opts Options) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.Unit = unit
+	p.Stats.LowerNS = lowerNS
 	p.Stats.FlowNS = flowNS
 	return p, nil
 }

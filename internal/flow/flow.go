@@ -25,9 +25,11 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"sort"
 	"strings"
 
 	"webssari/internal/ai"
+	"webssari/internal/ir"
 	"webssari/internal/lattice"
 	"webssari/internal/php/ast"
 	"webssari/internal/php/parser"
@@ -73,11 +75,10 @@ var superglobals = map[string]bool{
 	"GLOBALS": true,
 }
 
-// Build filters one parsed file (plus its static includes) into an AI
-// program.
-func Build(file *ast.File, opts Options) (*ai.Program, error) {
+// normalizeOptions validates Options and fills zero fields with defaults.
+func normalizeOptions(opts Options) (Options, error) {
 	if opts.Prelude == nil {
-		return nil, fmt.Errorf("flow: Options.Prelude is required")
+		return opts, fmt.Errorf("flow: Options.Prelude is required")
 	}
 	if opts.MaxInlineDepth == 0 {
 		opts.MaxInlineDepth = DefaultMaxInlineDepth
@@ -87,6 +88,30 @@ func Build(file *ast.File, opts Options) (*ai.Program, error) {
 	}
 	if opts.MaxCmds == 0 {
 		opts.MaxCmds = DefaultMaxCmds
+	}
+	return opts, nil
+}
+
+// Build filters one parsed file (plus its static includes) into an AI
+// program. Since the IR refactor it is a thin composition of ir.Lower and
+// BuildUnit: parse → lower → F(p)/AI.
+func Build(file *ast.File, opts Options) (*ai.Program, error) {
+	unit, err := ir.Lower(file)
+	if err != nil {
+		return nil, err
+	}
+	return BuildUnit(unit, opts)
+}
+
+// BuildAST is the pre-IR reference path: it filters the AST directly,
+// without lowering. It is kept behind this seam solely so differential
+// tests can assert that the IR path produces byte-identical programs; new
+// subset features (closures, foreach-by-reference) are deliberately NOT
+// supported here.
+func BuildAST(file *ast.File, opts Options) (*ai.Program, error) {
+	opts, err := normalizeOptions(opts)
+	if err != nil {
+		return nil, err
 	}
 
 	b := &builder{
@@ -486,9 +511,14 @@ func (b *builder) collectVarUsage(stmts []ast.Stmt) {
 	}
 	walkStmts(stmts)
 
+	var batch []string
 	for name := range read {
 		if !written[name] && !superglobals[name] && !b.preHasVar(name) {
-			b.extractTargets = append(b.extractTargets, name)
+			batch = append(batch, name)
 		}
 	}
+	// Sorted for determinism (map iteration order would otherwise leak into
+	// the emitted extract() assignments); the IR path sorts identically.
+	sort.Strings(batch)
+	b.extractTargets = append(b.extractTargets, batch...)
 }

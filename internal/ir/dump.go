@@ -1,0 +1,65 @@
+package ir
+
+// DumpTree backs the CLIs' -dump-ir flag: it lowers one PHP file — or
+// every .php file under a directory, in sorted order — and writes the
+// textual IR to w. Recovered parse errors are reported to errw but do
+// not fail the dump (the lowering is total over recovered ASTs); only an
+// unreadable target or a lowering fault is an error.
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// DumpTree writes the textual IR of target (a .php file or a directory
+// tree of them) to w, parse diagnostics to errw.
+func DumpTree(w, errw io.Writer, target string) error {
+	info, err := os.Stat(target)
+	if err != nil {
+		return err
+	}
+	if !info.IsDir() {
+		return dumpFile(w, errw, target)
+	}
+	var files []string
+	werr := filepath.WalkDir(target, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(strings.ToLower(d.Name()), ".php") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if werr != nil {
+		return werr
+	}
+	sort.Strings(files)
+	for _, path := range files {
+		if err := dumpFile(w, errw, path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func dumpFile(w, errw io.Writer, path string) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	unit, errs := LowerSource(path, src)
+	for _, e := range errs {
+		fmt.Fprintf(errw, "%s: %v\n", path, e)
+	}
+	if unit == nil {
+		return fmt.Errorf("%s: lowering produced no unit", path)
+	}
+	_, err = io.WriteString(w, unit.String())
+	return err
+}

@@ -1,0 +1,332 @@
+package ir
+
+import (
+	"fmt"
+
+	"webssari/internal/php/ast"
+	"webssari/internal/php/parser"
+)
+
+// Lower lowers one parsed file to its IR Unit. Lowering is total: every
+// statement becomes exactly one instruction (declarations and no-flow
+// statements become Nop markers so statement-site bookkeeping matches the
+// source stream), and function, method, and closure bodies hoist into
+// Unit.Funcs in the same pre-order the pre-IR declaration pass walked.
+func Lower(file *ast.File) (*Unit, error) {
+	if file == nil {
+		return nil, fmt.Errorf("ir: Lower called with nil file")
+	}
+	l := &lowerer{}
+	main := l.lowerStmts(file.Stmts)
+	return &Unit{File: file.Name, Main: main, Funcs: l.funcs}, nil
+}
+
+// LowerSource parses and lowers PHP source text in one step; parse
+// diagnostics are returned alongside the (always usable) unit.
+func LowerSource(name string, src []byte) (*Unit, []error) {
+	res := parser.Parse(name, src)
+	unit, err := Lower(res.File)
+	errs := res.Errs
+	if err != nil {
+		errs = append(errs, err)
+	}
+	return unit, errs
+}
+
+type lowerer struct {
+	funcs    []*Func
+	fnDepth  int
+	nclosure int
+}
+
+func sp(n ast.Node) Span {
+	return Span{Start: n.Pos(), StopOff: n.End()}
+}
+
+func (l *lowerer) lowerStmts(stmts []ast.Stmt) Block {
+	var out Block
+	for _, s := range stmts {
+		if in := l.lowerStmt(s); in != nil {
+			out = append(out, in...)
+		}
+	}
+	return out
+}
+
+// lowerStmt lowers one statement. Most statements become one instruction;
+// an explicit block becomes a Nop marker followed by its spliced body (the
+// pre-IR builder opened a statement site at the block itself before
+// walking its children).
+func (l *lowerer) lowerStmt(s ast.Stmt) Block {
+	if s == nil {
+		return nil
+	}
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		return Block{&Eval{Span: sp(s), X: l.lowerExpr(s.X)}}
+
+	case *ast.EchoStmt:
+		return Block{&Echo{Span: sp(s), Args: l.lowerExprs(s.Args)}}
+
+	case *ast.InlineHTMLStmt:
+		return Block{&Nop{Span: sp(s), Kind: "html"}}
+	case *ast.NopStmt:
+		return Block{&Nop{Span: sp(s), Kind: "nop"}}
+	case *ast.BreakStmt:
+		return Block{&Nop{Span: sp(s), Kind: "break"}}
+	case *ast.ContinueStmt:
+		return Block{&Nop{Span: sp(s), Kind: "continue"}}
+
+	case *ast.IfStmt:
+		return Block{l.lowerIfChain(s.Cond, s.Then, s.Elseifs, s.Else, sp(s), false)}
+
+	case *ast.WhileStmt:
+		return Block{&Loop{
+			Span: sp(s), Kind: LoopWhile,
+			Cond: []Expr{l.lowerExpr(s.Cond)},
+			Body: l.lowerStmts(s.Body),
+		}}
+
+	case *ast.DoWhileStmt:
+		return Block{&Loop{
+			Span: sp(s), Kind: LoopDoWhile,
+			Cond: []Expr{l.lowerExpr(s.Cond)},
+			Body: l.lowerStmts(s.Body),
+		}}
+
+	case *ast.ForStmt:
+		return Block{&Loop{
+			Span: sp(s), Kind: LoopFor,
+			Init: l.lowerExprs(s.Init),
+			Cond: l.lowerExprs(s.Cond),
+			Post: l.lowerExprs(s.Post),
+			Body: l.lowerStmts(s.Body),
+		}}
+
+	case *ast.ForeachStmt:
+		return Block{&Foreach{
+			Span:    sp(s),
+			Subject: l.lowerExpr(s.Subject),
+			Key:     l.lowerExpr(s.KeyVar),
+			Val:     l.lowerExpr(s.ValVar),
+			ByRef:   s.ByRef,
+			Body:    l.lowerStmts(s.Body),
+		}}
+
+	case *ast.SwitchStmt:
+		sw := &Switch{Span: sp(s), Subject: l.lowerExpr(s.Subject)}
+		for _, c := range s.Cases {
+			sw.Cases = append(sw.Cases, SwitchCase{
+				Match: l.lowerExpr(c.Match),
+				Body:  l.lowerStmts(c.Body),
+			})
+		}
+		return Block{sw}
+
+	case *ast.ReturnStmt:
+		return Block{&Return{Span: sp(s), X: l.lowerExpr(s.X)}}
+
+	case *ast.GlobalStmt:
+		return Block{&Global{Span: sp(s), Names: s.Names}}
+
+	case *ast.StaticStmt:
+		sd := &StaticDecl{Span: sp(s)}
+		for _, v := range s.Vars {
+			sd.Vars = append(sd.Vars, StaticVar{Name: v.Name, Init: l.lowerExpr(v.Init)})
+		}
+		return Block{sd}
+
+	case *ast.UnsetStmt:
+		return Block{&Unset{Span: sp(s), Args: l.lowerExprs(s.Args)}}
+
+	case *ast.FunctionDecl:
+		l.hoistFunc(s, "", false)
+		return Block{&Nop{Span: sp(s), Kind: "fndecl"}}
+
+	case *ast.ClassDecl:
+		for _, m := range s.Methods {
+			l.hoistFunc(m, s.Name, true)
+		}
+		return Block{&Nop{Span: sp(s), Kind: "classdecl"}}
+
+	case *ast.BlockStmt:
+		out := Block{&Nop{Span: sp(s), Kind: "block"}}
+		return append(out, l.lowerStmts(s.Body)...)
+
+	default:
+		return Block{&Nop{Span: sp(s), Kind: "stmt"}}
+	}
+}
+
+// lowerIfChain lowers if/elseif/else to nested branches: each elseif
+// becomes a Branch in the Else block of its predecessor, marked Elseif and
+// spanning the whole source if-statement, exactly mirroring the pre-IR
+// builder's recursion.
+func (l *lowerer) lowerIfChain(cond ast.Expr, then []ast.Stmt, elseifs []ast.ElseifClause, els []ast.Stmt, outer Span, elseif bool) *Branch {
+	br := &Branch{
+		Span:   outer,
+		Cond:   l.lowerExpr(cond),
+		Then:   l.lowerStmts(then),
+		Elseif: elseif,
+	}
+	if len(elseifs) > 0 {
+		br.Else = Block{l.lowerIfChain(elseifs[0].Cond, elseifs[0].Body, elseifs[1:], els, outer, true)}
+	} else {
+		br.Else = l.lowerStmts(els)
+	}
+	return br
+}
+
+func (l *lowerer) hoistFunc(fd *ast.FunctionDecl, class string, method bool) *Func {
+	fn := &Func{
+		Span:   sp(fd),
+		Name:   fd.Name,
+		Class:  class,
+		Method: method,
+		Nested: l.fnDepth > 0,
+	}
+	for _, p := range fd.Params {
+		fn.Params = append(fn.Params, Param{Name: p.Name, ByRef: p.ByRef, Default: l.lowerExpr(p.Default)})
+	}
+	l.funcs = append(l.funcs, fn)
+	l.fnDepth++
+	fn.Body = l.lowerStmts(fd.Body)
+	l.fnDepth--
+	return fn
+}
+
+func (l *lowerer) lowerExprs(list []ast.Expr) []Expr {
+	if list == nil {
+		return nil
+	}
+	out := make([]Expr, len(list))
+	for i, e := range list {
+		out[i] = l.lowerExpr(e)
+	}
+	return out
+}
+
+func (l *lowerer) lowerExpr(e ast.Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return &Lit{Span: sp(e), Kind: LitInt, Text: e.Raw}
+	case *ast.FloatLit:
+		return &Lit{Span: sp(e), Kind: LitFloat, Text: e.Raw}
+	case *ast.BoolLit:
+		if e.Value {
+			return &Lit{Span: sp(e), Kind: LitBool, Text: "true"}
+		}
+		return &Lit{Span: sp(e), Kind: LitBool, Text: "false"}
+	case *ast.NullLit:
+		return &Lit{Span: sp(e), Kind: LitNull, Text: "null"}
+	case *ast.ConstFetch:
+		return &Lit{Span: sp(e), Kind: LitConst, Text: e.Name}
+
+	case *ast.StringLit:
+		return &Str{Span: sp(e), Value: e.Value}
+
+	case *ast.Interp:
+		return &Interp{Span: sp(e), Parts: l.lowerExprs(e.Parts)}
+
+	case *ast.ArrayLit:
+		arr := &Array{Span: sp(e)}
+		for _, it := range e.Items {
+			arr.Items = append(arr.Items, ArrayItem{Key: l.lowerExpr(it.Key), Val: l.lowerExpr(it.Val)})
+		}
+		return arr
+
+	case *ast.Var:
+		return &Var{Span: sp(e), Name: e.Name}
+
+	case *ast.VarVar:
+		return &VarVar{Span: sp(e), Inner: l.lowerExpr(e.Inner)}
+
+	case *ast.Index:
+		return &Index{Span: sp(e), Arr: l.lowerExpr(e.Arr), Key: l.lowerExpr(e.Key)}
+
+	case *ast.Prop:
+		return &Prop{Span: sp(e), Obj: l.lowerExpr(e.Obj), Name: e.Name}
+
+	case *ast.Cast:
+		return &Cast{Span: sp(e), To: e.To, X: l.lowerExpr(e.X)}
+
+	case *ast.Unary:
+		return &Unary{Span: sp(e), Op: e.Op.String(), X: l.lowerExpr(e.X), Postfix: e.Postfix}
+
+	case *ast.Binary:
+		if e.Op.String() == "." {
+			return &Concat{Span: sp(e), L: l.lowerExpr(e.L), R: l.lowerExpr(e.R)}
+		}
+		return &Bin{Span: sp(e), Op: e.Op.String(), L: l.lowerExpr(e.L), R: l.lowerExpr(e.R)}
+
+	case *ast.Assign:
+		return &Assign{
+			Span: sp(e), Op: e.Op.String(),
+			LHS: l.lowerExpr(e.LHS), RHS: l.lowerExpr(e.RHS), ByRef: e.ByRef,
+		}
+
+	case *ast.Ternary:
+		return &Ternary{Span: sp(e), Cond: l.lowerExpr(e.Cond), Then: l.lowerExpr(e.Then), Else: l.lowerExpr(e.Else)}
+
+	case *ast.Call:
+		c := &Call{Span: sp(e), Name: e.FuncName(), Args: l.lowerExprs(e.Args)}
+		if c.Name == "" {
+			c.Func = l.lowerExpr(e.Func)
+		}
+		return c
+
+	case *ast.MethodCall:
+		return &MethodCall{Span: sp(e), Obj: l.lowerExpr(e.Obj), Name: e.Name, Args: l.lowerExprs(e.Args)}
+
+	case *ast.StaticCall:
+		return &StaticCall{Span: sp(e), Class: e.Class, Name: e.Name, Args: l.lowerExprs(e.Args)}
+
+	case *ast.New:
+		return &New{Span: sp(e), Class: e.Class, Args: l.lowerExprs(e.Args)}
+
+	case *ast.IncludeExpr:
+		return &Include{Span: sp(e), Kind: e.Kind.String(), Path: l.lowerExpr(e.Path)}
+
+	case *ast.IssetExpr:
+		return &Isset{Span: sp(e), Args: l.lowerExprs(e.Args)}
+
+	case *ast.EmptyExpr:
+		return &Empty{Span: sp(e), Arg: l.lowerExpr(e.Arg)}
+
+	case *ast.ListExpr:
+		lst := &List{Span: sp(e)}
+		for _, tgt := range e.Targets {
+			lst.Targets = append(lst.Targets, l.lowerExpr(tgt))
+		}
+		return lst
+
+	case *ast.ExitExpr:
+		return &Exit{Span: sp(e), Arg: l.lowerExpr(e.Arg)}
+
+	case *ast.Closure:
+		fn := &Func{
+			Span:    sp(e),
+			Name:    fmt.Sprintf("{closure:%d}", l.nclosure),
+			Closure: true,
+			Nested:  l.fnDepth > 0,
+		}
+		l.nclosure++
+		for _, p := range e.Params {
+			fn.Params = append(fn.Params, Param{Name: p.Name, ByRef: p.ByRef, Default: l.lowerExpr(p.Default)})
+		}
+		for _, u := range e.Uses {
+			fn.Uses = append(fn.Uses, ClosureUse{Name: u.Name, ByRef: u.ByRef})
+		}
+		l.funcs = append(l.funcs, fn)
+		l.fnDepth++
+		fn.Body = l.lowerStmts(e.Body)
+		l.fnDepth--
+		return &Closure{Span: sp(e), Fn: fn}
+
+	default:
+		return &Opaque{Span: sp(e), LegacyType: fmt.Sprintf("%T", e)}
+	}
+}

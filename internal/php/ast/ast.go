@@ -262,6 +262,21 @@ type ExitExpr struct {
 	Arg Expr
 }
 
+// ClosureUse is one captured variable in a closure's use clause.
+type ClosureUse struct {
+	Name  string
+	ByRef bool
+}
+
+// Closure is an anonymous function expression:
+// function (params) use ($a, &$b) { body }.
+type Closure struct {
+	Span
+	Params []Param
+	Uses   []ClosureUse
+	Body   []Stmt
+}
+
 // ---------------------------------------------------------------- statements
 
 // ExprStmt is an expression evaluated for effect.
@@ -462,6 +477,7 @@ func (*IssetExpr) exprNode()   {}
 func (*EmptyExpr) exprNode()   {}
 func (*ListExpr) exprNode()    {}
 func (*ExitExpr) exprNode()    {}
+func (*Closure) exprNode()     {}
 
 func (*ExprStmt) stmtNode()       {}
 func (*EchoStmt) stmtNode()       {}

@@ -2,6 +2,7 @@ package parser
 
 import (
 	"strconv"
+	"strings"
 
 	"webssari/internal/php/ast"
 	"webssari/internal/php/lexer"
@@ -194,12 +195,12 @@ func (p *parser) parseUnary() ast.Expr {
 	case token.KwPrint:
 		p.advance()
 		arg := p.parseAssignLevel()
-		end := p.prevEnd()
-		if arg != nil {
-			end = arg.End()
+		if arg == nil {
+			p.errorf("expected expression after print")
+			return nil
 		}
 		return &ast.Call{
-			Span: span(start, end),
+			Span: span(start, arg.End()),
 			Func: &ast.ConstFetch{Span: span(start, start.Offset+len("print")), Name: "print"},
 			Args: []ast.Expr{arg},
 		}
@@ -207,11 +208,11 @@ func (p *parser) parseUnary() ast.Expr {
 		kw := p.advance()
 		// Parenthesized form include('f') or bare include 'f'.
 		path := p.parseAssignLevel()
-		end := p.prevEnd()
-		if path != nil {
-			end = path.End()
+		if path == nil {
+			p.errorf("expected path after %s", kw.Kind)
+			return nil
 		}
-		return &ast.IncludeExpr{Span: span(start, end), Kind: kw.Kind, Path: path}
+		return &ast.IncludeExpr{Span: span(start, path.End()), Kind: kw.Kind, Path: path}
 	}
 	return p.parsePostfix()
 }
@@ -413,6 +414,9 @@ func (p *parser) parsePrimary() ast.Expr {
 		rp := p.expect(token.RParen)
 		return &ast.EmptyExpr{Span: span(t.Pos, rp.End), Arg: arg}
 
+	case token.KwFunction:
+		return p.parseClosure()
+
 	case token.KwExit, token.KwDie:
 		p.advance()
 		node := &ast.ExitExpr{}
@@ -473,6 +477,36 @@ func (p *parser) parsePrimary() ast.Expr {
 		}
 		return nil
 	}
+}
+
+// parseClosure parses an anonymous function expression:
+// function (params) [use ($a, &$b)] { body }. The optional leading '&'
+// (by-reference return) is accepted and ignored, as in parseFunction.
+func (p *parser) parseClosure() ast.Expr {
+	t := p.advance() // function
+	p.accept(token.Amp)
+	params := p.parseParams()
+	node := &ast.Closure{Params: params}
+	if p.at(token.Ident) && strings.EqualFold(p.cur().Text, "use") {
+		p.advance()
+		p.expect(token.LParen)
+		for !p.at(token.RParen) && !p.at(token.EOF) {
+			var u ast.ClosureUse
+			if _, ok := p.accept(token.Amp); ok {
+				u.ByRef = true
+			}
+			v := p.expect(token.Variable)
+			u.Name = v.Text
+			node.Uses = append(node.Uses, u)
+			if _, ok := p.accept(token.Comma); !ok {
+				break
+			}
+		}
+		p.expect(token.RParen)
+	}
+	node.Body = p.parseBody()
+	node.Span = span(t.Pos, p.prevEnd())
+	return node
 }
 
 // castTarget reports whether the parser sits on a cast "(<type>)" and

@@ -260,6 +260,11 @@ func (p *parser) parseStmt() ast.Stmt {
 	case token.KwUnset:
 		return p.parseUnset()
 	case token.KwFunction:
+		// "function name(...)" declares; "function (...)" at statement level
+		// is an anonymous function in expression position.
+		if p.peek() == token.LParen {
+			return p.parseExprStmt()
+		}
 		return p.parseFunction()
 	case token.KwClass:
 		return p.parseClass()
@@ -406,10 +411,14 @@ func (p *parser) parseExprListUntil(term token.Kind) []ast.Expr {
 	if p.at(term) {
 		return list
 	}
-	list = append(list, p.parseExpr())
+	if e := p.parseExpr(); e != nil {
+		list = append(list, e)
+	}
 	for p.at(token.Comma) {
 		p.advance()
-		list = append(list, p.parseExpr())
+		if e := p.parseExpr(); e != nil {
+			list = append(list, e)
+		}
 	}
 	return list
 }
@@ -441,6 +450,13 @@ func (p *parser) parseForeach() ast.Stmt {
 		node.Body = p.parseBody()
 	}
 	node.Span = span(start, p.toks[p.pos-1].End)
+	// A foreach without a subject or a value target cannot be analyzed;
+	// drop the statement (the error is already recorded) rather than
+	// hand consumers an AST node with nil mandatory children.
+	if node.Subject == nil || node.ValVar == nil {
+		p.errorf("malformed foreach header")
+		return nil
+	}
 	return node
 }
 
@@ -480,7 +496,13 @@ func (p *parser) parseSwitch() ast.Stmt {
 			p.advance()
 		default:
 			p.errorf("expected case/default, found %v", p.cur())
+			// Same progress guarantee as the class-body loop: synchronize
+			// may stop before a statement keyword without consuming it.
+			mark := p.pos
 			p.synchronize()
+			if p.pos == mark {
+				p.advance()
+			}
 			continue
 		}
 		if !p.at(token.Colon) && !p.at(token.Semicolon) {
@@ -535,10 +557,17 @@ func (p *parser) parseReturn() ast.Stmt {
 
 func (p *parser) parseEcho() ast.Stmt {
 	t := p.advance()
-	args := []ast.Expr{p.parseExpr()}
+	var args []ast.Expr
+	if first := p.parseExpr(); first != nil {
+		args = append(args, first)
+	} else {
+		p.errorf("expected expression after echo")
+	}
 	for p.at(token.Comma) {
 		p.advance()
-		args = append(args, p.parseExpr())
+		if next := p.parseExpr(); next != nil {
+			args = append(args, next)
+		}
 	}
 	p.accept(token.Semicolon)
 	return &ast.EchoStmt{Span: span(t.Pos, p.toks[p.pos-1].End), Args: args}
@@ -662,7 +691,14 @@ func (p *parser) parseClass() ast.Stmt {
 			p.advance()
 		default:
 			p.errorf("unexpected %v in class body", p.cur())
+			// synchronize stops *before* statement keywords so statement
+			// parsers can resume there, but this loop has no statement
+			// parser to hand off to — force progress or we spin forever.
+			mark := p.pos
 			p.synchronize()
+			if p.pos == mark {
+				p.advance()
+			}
 		}
 	}
 	p.expect(token.RBrace)

@@ -1,0 +1,35 @@
+package parser
+
+import (
+	"testing"
+	"time"
+)
+
+// TestParseTerminates pins termination on inputs that historically made
+// error recovery spin: synchronize stops *before* statement keywords, so
+// any recovery loop without its own statement parser must force progress.
+func TestParseTerminates(t *testing.T) {
+	inputs := []string{
+		`<?php class C { funxtion m($v) { return $v; } } $o = new C(); echo $o->m($_POST['y']);`,
+		`<?php class C { @ if }`,
+		`<?php switch ($x) { if }`,
+		`<?php switch ($x) { case 1: echo 1; class }`,
+		`<?php class C { var }`,
+		`<?eCho`,
+		`<?inClude`,
+		`<?foreACh`,
+	}
+	for _, src := range inputs {
+		src := src
+		done := make(chan struct{})
+		go func() {
+			Parse("terminates.php", []byte(src))
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("parse hung on %q", src)
+		}
+	}
+}

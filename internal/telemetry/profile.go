@@ -45,7 +45,10 @@ type AssertProfile struct {
 	Clauses         int           `json:"clauses"`
 	Counterexamples int           `json:"counterexamples"`
 	Unknown         bool          `json:"unknown,omitempty"`
-	Cause           string        `json:"cause,omitempty"`
+	// Reused is set when the assertion's check fingerprint matched a
+	// prior SAFE verdict and the SAT search was skipped entirely.
+	Reused bool   `json:"reused,omitempty"`
+	Cause  string `json:"cause,omitempty"`
 	EncodeNS        int64         `json:"encode_ns"`
 	SearchNS        int64         `json:"search_ns"`
 	Solver          SolverProfile `json:"solver"`
@@ -106,6 +109,10 @@ type IncrementalProfile struct {
 	// Full is set when no usable dependency graph existed (first run,
 	// corruption, config change) and the whole project was verified.
 	Full bool `json:"full,omitempty"`
+	// ReusedAsserts counts assertions inside re-verified files that were
+	// served by check-fingerprint match instead of a SAT search —
+	// the function-level delta within the file-level delta.
+	ReusedAsserts int `json:"reused_asserts,omitempty"`
 }
 
 // ClusterProfile summarizes how a clustered project run placed its
@@ -150,8 +157,8 @@ type RunProfile struct {
 	// result store (tier 2): nothing was compiled or solved, so such a
 	// profile has no stage or solver data.
 	StoreHit bool `json:"store_hit,omitempty"`
-	// Stages holds finer-grained per-stage wall times (parse, flow,
-	// rename, constraints, encode, search), sorted by name.
+	// Stages holds finer-grained per-stage wall times (parse, lower,
+	// flow, rename, constraints, encode, search), sorted by name.
 	Stages []StageProfile `json:"stages,omitempty"`
 	// Solver sums search effort across all assertions of the run.
 	Solver SolverProfile `json:"solver"`
@@ -160,6 +167,9 @@ type RunProfile struct {
 	// Degraded counts degradation causes (deadline, conflict budget, CNF
 	// ceiling, …) across the run.
 	Degraded map[string]int64 `json:"degraded,omitempty"`
+	// ReusedAsserts counts assertions whose SAFE verdict was carried over
+	// by check-fingerprint match (no SAT search ran).
+	ReusedAsserts int `json:"reused_asserts,omitempty"`
 	// Files counts aggregated per-file profiles (project profiles only).
 	Files int `json:"files,omitempty"`
 	// Cache and Pool are populated on project profiles.
@@ -246,6 +256,7 @@ func (p *RunProfile) Merge(o *RunProfile) {
 		p.addStage(st.Name, st.WallNS, st.Count)
 	}
 	p.Solver.Add(o.Solver)
+	p.ReusedAsserts += o.ReusedAsserts
 	for cause, n := range o.Degraded {
 		if p.Degraded == nil {
 			p.Degraded = make(map[string]int64)
@@ -285,6 +296,9 @@ func (p *RunProfile) String() string {
 	if inc := p.Incremental; inc != nil {
 		fmt.Fprintf(&b, "; incremental: planned %d, skipped %d, invalidated %d",
 			inc.Planned, inc.Skipped, inc.Invalidated)
+		if inc.ReusedAsserts > 0 {
+			fmt.Fprintf(&b, ", %d assert(s) reused", inc.ReusedAsserts)
+		}
 		if inc.Full {
 			b.WriteString(" (full run)")
 		}

@@ -24,6 +24,8 @@ import (
 	"strings"
 
 	"webssari/internal/ai"
+	"webssari/internal/flow"
+	"webssari/internal/ir"
 	"webssari/internal/lattice"
 )
 
@@ -74,6 +76,26 @@ func Check(p *ai.Program) []Report {
 // Count returns the number of TS-reported errors (the paper's per-project
 // "TS" column in Figure 10).
 func Count(p *ai.Program) int { return len(Check(p)) }
+
+// CheckUnit runs the TS analysis over a lowered IR unit: it builds the
+// same AI(F(p)) the model checker consumes — so TS and xBMC literally
+// share one front end — and interprets it.
+func CheckUnit(unit *ir.Unit, opts flow.Options) ([]Report, error) {
+	prog, err := flow.BuildUnit(unit, opts)
+	if err != nil {
+		return nil, err
+	}
+	return Check(prog), nil
+}
+
+// CountUnit returns the TS error count for a lowered unit.
+func CountUnit(unit *ir.Unit, opts flow.Options) (int, error) {
+	reports, err := CheckUnit(unit, opts)
+	if err != nil {
+		return 0, err
+	}
+	return len(reports), nil
+}
 
 type checker struct {
 	p       *ai.Program

@@ -44,6 +44,7 @@ import (
 	"webssari/internal/core"
 	"webssari/internal/fixing"
 	"webssari/internal/flow"
+	"webssari/internal/ir"
 	"webssari/internal/lattice"
 	"webssari/internal/prelude"
 	"webssari/internal/report"
@@ -214,6 +215,7 @@ type config struct {
 	fileVerifier FileVerifier
 	incremental  bool
 	depRecorder  func(depRecord)
+	priorHints   map[string]priorHint
 	// The prelude-shaping options also record their textual form so the
 	// resolved configuration round-trips through the exported Config
 	// (ExportConfig / WithConfig) — the prelude itself holds only the
@@ -635,6 +637,9 @@ func runAnalysis(ctx context.Context, src []byte, name string, cfg *config) (res
 		return nil, nil, st, engineErr(name, errs)
 	}
 	st.compileStats = prog.Stats
+	if hint, ok := cfg.priorHints[name]; ok {
+		eopts.KnownSafeChecks = hint.knownSafeChecks(prog)
+	}
 	start = time.Now()
 	res = core.Solve(ctx, prog, eopts)
 	st.solveTime = time.Since(start)
@@ -666,6 +671,7 @@ func (st analysisStats) profile(res *core.Result) *RunProfile {
 		// times again would double-book them in project aggregates.
 		cs := st.compileStats
 		p.AddStage("parse", time.Duration(cs.ParseNS))
+		p.AddStage("lower", time.Duration(cs.LowerNS))
 		p.AddStage("flow", time.Duration(cs.FlowNS))
 		p.AddStage("rename", time.Duration(cs.RenameNS))
 		p.AddStage("constraints", time.Duration(cs.ConstraintsNS))
@@ -674,7 +680,11 @@ func (st analysisStats) profile(res *core.Result) *RunProfile {
 		return p
 	}
 	for i, ar := range res.PerAssert {
-		p.AddStage("encode", ar.EncodeTime)
+		// A reused assertion ran neither encoder nor solver; counting it
+		// would make the stage table disagree with the trace's spans.
+		if !ar.Reused {
+			p.AddStage("encode", ar.EncodeTime)
+		}
 		// A zero SearchTime means no SAT search ran at all (the encoder
 		// proved the assertion trivially unsat) — counting it would make
 		// the stage table disagree with the trace's search spans.
@@ -698,6 +708,7 @@ func (st analysisStats) profile(res *core.Result) *RunProfile {
 			Clauses:         ar.EncodedClauses,
 			Counterexamples: len(ar.Counterexamples),
 			Unknown:         ar.Unknown,
+			Reused:          ar.Reused,
 			Cause:           ar.Cause,
 			EncodeNS:        ar.EncodeTime.Nanoseconds(),
 			SearchNS:        ar.SearchTime.Nanoseconds(),
@@ -709,6 +720,9 @@ func (st analysisStats) profile(res *core.Result) *RunProfile {
 			ap.Site = fmt.Sprintf("%s:%d:%d", pos.File, pos.Line, pos.Col)
 		}
 		p.Assertions = append(p.Assertions, ap)
+		if ar.Reused {
+			p.ReusedAsserts++
+		}
 		if ar.Unknown {
 			p.AddDegraded(telemetry.CauseLabel(ar.Cause))
 		}
@@ -827,11 +841,14 @@ func SymptomCount(src []byte, name string, opts ...Option) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	prog, errs := flow.BuildSource(name, src, cfg.engineOptions(context.Background()).Flow)
-	if prog == nil && len(errs) > 0 {
-		return 0, errs[0]
+	unit, errs := ir.LowerSource(name, src)
+	if unit == nil {
+		if len(errs) > 0 {
+			return 0, errs[0]
+		}
+		return 0, &EngineError{Stage: "lower", File: name, Err: errors.New("lowering produced no unit")}
 	}
-	return typestate.Count(prog), nil
+	return typestate.CountUnit(unit, cfg.engineOptions(context.Background()).Flow)
 }
 
 func buildReport(res *core.Result, analysis *fixing.Analysis) *Report {
