@@ -26,6 +26,7 @@ import (
 
 	"webssari"
 	"webssari/internal/service/api"
+	"webssari/internal/telemetry"
 )
 
 // Wire types re-exported so client callers need not import the
@@ -216,6 +217,7 @@ func (c *Client) doOnce(ctx context.Context, method, path string, in, out any) e
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	setTraceparent(ctx, req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -245,6 +247,16 @@ func (c *Client) doOnce(ctx context.Context, method, path string, in, out any) e
 		return fmt.Errorf("client: decoding response: %w", err)
 	}
 	return nil
+}
+
+// setTraceparent injects the W3C traceparent header when ctx carries a
+// trace context (telemetry.WithTraceContext) — the daemon adopts the
+// trace ID for the submitted job, which is how one trace spans client,
+// coordinator, and workers.
+func setTraceparent(ctx context.Context, req *http.Request) {
+	if tc := telemetry.TraceContextFrom(ctx); tc.Valid() {
+		req.Header.Set(telemetry.TraceparentHeader, tc.Traceparent())
+	}
 }
 
 // Version fetches the daemon's build and schema version.
@@ -357,6 +369,7 @@ func (c *Client) FileResultText(ctx context.Context, id string) (string, error) 
 	if err != nil {
 		return "", err
 	}
+	setTraceparent(ctx, req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return "", err
@@ -370,6 +383,17 @@ func (c *Client) FileResultText(ctx context.Context, id string) (string, error) 
 		return "", &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(data))}
 	}
 	return string(data), nil
+}
+
+// JobTrace downloads a job's Chrome/Perfetto trace document — the
+// job's spans, and (for coordinator-run jobs) the stitched span exports
+// of every worker that verified files for it. Available while the job
+// runs (partial) and after it finishes; 404s when the daemon runs
+// without telemetry.
+func (c *Client) JobTrace(ctx context.Context, id string) (telemetry.TraceDoc, error) {
+	var doc telemetry.TraceDoc
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/trace", nil, &doc)
+	return doc, err
 }
 
 // DirResult fetches a finished directory job's project report.
@@ -395,6 +419,7 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(line json.RawMes
 	if err != nil {
 		return err
 	}
+	setTraceparent(ctx, req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err

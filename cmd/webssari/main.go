@@ -22,8 +22,12 @@
 //	-v                print the run profile (stage wall times, solver
 //	                  effort, cache and pool stats) to stderr
 //	-trace FILE       write Chrome trace-event JSON of every pipeline span
-//	-metrics-addr A   serve Prometheus /metrics (plus /debug/vars and
-//	                  /debug/pprof/) on A for the run; ":0" picks a port
+//	                  (written even when the run exits early on an error)
+//	-metrics-addr A   serve Prometheus /metrics (plus /debug/vars,
+//	                  /debug/pprof/, and the /debug/events flight
+//	                  recorder) on A for the run; ":0" picks a port
+//	-log-level L      structured log level: debug|info|warn|error
+//	-log-format F     structured log encoding: text|json
 //	-dump-ir          print each input's typed flow IR (internal/ir
 //	                  textual form) and exit without solving anything
 //	-figure10         run TS and BMC over the synthetic Figure 10 corpus
@@ -55,6 +59,7 @@ import (
 	"webssari/internal/core"
 	"webssari/internal/corpus"
 	"webssari/internal/ir"
+	"webssari/internal/telemetry"
 )
 
 // Exit codes, by precedence: an error outranks a finding, a finding
@@ -108,6 +113,8 @@ func run(args []string) int {
 		verbose  = fs.Bool("v", false, "print the run profile to stderr")
 		traceF   = fs.String("trace", "", "write Chrome trace-event JSON to this file")
 		metrics  = fs.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address (\":0\" picks a free port)")
+		logLevel = fs.String("log-level", "info", "structured log level: debug|info|warn|error")
+		logFmt   = fs.String("log-format", "text", "structured log encoding: text|json")
 		fig10    = fs.Bool("figure10", false, "regenerate the Figure 10 table")
 		scale    = fs.Float64("scale", 0.02, "corpus statement scale for -figure10")
 		seed     = fs.Uint64("seed", 2004, "corpus generation seed")
@@ -165,21 +172,26 @@ func run(args []string) int {
 	if *incr {
 		opts = append(opts, webssari.WithIncremental())
 	}
+	lvl, err := telemetry.ParseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "webssari: %v\n", err)
+		return 2
+	}
+	logger, err := telemetry.NewLogger(os.Stderr, lvl, *logFmt, telemetry.DefaultFlightRecorderSize)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "webssari: %v\n", err)
+		return 2
+	}
 	var tel *webssari.Telemetry
 	if *traceF != "" || *metrics != "" {
 		tel = webssari.NewTelemetry()
+		tel.Logs = logger.Recorder()
 		opts = append(opts, webssari.WithTelemetry(tel))
 	}
-	if *metrics != "" {
-		srv, err := webssari.ServeMetrics(*metrics, tel)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "webssari: %v\n", err)
-			return 2
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "webssari: metrics served at http://%s/metrics\n", srv.Addr)
-	}
 	if *traceF != "" {
+		// Registered before anything below that can fail and return early
+		// (the metrics listener, prelude reads, …) so an aborted run still
+		// leaves a trace file of whatever spans were recorded.
 		defer func() {
 			f, err := os.Create(*traceF)
 			if err == nil {
@@ -192,6 +204,15 @@ func run(args []string) int {
 				fmt.Fprintf(os.Stderr, "webssari: %v\n", err)
 			}
 		}()
+	}
+	if *metrics != "" {
+		srv, err := webssari.ServeMetrics(*metrics, tel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "webssari: %v\n", err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "webssari: metrics served at http://%s/metrics\n", srv.Addr)
 	}
 	if *jobs > 0 {
 		opts = append(opts, webssari.WithParallelism(*jobs))
@@ -231,6 +252,7 @@ func run(args []string) int {
 
 	exit := 0
 	for _, file := range fs.Args() {
+		logger.Debug("verifying", "file", file)
 		if info, err := os.Stat(file); err == nil && info.IsDir() {
 			// Whole-project verification: one report per PHP file plus the
 			// Figure 10-style project totals.

@@ -27,8 +27,17 @@
 //	-watch-interval D  snapshot poll interval for watch-mode directory
 //	                   jobs (default 2s)
 //	-grace D           shutdown grace period for draining jobs (default 30s)
-//	-metrics-addr A    serve /metrics, /debug/vars, /debug/pprof on a
-//	                   second address (the API itself always has /metrics)
+//	-metrics-addr A    serve /metrics, /debug/vars, /debug/pprof,
+//	                   /debug/events on a second address (the API itself
+//	                   always has /metrics and /debug/events)
+//	-log-level L       structured log level: debug|info|warn|error
+//	                   (default info)
+//	-log-format F      structured log encoding: text|json (default text)
+//	-slo D             latency objective for /v1 requests; slower requests
+//	                   count in webssari_slo_breaches_total by route
+//	                   (default 1s, 0 disables)
+//	-slow-file D       log a warning (with trace ID) for any file whose
+//	                   verification exceeds this (default 10s, 0 disables)
 //	-version           print version and exit
 //
 // Cluster flags — a daemon is standalone by default; -coord makes it a
@@ -70,9 +79,17 @@
 //	                          for the human rendering of a file job)
 //	GET  /v1/jobs/{id}/stream NDJSON, one report per file as it completes
 //	                          (watch jobs add one summary line per round)
+//	GET  /v1/jobs/{id}/trace  Chrome/Perfetto trace of the job (clustered
+//	                          jobs include stitched worker spans)
 //	GET  /v1/version          build and schema version
-//	GET  /healthz             liveness and queue occupancy
+//	GET  /healthz             liveness, queue occupancy, version, uptime
 //	GET  /metrics             Prometheus exposition
+//	GET  /debug/events        recent structured log events (flight recorder)
+//
+// Every job carries a distributed trace ID (the submitter's W3C
+// traceparent header, or minted at admission): all spans and log lines
+// for the job carry it, on the coordinator and on every worker it
+// dispatches to.
 //
 // Every JSON response carries "schema": "v1"; request bodies with
 // unknown fields are rejected with 400.
@@ -126,6 +143,10 @@ func run(args []string, ready chan<- string) int {
 		watchIvl    = fs.Duration("watch-interval", service.DefaultWatchInterval, "snapshot poll interval for watch-mode jobs")
 		grace       = fs.Duration("grace", 30*time.Second, "shutdown grace period for draining jobs")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on a second address")
+		logLevel    = fs.String("log-level", "info", "structured log level: debug|info|warn|error")
+		logFormat   = fs.String("log-format", "text", "structured log encoding: text|json")
+		slo         = fs.Duration("slo", time.Second, "latency objective for /v1 requests (0 disables breach counting)")
+		slowFile    = fs.Duration("slow-file", 10*time.Second, "warn about files slower than this (0 disables)")
 		version     = fs.Bool("version", false, "print version and exit")
 
 		coord       = fs.Bool("coord", false, "coordinator mode: accept worker registrations and shard jobs across them")
@@ -161,6 +182,17 @@ func run(args []string, ready chan<- string) int {
 	}
 
 	tel := telemetry.New()
+	lvl, err := telemetry.ParseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "webssarid: %v\n", err)
+		return 2
+	}
+	logger, err := telemetry.NewLogger(os.Stderr, lvl, *logFormat, telemetry.DefaultFlightRecorderSize)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "webssarid: %v\n", err)
+		return 2
+	}
+	tel.Logs = logger.Recorder()
 	var st *store.Store
 	if *storeDir != "" {
 		var err error
@@ -178,7 +210,7 @@ func run(args []string, ready chan<- string) int {
 		fmt.Fprintf(os.Stderr, "webssarid: shared result store via %s\n", *storeRemote)
 	}
 	if *metricsAddr != "" {
-		msrv, err := telemetry.Serve(*metricsAddr, tel.Metrics)
+		msrv, err := telemetry.Serve(*metricsAddr, tel.Metrics, tel.Logs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "webssarid: %v\n", err)
 			return 2
@@ -197,16 +229,19 @@ func run(args []string, ready chan<- string) int {
 	}))
 
 	svcCfg := service.Config{
-		Store:          st,
-		Telemetry:      tel,
-		Workers:        *workers,
-		JobParallelism: *jobs,
-		QueueSize:      *queueSize,
-		JobDeadline:    *timeout,
-		MaxConflicts:   *maxConf,
-		DisableDirs:    *noDirs,
-		Incremental:    *incr,
-		WatchInterval:  *watchIvl,
+		Store:            st,
+		Telemetry:        tel,
+		Logger:           logger,
+		LatencyObjective: *slo,
+		SlowFile:         *slowFile,
+		Workers:          *workers,
+		JobParallelism:   *jobs,
+		QueueSize:        *queueSize,
+		JobDeadline:      *timeout,
+		MaxConflicts:     *maxConf,
+		DisableDirs:      *noDirs,
+		Incremental:      *incr,
+		WatchInterval:    *watchIvl,
 	}
 	if remoteStore != nil {
 		svcCfg.StoreBackend = remoteStore
@@ -219,6 +254,7 @@ func run(args []string, ready chan<- string) int {
 			HeartbeatMisses:   *hbMisses,
 			Fingerprint:       fingerprint,
 			Telemetry:         tel,
+			Logger:            logger,
 		}
 		if st != nil {
 			ccfg.Store = st

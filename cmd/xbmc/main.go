@@ -18,10 +18,13 @@
 // run profile (per-stage wall time and solver effort) to stderr.
 //
 // Observability: -trace FILE writes a Chrome trace-event JSON of every
-// pipeline span (load it in chrome://tracing or Perfetto), and
-// -metrics-addr ADDR serves a Prometheus /metrics page plus
-// /debug/vars and /debug/pprof/ for the duration of the run (":0"
-// picks a free port; the chosen address is printed to stderr).
+// pipeline span (load it in chrome://tracing or Perfetto) — the file is
+// written even when the run exits early on an error; -metrics-addr ADDR
+// serves a Prometheus /metrics page plus /debug/vars, /debug/pprof/,
+// and the /debug/events flight recorder for the duration of the run
+// (":0" picks a free port; the chosen address is printed to stderr);
+// -log-level and -log-format control the structured log stream on
+// stderr (text or JSON).
 //
 // In directory mode, -ndjson replaces the plain per-file lines with the
 // newline-delimited JSON stream the webssarid daemon emits — one report
@@ -84,6 +87,8 @@ func run(args []string) int {
 		verbose     = fs.Bool("v", false, "print the run profile to stderr")
 		traceFile   = fs.String("trace", "", "write Chrome trace-event JSON to this file")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address (\":0\" picks a free port)")
+		logLevel    = fs.String("log-level", "info", "structured log level: debug|info|warn|error")
+		logFormat   = fs.String("log-format", "text", "structured log encoding: text|json")
 		ndjsonOut   = fs.Bool("ndjson", false, "directory mode: stream per-file reports as NDJSON to stdout")
 		storeDir    = fs.String("store", "", "directory mode: persistent result store directory (\"\" disables)")
 		incremental = fs.Bool("incremental", false, "directory mode: delta re-verification via the dependency graph (requires -store)")
@@ -133,12 +138,33 @@ func run(args []string) int {
 		return 2
 	}
 
+	lvl, err := telemetry.ParseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
+		return 2
+	}
+	logger, err := telemetry.NewLogger(os.Stderr, lvl, *logFormat, telemetry.DefaultFlightRecorderSize)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
+		return 2
+	}
 	var tel *telemetry.Telemetry
 	if *traceFile != "" || *metricsAddr != "" {
 		tel = telemetry.New()
+		tel.Logs = logger.Recorder()
+	}
+	if *traceFile != "" {
+		// Registered before anything that can fail below (the metrics
+		// listener, store open, …) so an early error exit still leaves a
+		// trace file of whatever spans were recorded.
+		defer func() {
+			if err := writeTraceFile(*traceFile, tel); err != nil {
+				fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
+			}
+		}()
 	}
 	if *metricsAddr != "" {
-		srv, err := telemetry.Serve(*metricsAddr, tel.Metrics)
+		srv, err := telemetry.Serve(*metricsAddr, tel.Metrics, tel.Logs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
 			return 2
@@ -146,15 +172,9 @@ func run(args []string) int {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "xbmc: metrics served at http://%s/metrics\n", srv.Addr)
 	}
-	if *traceFile != "" {
-		defer func() {
-			if err := writeTraceFile(*traceFile, tel); err != nil {
-				fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
-			}
-		}()
-	}
 
 	target := fs.Arg(0)
+	logger.Debug("verifying", "target", target)
 	if info, err := os.Stat(target); err == nil && info.IsDir() {
 		if *stage != "" || *naive {
 			fmt.Fprintln(os.Stderr, "xbmc: -stage and -naive need a single PHP file, not a directory")

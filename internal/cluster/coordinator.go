@@ -103,6 +103,12 @@ type Config struct {
 	// Telemetry receives the cluster metric series; nil runs
 	// uninstrumented.
 	Telemetry *telemetry.Telemetry
+	// Logger receives membership and dispatch log lines; nil is silent.
+	// Dispatch-time logging prefers the job-scoped logger travelling down
+	// the request context (telemetry.WithLogger), so those lines carry
+	// the job's job_id and trace_id; this logger covers everything else
+	// (registrations, heartbeats, evictions).
+	Logger *telemetry.Logger
 	// Hooks inject faults for chaos testing; zero means none.
 	Hooks Hooks
 	// HTTPClient is used for worker dispatch (nil: http.DefaultClient).
@@ -202,6 +208,8 @@ type Coordinator struct {
 	redispatches atomic.Int64
 	degradedRuns atomic.Int64
 
+	log *telemetry.Logger
+
 	gLive       *telemetry.GaugeMetric
 	cRegs       *telemetry.CounterMetric
 	cHeartbeats *telemetry.CounterMetric
@@ -213,6 +221,7 @@ type Coordinator struct {
 	cDegraded   *telemetry.CounterMetric
 	cLocal      *telemetry.CounterMetric
 	cRemote     *telemetry.CounterMetric
+	hRTT        *telemetry.HistogramMetric
 }
 
 // New assembles a Coordinator and starts its eviction loop; Close stops
@@ -226,6 +235,7 @@ func New(cfg Config) *Coordinator {
 		ring:    newRing(cfg.Replicas),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
+		log:     cfg.Logger,
 	}
 	if cfg.Telemetry != nil && cfg.Telemetry.Metrics != nil {
 		reg := cfg.Telemetry.Metrics
@@ -240,6 +250,7 @@ func New(cfg Config) *Coordinator {
 		c.cDegraded = reg.Counter(telemetry.MetricClusterDegradedRuns)
 		c.cLocal = reg.Counter(telemetry.MetricClusterLocalFiles)
 		c.cRemote = reg.Counter(telemetry.MetricClusterRemoteFiles)
+		c.hRTT = reg.Histogram(telemetry.MetricClusterDispatchRTT, nil)
 	}
 	go c.evictLoop()
 	return c
@@ -308,6 +319,7 @@ func (c *Coordinator) register(addr, name, fingerprint string) (string, error) {
 	c.cRegs.Inc()
 	c.gLive.Set(int64(live))
 	c.workerUpGauge(w.id).Set(1)
+	c.log.Info("worker registered", "worker", w.id, "name", name, "addr", addr, "live", live)
 	return w.id, nil
 }
 
@@ -361,6 +373,7 @@ func (c *Coordinator) deregister(id string) bool {
 	c.mu.Unlock()
 	c.gLive.Set(int64(live))
 	c.workerUpGauge(id).Set(0)
+	c.log.Info("worker deregistered", "worker", id, "addr", w.addr, "live", live)
 	return true
 }
 
@@ -392,6 +405,9 @@ func (c *Coordinator) evictLoop() {
 			c.cEvictions.Inc()
 			c.gLive.Set(int64(live))
 			c.workerUpGauge(w.id).Set(0)
+			c.log.Warn("worker evicted: missed heartbeats",
+				"worker", w.id, "addr", w.addr,
+				"silent_ms", time.Since(w.lastSeen).Milliseconds(), "live", live)
 			if fn := c.cfg.Hooks.OnEvict; fn != nil {
 				fn(w.id)
 			}
@@ -496,6 +512,13 @@ func (c *Coordinator) dispatchFile(ctx context.Context, src []byte, name string,
 	if cc, err := webssari.ExportConfig(localOpts...); err == nil {
 		dir = cc.Dir
 	}
+	// Prefer the job-scoped logger from the request context (carries
+	// job_id and trace_id); fall back to the coordinator's own.
+	log := telemetry.LoggerFrom(ctx)
+	if log == nil {
+		log = c.log
+	}
+	log = log.With("file", name)
 
 	for attempt := 1; attempt <= c.cfg.RetryBudget; attempt++ {
 		w := c.pick(key, attempt-1)
@@ -508,6 +531,8 @@ func (c *Coordinator) dispatchFile(ctx context.Context, src []byte, name string,
 			stats.mu.Lock()
 			stats.redispatches++
 			stats.mu.Unlock()
+			telemetry.Instant(ctx, "redispatch", "file", name, "worker", w.id, "attempt", attempt)
+			log.Info("redispatching", "worker", w.id, "attempt", attempt)
 		}
 		if hook := c.cfg.Hooks.BeforeDispatch; hook != nil {
 			if err := hook(w.id, name, attempt); err != nil {
@@ -518,13 +543,17 @@ func (c *Coordinator) dispatchFile(ctx context.Context, src []byte, name string,
 				continue
 			}
 		}
-		rep, err := c.remoteVerify(ctx, w, src, name, dir, wantText)
+		actx, dsp := telemetry.StartSpan(ctx, "dispatch",
+			"file", name, "worker", w.id, "attempt", attempt)
+		rep, err := c.remoteVerify(actx, w, src, name, dir, wantText)
+		dsp.End()
 		if err == nil {
 			w.breaker.Success()
 			c.cRemote.Inc()
 			stats.mu.Lock()
 			stats.remote++
 			stats.mu.Unlock()
+			log.Debug("file verified remotely", "worker", w.id, "attempt", attempt)
 			return rep, nil
 		}
 		if ctx.Err() != nil {
@@ -543,9 +572,11 @@ func (c *Coordinator) dispatchFile(ctx context.Context, src []byte, name string,
 			stats.local++
 			stats.replayed++
 			stats.mu.Unlock()
+			log.Info("replaying deterministic failure locally", "worker", w.id)
 			return webssari.VerifyContext(ctx, src, name, localOpts...)
 		}
 		c.dispatchFailed(w)
+		log.Warn("dispatch failed", "worker", w.id, "attempt", attempt, "error", err.Error())
 		hint := time.Duration(0)
 		var apiErr *client.APIError
 		if errors.As(err, &apiErr) {
@@ -564,6 +595,8 @@ func (c *Coordinator) dispatchFile(ctx context.Context, src []byte, name string,
 	stats.degraded = true
 	stats.mu.Unlock()
 	c.cLocal.Inc()
+	telemetry.Instant(ctx, "degraded", "file", name)
+	log.Warn("degrading to local execution: no worker available")
 	return webssari.VerifyContext(ctx, src, name, localOpts...)
 }
 
@@ -584,6 +617,13 @@ func (c *Coordinator) dispatchFailed(w *worker) {
 func (c *Coordinator) remoteVerify(ctx context.Context, w *worker, src []byte, name, dir string, wantText bool) (*webssari.Report, error) {
 	dctx, cancel := context.WithTimeout(ctx, c.cfg.DispatchTimeout)
 	defer cancel()
+	// Each dispatch is one causal hop: re-derive the trace context so the
+	// traceparent the client sends names this dispatch as the parent. The
+	// worker extracts it and stamps the same trace ID on its own spans
+	// and log lines.
+	if tc := telemetry.TraceContextFrom(ctx); tc.Valid() {
+		dctx = telemetry.WithTraceContext(dctx, tc.Child())
+	}
 	watchDone := make(chan struct{})
 	defer close(watchDone)
 	go func() {
@@ -596,6 +636,8 @@ func (c *Coordinator) remoteVerify(ctx context.Context, w *worker, src []byte, n
 
 	w.dispatches.Add(1)
 	c.cDispatch.Inc()
+	start := time.Now()
+	defer func() { c.hRTT.Observe(time.Since(start).Seconds()) }()
 	sub, err := w.client.SubmitFile(dctx, api.SubmitFileRequest{Name: name, Source: string(src), Dir: dir})
 	if err != nil {
 		return nil, err
@@ -614,7 +656,29 @@ func (c *Coordinator) remoteVerify(ctx context.Context, w *worker, src []byte, n
 			rep.Text = text
 		}
 	}
+	c.ingestWorkerTrace(ctx, dctx, w, sub.Job)
 	return rep, nil
+}
+
+// ingestWorkerTrace stitches the worker's span export for one dispatched
+// job into the coordinator-side job tracer, labeled with the worker's
+// identity — this is what makes GET /v1/jobs/{id}/trace on the
+// coordinator a single artifact covering the whole distributed run. A
+// fetch failure only costs trace completeness, never the dispatch.
+func (c *Coordinator) ingestWorkerTrace(ctx, dctx context.Context, w *worker, remoteJob string) {
+	tel := telemetry.From(ctx)
+	if tel == nil || tel.Tracer == nil {
+		return
+	}
+	doc, err := w.client.JobTrace(dctx, remoteJob)
+	if err != nil {
+		return
+	}
+	label := w.name
+	if label == "" {
+		label = w.id
+	}
+	tel.Tracer.Ingest(doc, fmt.Sprintf("worker %s (%s)", label, w.addr))
 }
 
 // --- Runner surface (what webssarid routes jobs through) ---
@@ -741,15 +805,24 @@ func (c *Coordinator) handleDeregister(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 	now := time.Now()
+	// A worker silent for the full miss budget is evicted; evict_in_ms is
+	// the remaining slack, clamped at zero — the near-eviction signal.
+	budget := time.Duration(c.cfg.HeartbeatMisses) * c.cfg.HeartbeatInterval
 	c.mu.Lock()
 	rows := make([]api.WorkerStatus, 0, len(c.workers))
 	for _, wk := range c.workers {
+		age := now.Sub(wk.lastSeen)
+		evictIn := budget - age
+		if evictIn < 0 {
+			evictIn = 0
+		}
 		rows = append(rows, api.WorkerStatus{
 			ID:              wk.id,
 			Name:            wk.name,
 			Addr:            wk.addr,
 			Live:            true,
-			LastHeartbeatMS: now.Sub(wk.lastSeen).Milliseconds(),
+			LastHeartbeatMS: age.Milliseconds(),
+			EvictInMS:       evictIn.Milliseconds(),
 			Breaker:         wk.breaker.State(),
 			Dispatches:      wk.dispatches.Load(),
 			Failures:        wk.failures.Load(),

@@ -66,6 +66,11 @@ type SubmitResponse struct {
 	Status  string `json:"status"`
 	Result  string `json:"result"`
 	Stream  string `json:"stream"`
+	// Trace is the URL of the job's Chrome/Perfetto trace document.
+	Trace string `json:"trace,omitempty"`
+	// TraceID is the job's distributed trace ID — taken from the
+	// submitter's `traceparent` header when present, minted otherwise.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // JobStatus is one job's status rendering. SchemaV is set on top-level
@@ -85,6 +90,9 @@ type JobStatus struct {
 	// verification rounds.
 	Watch  bool `json:"watch,omitempty"`
 	Rounds int  `json:"rounds,omitempty"`
+	// TraceID is the job's distributed trace ID; every span and log line
+	// of the job (on the coordinator and on workers) carries it.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // JobList is the GET /v1/jobs response (newest first).
@@ -117,6 +125,10 @@ type Health struct {
 	Status   string `json:"status"`
 	Queued   int    `json:"queued"`
 	InFlight int64  `json:"inflight"`
+	// Version is the daemon's buildinfo banner; UptimeMS is how long the
+	// service has been up.
+	Version  string `json:"version,omitempty"`
+	UptimeMS int64  `json:"uptime_ms"`
 }
 
 // ErrorResponse is the body of every non-2xx JSON answer.
@@ -172,6 +184,10 @@ type WorkerStatus struct {
 	Live bool `json:"live"`
 	// LastHeartbeatMS is how long ago the last heartbeat arrived.
 	LastHeartbeatMS int64 `json:"last_heartbeat_ms"`
+	// EvictInMS is the time remaining before the coordinator evicts this
+	// worker if no further heartbeat arrives (0 = eviction imminent) —
+	// the at-a-glance signal for spotting near-eviction workers.
+	EvictInMS int64 `json:"evict_in_ms"`
 	// Breaker is the worker's circuit-breaker state
 	// ("closed" | "open" | "half-open").
 	Breaker string `json:"breaker"`

@@ -49,9 +49,23 @@
 //	DELETE /v1/jobs/{id}        cancel: stop a watch job / abort a running job
 //	GET    /v1/jobs/{id}/result api.ResultResponse (409 while running)
 //	GET    /v1/jobs/{id}/stream NDJSON: per-file reports as they complete
+//	GET    /v1/jobs/{id}/trace  Chrome/Perfetto trace of the job (with a Telemetry)
 //	GET    /v1/version          api.VersionResponse (buildinfo + schema)
-//	GET    /healthz             api.Health: liveness + queue occupancy
+//	GET    /healthz             api.Health: liveness, queue occupancy, version, uptime
 //	GET    /metrics             Prometheus exposition (with a Telemetry)
+//	GET    /debug/events        structured-log flight recorder (with a Logger)
+//
+// Observability (PR 8): every job carries a distributed trace context —
+// taken from the submitter's W3C `traceparent` header, or minted at
+// admission — that is stamped on all spans and log lines and propagated
+// downstream (the cluster coordinator forwards it per dispatch, workers
+// extract it again). Each job records its spans into a private tracer,
+// so GET /v1/jobs/{id}/trace serves one Perfetto-loadable document per
+// job; in coordinator mode the document also contains the workers'
+// stitched span exports. Request latency per /v1 route, queue wait,
+// and latency-objective breaches (`webssari_slo_breaches_total`) are on
+// /metrics; files slower than Config.SlowFile produce a warn-level log
+// entry with the trace ID.
 package service
 
 import (
@@ -148,10 +162,29 @@ type Config struct {
 	// WatchInterval is the snapshot poll interval of watch-mode
 	// directory jobs (0 = DefaultWatchInterval).
 	WatchInterval time.Duration
+	// Logger receives the daemon's structured log stream; nil is silent.
+	// Job-scoped log lines carry job_id and trace_id attributes, and the
+	// logger travels down the context so cluster-dispatch logging
+	// inherits them.
+	Logger *telemetry.Logger
+	// LatencyObjective is the per-request latency SLO for the /v1
+	// endpoints: a request (stream excluded) slower than this increments
+	// webssari_slo_breaches_total{route=...}. 0 disables breach counting
+	// (latency histograms still record).
+	LatencyObjective time.Duration
+	// SlowFile, when positive, logs a warn-level entry (with the job's
+	// trace ID) for every file whose verification wall time exceeds it,
+	// and counts it in webssari_service_slow_files_total.
+	SlowFile time.Duration
 	// Options are extra engine options appended to every job (preludes,
 	// extra sinks).
 	Options []webssari.Option
 }
+
+// maxJobTraceEvents bounds each job's private tracer so long-lived
+// watch jobs cannot grow a trace without limit; overflow is counted in
+// the trace document's droppedEvents.
+const maxJobTraceEvents = 100_000
 
 // DefaultWatchInterval is the watch-mode poll cadence when
 // Config.WatchInterval is zero: fast enough to feel live, cheap enough
@@ -182,6 +215,11 @@ type job struct {
 	watch       bool          // watch mode: re-verify on every change
 	interval    time.Duration // watch poll interval (0 = server default)
 
+	// trace is the job's distributed trace context: the submitter's
+	// traceparent, or minted at admission. Set before admission, then
+	// read-only.
+	trace telemetry.TraceContext
+
 	mu        sync.Mutex
 	state     jobState
 	submitted time.Time
@@ -193,6 +231,7 @@ type job struct {
 	rounds    int                // watch jobs: completed verification rounds
 	cancel    context.CancelFunc // set while running; DELETE triggers it
 	canceled  bool               // cancel requested (possibly pre-start)
+	tracer    *telemetry.Tracer  // the job's private span sink (nil without telemetry)
 
 	// stream is the job's NDJSON line log: per-file reports appended as
 	// they complete, broadcast to live followers. Guarded by mu.
@@ -208,7 +247,7 @@ func (j *job) status() api.JobStatus {
 	st := api.JobStatus{
 		ID: j.ID, Kind: j.Kind, Target: j.Target,
 		State: j.state, Submitted: j.submitted, Error: j.errMsg,
-		Watch: j.watch, Rounds: j.rounds,
+		Watch: j.watch, Rounds: j.rounds, TraceID: j.trace.TraceID,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -284,13 +323,18 @@ type Server struct {
 	// begins so long-running watch jobs cannot stall a graceful stop.
 	stopWatch chan struct{}
 
-	gQueue    *telemetry.GaugeMetric
-	gInFlight *telemetry.GaugeMetric
-	cAccepted *telemetry.CounterMetric
-	cRejected *telemetry.CounterMetric
-	cDone     *telemetry.CounterMetric
-	cFailed   *telemetry.CounterMetric
-	hJobSecs  *telemetry.HistogramMetric
+	log     *telemetry.Logger
+	started time.Time
+
+	gQueue     *telemetry.GaugeMetric
+	gInFlight  *telemetry.GaugeMetric
+	cAccepted  *telemetry.CounterMetric
+	cRejected  *telemetry.CounterMetric
+	cDone      *telemetry.CounterMetric
+	cFailed    *telemetry.CounterMetric
+	cSlowFiles *telemetry.CounterMetric
+	hJobSecs   *telemetry.HistogramMetric
+	hQueueWait *telemetry.HistogramMetric
 }
 
 // New assembles a Server and starts its dispatcher. Call Drain to stop.
@@ -318,6 +362,8 @@ func New(cfg Config) *Server {
 		jobs:           make(map[string]*job),
 		dispatcherDone: make(chan struct{}),
 		stopWatch:      make(chan struct{}),
+		log:            cfg.Logger,
+		started:        time.Now(),
 	}
 	if cfg.Telemetry != nil && cfg.Telemetry.Metrics != nil {
 		reg := cfg.Telemetry.Metrics
@@ -327,7 +373,9 @@ func New(cfg Config) *Server {
 		s.cRejected = reg.Counter(telemetry.MetricServiceJobsRejected)
 		s.cDone = reg.Counter(telemetry.MetricServiceJobsDone)
 		s.cFailed = reg.Counter(telemetry.MetricServiceJobsFailed)
+		s.cSlowFiles = reg.Counter(telemetry.MetricServiceSlowFiles)
 		s.hJobSecs = reg.Histogram(telemetry.MetricServiceJobSeconds, nil)
+		s.hQueueWait = reg.Histogram(telemetry.MetricServiceQueueWait, nil)
 		s.pool.Instrument(reg)
 		if cfg.Store != nil {
 			cfg.Store.Instrument(reg)
@@ -342,18 +390,69 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 func (s *Server) routes() {
-	s.mux.HandleFunc("POST /v1/files", s.handleSubmitFile)
-	s.mux.HandleFunc("POST /v1/dirs", s.handleSubmitDir)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	// Each /v1 route is wrapped explicitly with its SLO instrumentation
+	// (latency histogram + breach counter per route). The route string is
+	// passed alongside the pattern because the mux does not expose the
+	// matched pattern to handlers on our minimum Go version.
+	s.handle("POST /v1/files", "/v1/files", s.handleSubmitFile)
+	s.handle("POST /v1/dirs", "/v1/dirs", s.handleSubmitDir)
+	s.handle("GET /v1/jobs", "/v1/jobs", s.handleListJobs)
+	s.handle("GET /v1/jobs/{id}", "/v1/jobs/{id}", s.handleJobStatus)
+	s.handle("DELETE /v1/jobs/{id}", "/v1/jobs/{id}", s.handleJobCancel)
+	s.handle("GET /v1/jobs/{id}/result", "/v1/jobs/{id}/result", s.handleJobResult)
+	s.handle("GET /v1/jobs/{id}/trace", "/v1/jobs/{id}/trace", s.handleJobTrace)
+	s.handle("GET /v1/version", "/v1/version", s.handleVersion)
+	// The stream endpoint stays open for a job's lifetime; its duration
+	// is not a request latency, so it gets no SLO instrumentation.
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
-	s.mux.HandleFunc("GET /v1/version", s.handleVersion)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if s.cfg.Telemetry != nil && s.cfg.Telemetry.Metrics != nil {
 		s.mux.Handle("GET /metrics", s.cfg.Telemetry.Metrics.Handler())
 	}
+	if rec := s.recorder(); rec != nil {
+		s.mux.Handle("GET /debug/events", rec.Handler())
+	}
+}
+
+// recorder returns the flight recorder to expose at /debug/events: the
+// logger's, or one attached directly to the telemetry.
+func (s *Server) recorder() *telemetry.FlightRecorder {
+	if rec := s.log.Recorder(); rec != nil {
+		return rec
+	}
+	if s.cfg.Telemetry != nil {
+		return s.cfg.Telemetry.Logs
+	}
+	return nil
+}
+
+// handle registers an SLO-instrumented route: request latency recorded
+// into webssari_http_request_seconds{route=...}, requests slower than
+// the configured objective counted in webssari_slo_breaches_total.
+func (s *Server) handle(pattern, route string, h http.HandlerFunc) {
+	if s.cfg.Telemetry != nil && s.cfg.Telemetry.Metrics != nil {
+		reg := s.cfg.Telemetry.Metrics
+		hist := reg.Histogram(telemetry.Name(telemetry.MetricHTTPRequestSeconds, "route", route), nil)
+		// Resolving the counter up front keeps the series visible on
+		// /metrics at zero, before any breach happens.
+		breaches := reg.Counter(telemetry.Name(telemetry.MetricSLOBreaches, "route", route))
+		objective := s.cfg.LatencyObjective
+		inner := h
+		h = func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			inner(w, r)
+			elapsed := time.Since(start)
+			hist.Observe(elapsed.Seconds())
+			if objective > 0 && elapsed > objective {
+				breaches.Inc()
+				s.log.Warn("latency objective breached",
+					"route", route, "method", r.Method,
+					"elapsed_ms", elapsed.Milliseconds(),
+					"objective_ms", objective.Milliseconds())
+			}
+		}
+	}
+	s.mux.HandleFunc(pattern, h)
 }
 
 // dispatch moves jobs from the queue onto pool slots until the queue is
@@ -467,11 +566,11 @@ func (s *Server) admit(j *job) (ok bool, draining bool) {
 // daemon-level knobs travel as one declarative webssari.Config — the
 // round-trippable form the v1 API is built on — with any extra
 // Config.Options appended after it (later options win).
-func (s *Server) jobOptions() []webssari.Option {
+func (s *Server) jobOptions(tel *telemetry.Telemetry) []webssari.Option {
 	base := webssari.Config{
 		Store:        s.cfg.Store,
 		StoreBackend: s.cfg.StoreBackend,
-		Telemetry:    s.cfg.Telemetry,
+		Telemetry:    tel,
 		Deadline:     s.deadline,
 		MaxConflicts: s.cfg.MaxConflicts,
 		Parallelism:  s.cfg.JobParallelism,
@@ -492,20 +591,40 @@ func (s *Server) runJob(j *job) {
 	j.state = stateRunning
 	j.started = time.Now()
 	j.cancel = cancel
+	queueWait := j.started.Sub(j.submitted)
 	j.mu.Unlock()
+	s.hQueueWait.Observe(queueWait.Seconds())
 	s.gInFlight.Set(s.inFlight.Add(1))
 	defer func() { s.gInFlight.Set(s.inFlight.Add(-1)) }()
 
-	ctx = telemetry.WithTelemetry(ctx, s.cfg.Telemetry)
+	// Each job records spans into a private tracer (shared metrics, own
+	// trace) so GET /v1/jobs/{id}/trace can serve a per-job document; the
+	// coordinator also stitches worker exports into it.
+	jobTel := s.cfg.Telemetry
+	if jobTel != nil {
+		tr := telemetry.NewTracer()
+		tr.SetLimit(maxJobTraceEvents)
+		jobTel = &telemetry.Telemetry{Metrics: jobTel.Metrics, Logs: jobTel.Logs, Tracer: tr}
+		j.mu.Lock()
+		j.tracer = tr
+		j.mu.Unlock()
+	}
+	ctx = telemetry.WithTelemetry(ctx, jobTel)
+	// The job's execution is one causal hop below its admission: derive a
+	// child span ID so downstream dispatches name the right parent.
+	ctx = telemetry.WithTraceContext(ctx, j.trace.Child())
+	jlog := s.log.With("job_id", j.ID, "trace_id", j.trace.TraceID)
+	ctx = telemetry.WithLogger(ctx, jlog)
+	jlog.Info("job started", "kind", j.Kind, "target", j.Target,
+		"queue_wait_ms", queueWait.Milliseconds())
 	ctx, sp := telemetry.StartRootSpan(ctx, "job", "id", j.ID, "kind", j.Kind, "target", j.Target)
-	defer sp.End()
 
 	stream := NewNDJSON(j) // per-file lines accumulate on the job
 	start := time.Now()
 	var err error
 	switch j.Kind {
 	case "file":
-		opts := s.jobOptions()
+		opts := s.jobOptions(jobTel)
 		if j.dir != "" {
 			opts = append(opts, webssari.WithDir(j.dir))
 		}
@@ -513,13 +632,15 @@ func (s *Server) runJob(j *job) {
 		rep, err = s.runner.VerifyFile(ctx, j.source, j.Target, opts...)
 		if err == nil {
 			_ = stream.Encode(rep)
+			s.noteSlowFile(jlog, rep)
 			j.mu.Lock()
 			j.fileRep = rep
 			j.mu.Unlock()
 		}
 	case "dir":
-		opts := append(s.jobOptions(), webssari.WithFileObserver(func(rep *webssari.Report) {
+		opts := append(s.jobOptions(jobTel), webssari.WithFileObserver(func(rep *webssari.Report) {
 			_ = stream.Encode(rep)
+			s.noteSlowFile(jlog, rep)
 		}))
 		incremental := s.cfg.Incremental
 		if j.incremental != nil {
@@ -543,13 +664,37 @@ func (s *Server) runJob(j *job) {
 	default:
 		err = fmt.Errorf("unknown job kind %q", j.Kind)
 	}
-	s.hJobSecs.Observe(time.Since(start).Seconds())
+	elapsed := time.Since(start)
+	s.hJobSecs.Observe(elapsed.Seconds())
+	// End the root span before publishing the terminal state: a client
+	// that polls state=done and immediately downloads the trace must see
+	// the complete document.
+	sp.End()
 	if err != nil {
+		jlog.Warn("job failed", "error", err.Error(), "elapsed_ms", elapsed.Milliseconds())
 		s.failJob(j, err)
 		return
 	}
+	jlog.Info("job done", "elapsed_ms", elapsed.Milliseconds())
 	s.finishJob(j, stateDone)
 	s.cDone.Inc()
+}
+
+// noteSlowFile logs (and counts) a file whose verification wall time —
+// compile plus solve, as profiled by the engine — exceeded the
+// configured slow-file threshold. The log line carries the job's trace
+// ID through jlog, so a slow file points straight at its trace.
+func (s *Server) noteSlowFile(jlog *telemetry.Logger, rep *webssari.Report) {
+	if s.cfg.SlowFile <= 0 || rep == nil || rep.Profile == nil {
+		return
+	}
+	elapsed := rep.Profile.CompileWall() + rep.Profile.SolveWall()
+	if elapsed < s.cfg.SlowFile {
+		return
+	}
+	s.cSlowFiles.Inc()
+	jlog.Warn("slow file", "file", rep.File, "elapsed_ms", elapsed.Milliseconds(),
+		"threshold_ms", s.cfg.SlowFile.Milliseconds(), "verdict", rep.Verdict)
 }
 
 // runWatch is the watch-mode directory job loop: verify, publish the
@@ -682,7 +827,19 @@ func (s *Server) handleSubmitFile(w http.ResponseWriter, r *http.Request) {
 	if name == "" {
 		name = "input.php"
 	}
-	s.enqueue(w, s.newJob("file", name, []byte(req.Source), req.Dir))
+	j := s.newJob("file", name, []byte(req.Source), req.Dir)
+	j.trace = traceFromRequest(r)
+	s.enqueue(w, j)
+}
+
+// traceFromRequest extracts the submitter's W3C trace context from the
+// traceparent header, or mints a fresh one — every job has a trace ID
+// whether or not the caller propagates one.
+func traceFromRequest(r *http.Request) telemetry.TraceContext {
+	if tc, ok := telemetry.ParseTraceparent(r.Header.Get(telemetry.TraceparentHeader)); ok {
+		return tc
+	}
+	return telemetry.NewTraceContext()
 }
 
 func (s *Server) handleSubmitDir(w http.ResponseWriter, r *http.Request) {
@@ -712,6 +869,7 @@ func (s *Server) handleSubmitDir(w http.ResponseWriter, r *http.Request) {
 	j := s.newJob("dir", req.Dir, nil, "")
 	j.incremental = req.Incremental
 	j.watch = req.Watch
+	j.trace = traceFromRequest(r)
 	if req.WatchIntervalMS > 0 {
 		j.interval = time.Duration(req.WatchIntervalMS) * time.Millisecond
 	}
@@ -732,10 +890,15 @@ func (s *Server) enqueue(w http.ResponseWriter, j *job) {
 	}
 	if !ok {
 		s.dropJob(j)
+		s.log.Warn("job rejected: queue full",
+			"job_id", j.ID, "trace_id", j.trace.TraceID, "kind", j.Kind, "target", j.Target)
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "queue is full; retry later")
 		return
 	}
+	s.log.Info("job accepted",
+		"job_id", j.ID, "trace_id", j.trace.TraceID, "kind", j.Kind, "target", j.Target,
+		"queued", len(s.queue))
 	w.WriteHeader(http.StatusAccepted)
 	writeJSON(w, api.SubmitResponse{
 		SchemaV: api.Schema,
@@ -743,6 +906,8 @@ func (s *Server) enqueue(w http.ResponseWriter, j *job) {
 		Status:  fmt.Sprintf("/v1/jobs/%s", j.ID),
 		Result:  fmt.Sprintf("/v1/jobs/%s/result", j.ID),
 		Stream:  fmt.Sprintf("/v1/jobs/%s/stream", j.ID),
+		Trace:   fmt.Sprintf("/v1/jobs/%s/trace", j.ID),
+		TraceID: j.trace.TraceID,
 	})
 }
 
@@ -864,6 +1029,29 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, api.ResultResponse{SchemaV: api.Schema, ID: j.ID, Kind: j.Kind, Report: raw})
 }
 
+// handleJobTrace serves the job's span recording as a Chrome/Perfetto
+// trace-event document. For a job run by the cluster coordinator the
+// document also contains the stitched span exports of every worker that
+// verified files for it — one downloadable artifact explains the whole
+// distributed run. Available as soon as the job starts (a running job
+// serves a partial trace) and retained with the job history.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.mu.Lock()
+	tr := j.tracer
+	j.mu.Unlock()
+	if tr == nil {
+		writeError(w, http.StatusNotFound, "no trace recorded (telemetry disabled, or job not started)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = tr.WriteDoc(w)
+}
+
 func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(r.PathValue("id"))
 	if j == nil {
@@ -913,6 +1101,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:   status,
 		Queued:   len(s.queue),
 		InFlight: s.inFlight.Load(),
+		Version:  buildinfo.Version("webssarid"),
+		UptimeMS: time.Since(s.started).Milliseconds(),
 	})
 }
 

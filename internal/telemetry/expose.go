@@ -134,13 +134,17 @@ type Server struct {
 //
 //	/metrics       Prometheus text exposition of reg
 //	/debug/vars    expvar (process vars plus a "telemetry" snapshot of reg)
+//	/debug/events  the structured-log flight recorder (when rec != nil)
 //	/debug/pprof/  the standard pprof profiles
 //
 // addr may be ":0" to bind an ephemeral port; the chosen address is in
 // Server.Addr. The server runs until Close.
-func Serve(addr string, reg *Registry) (*Server, error) {
+func Serve(addr string, reg *Registry, rec *FlightRecorder) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
+	if rec != nil {
+		mux.Handle("/debug/events", rec.Handler())
+	}
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
 		// The standard expvar handler plus the registry snapshot, without
 		// expvar.Publish (which panics on duplicate names across servers).

@@ -70,6 +70,17 @@ const (
 	MetricServiceJobsFailed   = "webssari_service_jobs_failed_total"
 	MetricServiceJobSeconds   = "webssari_service_job_seconds" // histogram
 
+	// SLO instrumentation. Request latency is a histogram family labeled
+	// by route (Name(MetricHTTPRequestSeconds, "route", "/v1/files"));
+	// breaches count requests slower than the daemon's configured latency
+	// objective, again per route. Queue wait is the admission-to-start
+	// delay of a job; slow files count per-file verifications beyond the
+	// slow-file threshold (each also logged with its trace ID).
+	MetricHTTPRequestSeconds = "webssari_http_request_seconds"       // histogram, label route
+	MetricSLOBreaches        = "webssari_slo_breaches_total"         // counter, label route
+	MetricServiceQueueWait   = "webssari_service_queue_wait_seconds" // histogram
+	MetricServiceSlowFiles   = "webssari_service_slow_files_total"
+
 	// Cluster-coordinator series. Per-worker health is a labeled gauge
 	// family (Name(MetricClusterWorkerUp, "worker", id) — 1 while live, 0
 	// after eviction or deregistration); the counters record dispatch
@@ -89,6 +100,9 @@ const (
 	MetricClusterDegradedRuns     = "webssari_cluster_degraded_runs_total"
 	MetricClusterLocalFiles       = "webssari_cluster_local_files_total"
 	MetricClusterRemoteFiles      = "webssari_cluster_remote_files_total"
+	// MetricClusterDispatchRTT observes the wall time of each remote
+	// dispatch attempt (submit → result), successful or not.
+	MetricClusterDispatchRTT = "webssari_cluster_dispatch_rtt_seconds" // histogram
 )
 
 // Name encodes label pairs into a metric name: Name("x_seconds",

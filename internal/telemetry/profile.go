@@ -38,20 +38,20 @@ func (s *SolverProfile) Add(o SolverProfile) {
 // size, stage wall time, and the solver's search effort — the
 // observability counterpart of the per-assertion lines in the xbmc CLI.
 type AssertProfile struct {
-	Index           int           `json:"index"`
-	Sink            string        `json:"sink,omitempty"`
-	Site            string        `json:"site,omitempty"`
-	Vars            int           `json:"vars"`
-	Clauses         int           `json:"clauses"`
-	Counterexamples int           `json:"counterexamples"`
-	Unknown         bool          `json:"unknown,omitempty"`
+	Index           int    `json:"index"`
+	Sink            string `json:"sink,omitempty"`
+	Site            string `json:"site,omitempty"`
+	Vars            int    `json:"vars"`
+	Clauses         int    `json:"clauses"`
+	Counterexamples int    `json:"counterexamples"`
+	Unknown         bool   `json:"unknown,omitempty"`
 	// Reused is set when the assertion's check fingerprint matched a
 	// prior SAFE verdict and the SAT search was skipped entirely.
-	Reused bool   `json:"reused,omitempty"`
-	Cause  string `json:"cause,omitempty"`
-	EncodeNS        int64         `json:"encode_ns"`
-	SearchNS        int64         `json:"search_ns"`
-	Solver          SolverProfile `json:"solver"`
+	Reused   bool          `json:"reused,omitempty"`
+	Cause    string        `json:"cause,omitempty"`
+	EncodeNS int64         `json:"encode_ns"`
+	SearchNS int64         `json:"search_ns"`
+	Solver   SolverProfile `json:"solver"`
 }
 
 // StageProfile is the summed wall time of one pipeline stage.

@@ -25,14 +25,18 @@ package telemetry
 
 import "context"
 
-// Telemetry bundles the two observability sinks: a metrics Registry and
-// a span Tracer. Either field may be nil to enable just one kind of
-// collection; a nil *Telemetry disables both.
+// Telemetry bundles the observability sinks: a metrics Registry, a span
+// Tracer, and optionally the structured-log flight recorder. Any field
+// may be nil to enable just some kinds of collection; a nil *Telemetry
+// disables everything.
 type Telemetry struct {
 	// Metrics receives counter/gauge/histogram updates.
 	Metrics *Registry
 	// Tracer receives span begin/end events.
 	Tracer *Tracer
+	// Logs, when set, is the bounded ring of recent structured-log
+	// events exposed at /debug/events by ServeMetrics/Serve.
+	Logs *FlightRecorder
 }
 
 // New returns a Telemetry with a fresh Registry and Tracer.
@@ -55,6 +59,8 @@ type ctxKey int
 const (
 	telemetryKey ctxKey = iota
 	spanKey
+	traceCtxKey
+	loggerKey
 )
 
 // WithTelemetry returns a context carrying t; the engine's pipeline

@@ -243,7 +243,7 @@ func TestPrometheusText(t *testing.T) {
 func TestServe(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter(MetricSolverConflicts).Add(42)
-	srv, err := Serve(":0", reg)
+	srv, err := Serve(":0", reg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

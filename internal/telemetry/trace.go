@@ -17,11 +17,26 @@ type Event struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat,omitempty"`
 	Ph   string         `json:"ph"`
-	TS   int64          `json:"ts"` // microseconds since tracer start
+	S    string         `json:"s,omitempty"` // instant-event scope ("t" = thread)
+	TS   int64          `json:"ts"`          // microseconds since tracer start
 	Dur  int64          `json:"dur"`
 	PID  int64          `json:"pid"`
 	TID  int64          `json:"tid"`
 	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceDoc is the wire form of a tracer's output: the Chrome trace-event
+// document plus the tracer's epoch as a Unix-microsecond timestamp so a
+// receiving process can rebase the (relative) event timestamps onto its
+// own epoch when stitching (Tracer.Ingest). This is what
+// GET /v1/jobs/{id}/trace serves.
+type TraceDoc struct {
+	TraceEvents     []Event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit,omitempty"`
+	// BaseUnixMicro is the producing tracer's epoch (Unix µs).
+	BaseUnixMicro int64 `json:"baseUnixMicro,omitempty"`
+	// DroppedEvents counts events discarded by the tracer's event cap.
+	DroppedEvents int64 `json:"droppedEvents,omitempty"`
 }
 
 // Tracer collects spans into an in-memory event list. It is safe for
@@ -30,11 +45,14 @@ type Event struct {
 // one lane render as a flame graph, and independent units of work (one
 // per verified file) each get a fresh lane.
 type Tracer struct {
-	mu     sync.Mutex
-	events []Event
-	base   time.Time
-	now    func() time.Time
-	lanes  atomic.Int64
+	mu      sync.Mutex
+	events  []Event
+	dropped int64
+	limit   int   // max retained events; 0 = unbounded
+	procs   int64 // extra pids handed out by Ingest (local events use pid 1)
+	base    time.Time
+	now     func() time.Time
+	lanes   atomic.Int64
 }
 
 // NewTracer returns a tracer with its epoch set to now.
@@ -56,11 +74,32 @@ func (t *Tracer) NextLane() int64 {
 	return t.lanes.Add(1)
 }
 
+// SetLimit caps the number of retained events; once reached, further
+// events are counted in DroppedEvents instead of stored. Long-lived
+// per-job tracers (watch jobs) use this to stay bounded. 0 removes the
+// cap.
+func (t *Tracer) SetLimit(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.limit = n
+	t.mu.Unlock()
+}
+
 // add appends one complete event.
 func (t *Tracer) add(ev Event) {
 	t.mu.Lock()
-	t.events = append(t.events, ev)
+	t.appendLocked(ev)
 	t.mu.Unlock()
+}
+
+func (t *Tracer) appendLocked(ev Event) {
+	if t.limit > 0 && len(t.events) >= t.limit {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, ev)
 }
 
 // Events returns a copy of the collected events.
@@ -86,6 +125,104 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 		TraceEvents     []Event `json:"traceEvents"`
 		DisplayTimeUnit string  `json:"displayTimeUnit"`
 	}{events, "ms"})
+}
+
+// Doc snapshots the tracer as a TraceDoc suitable for shipping across
+// a process boundary and re-ingesting.
+func (t *Tracer) Doc() TraceDoc {
+	doc := TraceDoc{TraceEvents: []Event{}, DisplayTimeUnit: "ms"}
+	if t == nil {
+		return doc
+	}
+	t.mu.Lock()
+	doc.TraceEvents = append(doc.TraceEvents, t.events...)
+	doc.DroppedEvents = t.dropped
+	doc.BaseUnixMicro = t.base.UnixMicro()
+	t.mu.Unlock()
+	return doc
+}
+
+// WriteDoc writes the TraceDoc snapshot as indented JSON. The document
+// is a superset of WriteJSON's output and still loads directly into
+// Perfetto / chrome://tracing (extra top-level keys are ignored there).
+func (t *Tracer) WriteDoc(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(t.Doc())
+}
+
+// Ingest stitches another process's trace into this tracer: the
+// document's events are assigned a fresh trace pid (local spans live on
+// pid 1), labeled with a process_name metadata event so trace viewers
+// title the lane group, and rebased from the remote tracer's epoch onto
+// this tracer's. Lanes (tids) within the ingested document are
+// preserved, so the remote flame graph structure survives stitching.
+// The coordinator uses this to assemble one job-wide trace from worker
+// span exports.
+func (t *Tracer) Ingest(doc TraceDoc, process string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.procs++
+	pid := 1 + t.procs
+	offset := doc.BaseUnixMicro - t.base.UnixMicro()
+	t.appendLocked(Event{
+		Name: "process_name",
+		Ph:   "M",
+		PID:  pid,
+		Args: map[string]any{"name": process},
+	})
+	for _, ev := range doc.TraceEvents {
+		ev.PID = pid
+		if ev.Ph != "M" { // metadata events carry no timestamp
+			ev.TS += offset
+		}
+		t.appendLocked(ev)
+	}
+	t.dropped += doc.DroppedEvents
+}
+
+// Instant records a zero-duration annotation (trace-event phase "i") on
+// the current span's lane — redispatches, degradations, and other
+// point-in-time facts that should be visible on the timeline. No-op
+// without telemetry.
+func Instant(ctx context.Context, name string, kv ...any) {
+	tel := From(ctx)
+	if tel == nil || tel.Tracer == nil {
+		return
+	}
+	tr := tel.Tracer
+	var lane int64
+	if parent, _ := ctx.Value(spanKey).(*Span); parent != nil {
+		lane = parent.lane
+	}
+	var args map[string]any
+	if len(kv) >= 2 {
+		args = make(map[string]any, len(kv)/2)
+		for i := 0; i+1 < len(kv); i += 2 {
+			if k, ok := kv[i].(string); ok {
+				args[k] = kv[i+1]
+			}
+		}
+	}
+	if tc := TraceContextFrom(ctx); tc.Valid() {
+		if args == nil {
+			args = make(map[string]any, 1)
+		}
+		args["trace_id"] = tc.TraceID
+	}
+	tr.add(Event{
+		Name: name,
+		Cat:  "pipeline",
+		Ph:   "i",
+		S:    "t",
+		TS:   tr.now().Sub(tr.base).Microseconds(),
+		PID:  1,
+		TID:  lane,
+		Args: args,
+	})
 }
 
 // Span is one timed interval of the pipeline. A nil *Span (what
@@ -135,6 +272,12 @@ func startSpan(ctx context.Context, name string, newLane bool, kv []any) (contex
 		if k, ok := kv[i].(string); ok {
 			sp.setArg(k, kv[i+1])
 		}
+	}
+	// Stamp the distributed trace ID so every span of a propagated trace
+	// is greppable by it. This runs after the nil-telemetry early return,
+	// keeping the disabled fast path allocation-free.
+	if tc := TraceContextFrom(ctx); tc.Valid() {
+		sp.setArg("trace_id", tc.TraceID)
 	}
 	return context.WithValue(ctx, spanKey, sp), sp
 }

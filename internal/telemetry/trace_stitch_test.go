@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// fakeClock yields deterministic timestamps for tracer tests.
+type fakeClock struct {
+	t time.Time
+}
+
+func (c *fakeClock) now() time.Time { return c.t }
+
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// TestIngestStitchesWorkerTrace pins the trace assembler: a worker
+// tracer's document lands in the coordinator tracer under a fresh pid
+// with a process_name label, lanes preserved, and timestamps rebased
+// from the worker's epoch onto the coordinator's.
+func TestIngestStitchesWorkerTrace(t *testing.T) {
+	coordBase := time.Unix(1000, 0)
+	cClock := &fakeClock{t: coordBase}
+	coord := NewTracerWithClock(coordBase, cClock.now)
+
+	// The worker's epoch is 2s after the coordinator's: a worker event at
+	// relative ts=5µs happened at coordinator-relative ts=2_000_005µs.
+	workerBase := coordBase.Add(2 * time.Second)
+	wClock := &fakeClock{t: workerBase}
+	worker := NewTracerWithClock(workerBase, wClock.now)
+
+	// Coordinator job span on lane 0.
+	tel := &Telemetry{Tracer: coord}
+	ctx := WithTelemetry(context.Background(), tel)
+	_, job := StartRootSpan(ctx, "job")
+	cClock.advance(5 * time.Second)
+
+	// Worker records two spans on distinct lanes plus a metadata event.
+	wtel := &Telemetry{Tracer: worker}
+	wctx := WithTelemetry(context.Background(), wtel)
+	_, w1 := StartRootSpan(wctx, "verify_file")
+	wClock.advance(5 * time.Microsecond)
+	w1.End()
+	_, w2 := StartRootSpan(wctx, "verify_file")
+	wClock.advance(3 * time.Microsecond)
+	w2.End()
+
+	coord.Ingest(worker.Doc(), "worker w-1 (http://w1)")
+	job.End()
+
+	events := coord.Events()
+	// 1 process_name + 2 worker spans + 1 coordinator span.
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4: %+v", len(events), events)
+	}
+
+	meta := events[0]
+	if meta.Ph != "M" || meta.Name != "process_name" {
+		t.Fatalf("first ingested event = %+v, want process_name metadata", meta)
+	}
+	if meta.Args["name"] != "worker w-1 (http://w1)" {
+		t.Fatalf("process_name args = %v", meta.Args)
+	}
+	workerPID := meta.PID
+	if workerPID == 1 {
+		t.Fatal("ingested events share the local pid 1; want a fresh pid")
+	}
+
+	sp1, sp2 := events[1], events[2]
+	if sp1.PID != workerPID || sp2.PID != workerPID {
+		t.Fatalf("worker spans not re-pidded: %+v %+v", sp1, sp2)
+	}
+	// Lanes within the worker document survive stitching.
+	if sp1.TID == sp2.TID {
+		t.Fatalf("worker lanes collapsed: tid %d == %d", sp1.TID, sp2.TID)
+	}
+	// Worker span 1 started at worker-relative 0 = coordinator-relative 2s.
+	if sp1.TS != 2_000_000 {
+		t.Fatalf("rebased ts = %d, want 2000000", sp1.TS)
+	}
+	if sp2.TS != 2_000_005 {
+		t.Fatalf("second rebased ts = %d, want 2000005", sp2.TS)
+	}
+	if sp1.Dur != 5 || sp2.Dur != 3 {
+		t.Fatalf("durations survived wrong: %d, %d", sp1.Dur, sp2.Dur)
+	}
+
+	root := events[3]
+	if root.Name != "job" || root.PID != 1 {
+		t.Fatalf("coordinator span = %+v, want job on pid 1", root)
+	}
+	if root.Dur != 5_000_000 {
+		t.Fatalf("coordinator span dur = %d, want 5000000", root.Dur)
+	}
+}
+
+func TestIngestAccumulatesDroppedAndPids(t *testing.T) {
+	base := time.Unix(0, 0)
+	clock := &fakeClock{t: base}
+	coord := NewTracerWithClock(base, clock.now)
+
+	w1 := NewTracerWithClock(base, clock.now)
+	w1.add(Event{Name: "a", Ph: "X", PID: 1})
+	d1 := w1.Doc()
+	d1.DroppedEvents = 7
+
+	w2 := NewTracerWithClock(base, clock.now)
+	w2.add(Event{Name: "b", Ph: "X", PID: 1})
+
+	coord.Ingest(d1, "worker one")
+	coord.Ingest(w2.Doc(), "worker two")
+
+	doc := coord.Doc()
+	if doc.DroppedEvents != 7 {
+		t.Fatalf("DroppedEvents = %d, want 7 carried over", doc.DroppedEvents)
+	}
+	pids := map[int64]bool{}
+	for _, ev := range doc.TraceEvents {
+		pids[ev.PID] = true
+	}
+	// Two ingested docs → two distinct non-local pids.
+	if len(pids) != 2 || pids[1] {
+		t.Fatalf("pids = %v, want two fresh pids and none on 1", pids)
+	}
+}
+
+// TestWriteDocRoundTrips pins the wire shape served by
+// GET /v1/jobs/{id}/trace and consumed by client.JobTrace.
+func TestWriteDocRoundTrips(t *testing.T) {
+	base := time.Unix(42, 0)
+	clock := &fakeClock{t: base}
+	tr := NewTracerWithClock(base, clock.now)
+	tel := &Telemetry{Tracer: tr}
+	ctx := WithTelemetry(context.Background(), tel)
+	_, sp := StartRootSpan(ctx, "verify_file", "file", "a.php")
+	clock.advance(time.Millisecond)
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteDoc(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc TraceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("WriteDoc output: %v\n%s", err, buf.String())
+	}
+	if doc.BaseUnixMicro != base.UnixMicro() {
+		t.Fatalf("BaseUnixMicro = %d, want %d", doc.BaseUnixMicro, base.UnixMicro())
+	}
+	if len(doc.TraceEvents) != 1 || doc.TraceEvents[0].Name != "verify_file" {
+		t.Fatalf("events = %+v", doc.TraceEvents)
+	}
+	if doc.TraceEvents[0].Dur != 1000 {
+		t.Fatalf("dur = %d, want 1000", doc.TraceEvents[0].Dur)
+	}
+}

@@ -501,13 +501,17 @@ func NewTelemetry() *Telemetry { return telemetry.New() }
 // ServeMetrics starts an HTTP server on addr (":0" picks a free port;
 // the chosen address is in the returned server's Addr) exposing the
 // telemetry's metrics as a Prometheus text page at /metrics, an expvar
-// view at /debug/vars, and the pprof handlers under /debug/pprof/.
+// view at /debug/vars, the pprof handlers under /debug/pprof/, and —
+// when the telemetry carries a log flight recorder — recent structured
+// log events at /debug/events.
 func ServeMetrics(addr string, t *Telemetry) (*telemetry.Server, error) {
 	var reg *telemetry.Registry
+	var rec *telemetry.FlightRecorder
 	if t != nil {
 		reg = t.Metrics
+		rec = t.Logs
 	}
-	return telemetry.Serve(addr, reg)
+	return telemetry.Serve(addr, reg, rec)
 }
 
 // WriteTrace writes every span the telemetry collected as Chrome
