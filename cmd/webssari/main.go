@@ -12,6 +12,9 @@
 //
 //	-patch            write secured copies next to the inputs (.secured.php)
 //	-json             emit machine-readable reports
+//	-policy P         security policy: a built-in name
+//	                  (default|xss-context|ssrf) or a policy JSON file;
+//	                  the default is the paper's XSS/SQL/injection prelude
 //	-prelude FILE     merge an extra prelude file (sinks/sources/sanitizers)
 //	-sink NAME[:n,m]  register an extra sensitive function
 //	-unroll N         loop deconstruction factor (default 1, the paper's)
@@ -103,6 +106,7 @@ func run(args []string) int {
 		patch    = fs.Bool("patch", false, "write secured copies of vulnerable files")
 		jsonOut  = fs.Bool("json", false, "emit JSON reports")
 		htmlOut  = fs.String("html", "", "write a cross-referenced HTML report to this file")
+		policyF  = fs.String("policy", "", "security policy: a built-in name or a policy JSON file")
 		preludeF = fs.String("prelude", "", "extra prelude file to merge")
 		sinks    multiFlag
 		unroll   = fs.Int("unroll", 1, "loop deconstruction factor")
@@ -161,6 +165,15 @@ func run(args []string) int {
 	}
 
 	opts := []webssari.Option{webssari.WithLoopUnroll(*unroll)}
+	if *policyF != "" {
+		// A readable file is a policy JSON declaration; anything else must
+		// name a built-in policy.
+		if data, err := os.ReadFile(*policyF); err == nil {
+			opts = append(opts, webssari.WithPolicyJSON(*policyF, data))
+		} else {
+			opts = append(opts, webssari.WithPolicy(*policyF))
+		}
+	}
 	if *storeDir != "" {
 		st, err := webssari.OpenStore(*storeDir, 0)
 		if err != nil {

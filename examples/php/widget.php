@@ -1,0 +1,11 @@
+<?php
+// Profile widget for the xss-context policy: the display name is escaped
+// for the HTML body, then reused unchanged inside a single-quoted
+// attribute and a script element. htmlspecialchars without ENT_QUOTES is
+// adequate only in the first context — the other two echoes are
+// context-XSS findings a context-blind analysis misses.
+$name = htmlspecialchars($_GET['name']);
+echo "<p>Hello $name</p>";
+echo "<input type='text' value='$name'>";
+echo "<script>var who = '$name';</script>";
+?>

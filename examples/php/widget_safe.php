@@ -1,0 +1,11 @@
+<?php
+// The secured sibling of widget.php: every echo uses the sanitizer
+// adequate for its output context — ENT_QUOTES escaping covers the body
+// and the attribute, and only a numeric cast may reach the script
+// element. Verified safe under the xss-context policy.
+$name = htmlspecialchars($_GET['name'], ENT_QUOTES);
+echo "<p>Hello $name</p>";
+echo "<input type='text' value='$name'>";
+$uid = intval($_GET['uid']);
+echo "<script>var uid = $uid;</script>";
+?>

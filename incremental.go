@@ -52,9 +52,19 @@ func GraphKey(dir string, opts ...Option) (string, error) {
 // the non-content parts of resultKey. Runs whose fingerprints differ
 // can share neither stored results nor a dependency graph.
 func (c *config) configFingerprint() string {
+	// The policy fingerprint covers context rules, sanitizer variants,
+	// sink classes, and guards — verdict-shaping state the prelude
+	// fingerprint alone cannot see (two policies may share a prelude yet
+	// disagree on context bounds). Folding it in keeps runs under
+	// different policies from ever sharing stored results or graphs.
+	policyFP := ""
+	if c.policy != nil {
+		policyFP = c.policy.Fingerprint()
+	}
 	return store.Key(
 		"webssari-config-v1",
 		c.pre.Fingerprint(),
+		"policy="+policyFP,
 		fmt.Sprintf("dir=%s unroll=%d loader=%t", c.dir, c.unroll, c.loader != nil),
 		fmt.Sprintf("paper=%t blockall=%t maxcex=%d routine=%s",
 			c.paperMode, c.blockAll, c.maxCEX, c.routine),

@@ -164,6 +164,14 @@ type Assert struct {
 	Args  []Arg
 	Bound lattice.Elem
 	Site  Site
+	// Class is the vulnerability class the active policy assigns this
+	// sink; empty means the classic by-sink-name classification applies.
+	Class string
+	// Context names the HTML output context ("html", "attr", "js") a
+	// contextual sink's dynamic argument lands in; empty for
+	// non-contextual sinks. It selects the report wording and the
+	// patcher's context-correct guard.
+	Context string
 }
 
 // If is a nondeterministic branch; ID indexes the branch's boolean in the
@@ -190,6 +198,9 @@ func (*Stop) aiCmd()   {}
 type Program struct {
 	// File is the entry file name.
 	File string
+	// Policy names the security policy the program was filtered under
+	// ("" when the run used the bare prelude with no policy selected).
+	Policy string
 	// Cmds is the command sequence.
 	Cmds []Cmd
 	// Branches is the number of nondeterministic branches (the size of BN).
@@ -358,8 +369,12 @@ func printCmds(b *strings.Builder, cmds []Cmd, lat *lattice.Lattice, depth int) 
 			for i, a := range c.Args {
 				args[i] = a.Expr.String()
 			}
-			fmt.Fprintf(b, "%sassert(%s < %s);  // %s at %s\n",
-				ind, strings.Join(args, ", "), lat.Name(c.Bound), c.Fn, c.Site)
+			ctx := ""
+			if c.Context != "" {
+				ctx = " [" + c.Context + "]"
+			}
+			fmt.Fprintf(b, "%sassert(%s < %s);  // %s%s at %s\n",
+				ind, strings.Join(args, ", "), lat.Name(c.Bound), c.Fn, ctx, c.Site)
 		case *If:
 			fmt.Fprintf(b, "%sif b%d then\n", ind, c.ID)
 			printCmds(b, c.Then, lat, depth+1)

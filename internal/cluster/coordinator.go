@@ -109,6 +109,10 @@ type Config struct {
 	// the job's job_id and trace_id; this logger covers everything else
 	// (registrations, heartbeats, evictions).
 	Logger *telemetry.Logger
+	// JobCounts, when non-nil, supplies the daemon's completed-job
+	// counts per security policy for GET /v1/cluster (typically the
+	// service Server's JobsByPolicy).
+	JobCounts func() map[string]int64
 	// Hooks inject faults for chaos testing; zero means none.
 	Hooks Hooks
 	// HTTPClient is used for worker dispatch (nil: http.DefaultClient).
@@ -508,9 +512,14 @@ func (c *Coordinator) backoff(ctx context.Context, attempt int, hint time.Durati
 // which is what keeps fallback verdicts byte-identical.
 func (c *Coordinator) dispatchFile(ctx context.Context, src []byte, name string, localOpts []webssari.Option, stats *runStats, wantText bool) (*webssari.Report, error) {
 	key := store.Key("webssari-cluster-dispatch-v1", name, string(src))
-	dir := ""
+	// The wire request carries every verdict-shaping per-job field the
+	// local options resolve to — include root and security policy — so a
+	// worker reproduces the coordinator's exact configuration.
+	sreq := api.SubmitFileRequest{Name: name, Source: string(src)}
 	if cc, err := webssari.ExportConfig(localOpts...); err == nil {
-		dir = cc.Dir
+		sreq.Dir = cc.Dir
+		sreq.Policy = cc.Policy
+		sreq.PolicyJSON = cc.PolicyJSON
 	}
 	// Prefer the job-scoped logger from the request context (carries
 	// job_id and trace_id); fall back to the coordinator's own.
@@ -545,7 +554,7 @@ func (c *Coordinator) dispatchFile(ctx context.Context, src []byte, name string,
 		}
 		actx, dsp := telemetry.StartSpan(ctx, "dispatch",
 			"file", name, "worker", w.id, "attempt", attempt)
-		rep, err := c.remoteVerify(actx, w, src, name, dir, wantText)
+		rep, err := c.remoteVerify(actx, w, sreq, wantText)
 		dsp.End()
 		if err == nil {
 			w.breaker.Success()
@@ -614,7 +623,7 @@ func (c *Coordinator) dispatchFailed(w *worker) {
 // cancelled immediately if the worker is evicted mid-job — that
 // cancellation is what turns a silent worker death into a prompt
 // re-dispatch instead of a full timeout wait.
-func (c *Coordinator) remoteVerify(ctx context.Context, w *worker, src []byte, name, dir string, wantText bool) (*webssari.Report, error) {
+func (c *Coordinator) remoteVerify(ctx context.Context, w *worker, sreq api.SubmitFileRequest, wantText bool) (*webssari.Report, error) {
 	dctx, cancel := context.WithTimeout(ctx, c.cfg.DispatchTimeout)
 	defer cancel()
 	// Each dispatch is one causal hop: re-derive the trace context so the
@@ -638,7 +647,7 @@ func (c *Coordinator) remoteVerify(ctx context.Context, w *worker, src []byte, n
 	c.cDispatch.Inc()
 	start := time.Now()
 	defer func() { c.hRTT.Observe(time.Since(start).Seconds()) }()
-	sub, err := w.client.SubmitFile(dctx, api.SubmitFileRequest{Name: name, Source: string(src), Dir: dir})
+	sub, err := w.client.SubmitFile(dctx, sreq)
 	if err != nil {
 		return nil, err
 	}
@@ -830,14 +839,18 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	c.mu.Unlock()
 	sort.Slice(rows, func(i, j int) bool { return rows[i].ID < rows[j].ID })
-	writeJSON(w, api.ClusterStatus{
+	st := api.ClusterStatus{
 		SchemaV:      api.Schema,
 		Workers:      rows,
 		Live:         len(rows),
 		Evictions:    c.evictions.Load(),
 		Redispatches: c.redispatches.Load(),
 		DegradedRuns: c.degradedRuns.Load(),
-	})
+	}
+	if c.cfg.JobCounts != nil {
+		st.JobsByPolicy = c.cfg.JobCounts()
+	}
+	writeJSON(w, st)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -216,5 +216,13 @@ func cacheKey(name string, src []byte, opts Options) string {
 	if opts.Flow.Prelude != nil {
 		writeStr(opts.Flow.Prelude.Fingerprint())
 	}
+	// The policy fingerprint covers context rules, sanitizer variants,
+	// sink classes, and guards — verdict-shaping configuration the
+	// prelude fingerprint alone does not see. Folding it in keeps
+	// compiles under different policies from ever aliasing (two policies
+	// may share a prelude but disagree on context bounds).
+	if opts.Flow.Policy != nil {
+		writeStr(opts.Flow.Policy.Fingerprint())
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -34,13 +34,21 @@ import (
 	"webssari/internal/php/ast"
 	"webssari/internal/php/parser"
 	"webssari/internal/php/token"
+	"webssari/internal/policy"
 	"webssari/internal/prelude"
 )
 
 // Options configures the filter.
 type Options struct {
-	// Prelude supplies the trust environment. Required.
+	// Prelude supplies the trust environment. Required unless Policy is
+	// set, in which case it defaults to the policy's compiled prelude.
 	Prelude *prelude.Prelude
+	// Policy is the active security policy. Optional: when set, it adds
+	// sink classes, per-context sink bounds (via the HTML output-context
+	// machine), and constant-argument sanitizer variants on top of the
+	// prelude lookups. The IR path (Build/BuildUnit) honors it; the
+	// legacy BuildAST reference path ignores everything but its prelude.
+	Policy *policy.Compiled
 	// Loader reads included files by path; nil disables include resolution
 	// (includes then produce a warning).
 	Loader func(path string) ([]byte, error)
@@ -77,6 +85,9 @@ var superglobals = map[string]bool{
 
 // normalizeOptions validates Options and fills zero fields with defaults.
 func normalizeOptions(opts Options) (Options, error) {
+	if opts.Prelude == nil && opts.Policy != nil {
+		opts.Prelude = opts.Policy.Prelude()
+	}
 	if opts.Prelude == nil {
 		return opts, fmt.Errorf("flow: Options.Prelude is required")
 	}

@@ -1,0 +1,68 @@
+package flow
+
+// Differential tests for the policy subsystem's compatibility guarantee:
+// the default policy wraps the seed prelude without re-declaring it, so
+// building under Options{Policy: policy.Default()} must produce an
+// abstract interpretation byte-identical to the bare default prelude —
+// across the whole differential corpus and the bundled examples. This is
+// the invariant that lets every policy-free run keep its exact seed
+// behavior while policies layer context rules on top.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"webssari/internal/ai"
+	"webssari/internal/php/parser"
+	"webssari/internal/policy"
+	"webssari/internal/prelude"
+)
+
+func buildIR(t *testing.T, name string, src []byte, opts Options) *ai.Program {
+	t.Helper()
+	res := parser.Parse(name, src)
+	prog, err := Build(res.File, opts)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return prog
+}
+
+func TestDefaultPolicyByteIdenticalCorpus(t *testing.T) {
+	for _, src := range differentialSources {
+		src := src
+		t.Run(src[:min(len(src), 40)], func(t *testing.T) {
+			bare := buildIR(t, "diff.php", []byte(src), Options{Prelude: prelude.Default()})
+			pol := buildIR(t, "diff.php", []byte(src), Options{Policy: policy.Default()})
+			compareAI(t, bare, pol)
+			if pol.Policy != policy.DefaultName {
+				t.Errorf("Policy label = %q, want %q", pol.Policy, policy.DefaultName)
+			}
+		})
+	}
+}
+
+func TestDefaultPolicyByteIdenticalExamples(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "php")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := func(path string) ([]byte, error) { return os.ReadFile(path) }
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".php" {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			bare := buildIR(t, name, src, Options{Prelude: prelude.Default(), Dir: dir, Loader: loader})
+			pol := buildIR(t, name, src, Options{Policy: policy.Default(), Dir: dir, Loader: loader})
+			compareAI(t, bare, pol)
+		})
+	}
+}

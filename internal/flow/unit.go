@@ -12,6 +12,7 @@ import (
 	"webssari/internal/lattice"
 	"webssari/internal/php/ast"
 	"webssari/internal/php/token"
+	"webssari/internal/policy"
 	"webssari/internal/prelude"
 )
 
@@ -30,6 +31,7 @@ func BuildUnit(unit *ir.Unit, opts Options) (*ai.Program, error) {
 		opts:        opts,
 		pre:         opts.Prelude,
 		lat:         opts.Prelude.Lattice(),
+		policy:      opts.Policy,
 		funcs:       make(map[string]*ir.Func),
 		classFuncs:  make(map[string]*ir.Func),
 		methodCount: make(map[string]int),
@@ -37,6 +39,9 @@ func BuildUnit(unit *ir.Unit, opts Options) (*ai.Program, error) {
 		included:    make(map[string]bool),
 		closureBind: make(map[string]*ir.Func),
 		scope:       &scope{globals: make(map[string]bool)},
+	}
+	if opts.Policy != nil && opts.Policy.HasContexts() {
+		b.htmlctx = policy.NewHTMLContext()
 	}
 	b.registerDecls(unit)
 	b.collectVarUsage(unit)
@@ -60,6 +65,9 @@ func BuildUnit(unit *ir.Unit, opts Options) (*ai.Program, error) {
 		IncludeHashes:      b.includeHashes,
 		IncludeMisses:      b.includeMisses,
 	}
+	if opts.Policy != nil {
+		prog.Policy = opts.Policy.Name()
+	}
 	return prog, nil
 }
 
@@ -70,6 +78,14 @@ type ubuilder struct {
 	opts Options
 	pre  *prelude.Prelude
 	lat  *lattice.Lattice
+
+	// policy is the active security policy (nil for bare-prelude runs);
+	// htmlctx is its HTML output-context machine, non-nil only when the
+	// policy declares contexts. The machine advances over inline-HTML
+	// chunks and the literal parts of contextual sink arguments, in
+	// source order.
+	policy  *policy.Compiled
+	htmlctx *policy.HTMLContext
 
 	funcs       map[string]*ir.Func // lower name → func
 	classFuncs  map[string]*ir.Func // "class::method" (lower)

@@ -5,7 +5,9 @@ import (
 
 	"webssari/internal/ai"
 	"webssari/internal/ir"
+	"webssari/internal/lattice"
 	"webssari/internal/php/ast"
+	"webssari/internal/prelude"
 )
 
 // trExpr translates an IR expression into a safety-type expression,
@@ -148,6 +150,26 @@ func (b *ubuilder) trExpr(e ir.Expr) ai.Expr {
 		b.warnf(e.Pos(), "unhandled expression %s approximated as ⊥", legacyTypeName(e))
 		return bottom
 	}
+}
+
+// sanitizerType resolves a sanitizer call's result type, letting the
+// active policy refine it by the constant arguments present at the call
+// site (htmlspecialchars($x, ENT_QUOTES) is stronger than the bare
+// call). Without a policy the prelude's declared type stands.
+func (b *ubuilder) sanitizerType(san prelude.Sanitizer, argIRs []ir.Expr) lattice.Elem {
+	if b.policy == nil {
+		return san.Type
+	}
+	var consts []string
+	for _, a := range argIRs {
+		if lit, ok := a.(*ir.Lit); ok && lit.Kind == ir.LitConst {
+			consts = append(consts, lit.Text)
+		}
+	}
+	if t, ok := b.policy.SanitizerType(san.Name, consts); ok {
+		return t
+	}
+	return san.Type
 }
 
 // joinOf folds expression parts with ⊔, treating the empty set as ⊥.
@@ -357,7 +379,7 @@ func (b *ubuilder) trNamedCall(display, name string, argIRs []ir.Expr, site ir.N
 		for _, a := range argIRs {
 			b.trExpr(a)
 		}
-		return ai.Const{Type: san.Type, Lat: b.lat, Label: san.Name}
+		return ai.Const{Type: b.sanitizerType(san, argIRs), Lat: b.lat, Label: san.Name}
 	}
 	if src, ok := b.pre.SourceFor(name); ok {
 		for _, a := range argIRs {
@@ -400,7 +422,7 @@ func (b *ubuilder) trMethodCall(e *ir.MethodCall) ai.Expr {
 	}
 	if san, ok := b.pre.SanitizerFor(e.Name); ok {
 		b.trArgs(e.Args)
-		return ai.Const{Type: san.Type, Lat: b.lat, Label: san.Name}
+		return ai.Const{Type: b.sanitizerType(san, e.Args), Lat: b.lat, Label: san.Name}
 	}
 	if src, ok := b.pre.SourceFor(e.Name); ok {
 		b.trArgs(e.Args)

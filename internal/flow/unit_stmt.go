@@ -7,6 +7,7 @@ import (
 	"webssari/internal/ai"
 	"webssari/internal/ir"
 	"webssari/internal/php/parser"
+	"webssari/internal/prelude"
 )
 
 func (b *ubuilder) buildBlock(bl ir.Block) []ai.Cmd {
@@ -43,7 +44,12 @@ func (b *ubuilder) buildInstr(in ir.Instr) {
 	case *ir.Nop:
 		// No information flow: constant output, control transfer the
 		// nondeterministic-branch model over-approximates, or a hoisted
-		// declaration unfolded at call sites.
+		// declaration unfolded at call sites. Inline HTML does advance
+		// the policy's output-context machine: the literal markup decides
+		// which context the next dynamic output lands in.
+		if in.Kind == "html" && b.htmlctx != nil {
+			b.htmlctx.Feed(in.Text)
+		}
 
 	case *ir.Branch:
 		b.buildBranch(in)
@@ -279,6 +285,10 @@ func (b *ubuilder) buildSwitchCases(cases []ir.SwitchCase, site ir.Node) {
 // one; args are always evaluated for side effects.
 func (b *ubuilder) emitSinkCall(name string, args []ir.Expr, site ir.Node) {
 	sink, isSink := b.pre.SinkFor(name)
+	if isSink && b.htmlctx != nil && b.policy.Contextual(name) {
+		b.emitContextualSinkCall(sink, args, site)
+		return
+	}
 	var checked []ai.Arg
 	for i, a := range args {
 		ex := b.trExpr(a)
@@ -293,8 +303,73 @@ func (b *ubuilder) emitSinkCall(name string, args []ir.Expr, site ir.Node) {
 			Fn:    sink.Name,
 			Args:  checked,
 			Bound: sink.Bound,
+			Class: b.sinkClass(name),
 			Site:  b.site(site),
 		})
+	}
+}
+
+// sinkClass returns the policy-declared vulnerability class of a sink
+// ("" without a policy, which keeps the classic by-name classification).
+func (b *ubuilder) sinkClass(name string) string {
+	if b.policy == nil {
+		return ""
+	}
+	return b.policy.SinkClass(name)
+}
+
+// emitContextualSinkCall handles a sink whose precondition bound depends
+// on the HTML output context (echo/print under a context-sensitive
+// policy). Checked arguments are decomposed into literal and dynamic
+// parts in evaluation order: literal text advances the output-context
+// machine, and each dynamic part gets its own assertion against the
+// bound of the context it lands in. The machine state is assumed
+// unchanged across dynamic parts — exactly the non-interference property
+// the per-context bounds enforce.
+func (b *ubuilder) emitContextualSinkCall(sink prelude.Sink, args []ir.Expr, site ir.Node) {
+	class := b.sinkClass(sink.Name)
+	for i, a := range args {
+		if !sink.Checks(i + 1) {
+			b.trExpr(a)
+			continue
+		}
+		argPos := i + 1
+		var walk func(e ir.Expr)
+		walk = func(e ir.Expr) {
+			switch e := e.(type) {
+			case *ir.Str:
+				b.htmlctx.Feed(e.Value)
+			case *ir.Interp:
+				for _, part := range e.Parts {
+					walk(part)
+				}
+			case *ir.Concat:
+				walk(e.L)
+				walk(e.R)
+			case *ir.Lit:
+				// Scalar literals emit their spelling; bare constants
+				// have unknown text and are assumed context-neutral.
+				if e.Kind != ir.LitConst {
+					b.htmlctx.Feed(e.Text)
+				}
+			default:
+				ex := b.trExpr(e)
+				ctx := b.htmlctx.Current()
+				bound := sink.Bound
+				if cb, ok := b.policy.ContextBound(ctx); ok {
+					bound = cb
+				}
+				b.emit(&ai.Assert{
+					Fn:      sink.Name,
+					Args:    []ai.Arg{{Expr: ex, ArgPos: argPos, Pos: e.Pos(), End: e.End()}},
+					Bound:   bound,
+					Class:   class,
+					Context: ctx,
+					Site:    b.site(site),
+				})
+			}
+		}
+		walk(a)
 	}
 }
 

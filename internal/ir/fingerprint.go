@@ -161,6 +161,9 @@ func (w *canon) instr(in Instr) {
 	case *Nop:
 		w.tag('n')
 		w.str(in.Kind)
+		// Inline-HTML text is semantic under context-sensitive policies
+		// (it drives the output-context machine), so it fingerprints.
+		w.str(in.Text)
 	case *Branch:
 		w.tag('b')
 		w.bool(in.Elseif)

@@ -308,6 +308,10 @@ type Echo struct {
 type Nop struct {
 	Span
 	Kind string // "html", "nop", "break", "continue", "fndecl", "classdecl", "block", "stmt"
+	// Text carries the literal output of an inline-HTML chunk (Kind
+	// "html"): context-sensitive policies drive the HTML output-context
+	// state machine over it. Empty for every other Kind.
+	Text string
 }
 
 // Branch is a nondeterministic two-way branch lowered from if/elseif/else.

@@ -69,7 +69,7 @@ func (l *lowerer) lowerStmt(s ast.Stmt) Block {
 		return Block{&Echo{Span: sp(s), Args: l.lowerExprs(s.Args)}}
 
 	case *ast.InlineHTMLStmt:
-		return Block{&Nop{Span: sp(s), Kind: "html"}}
+		return Block{&Nop{Span: sp(s), Kind: "html", Text: s.Text}}
 	case *ast.NopStmt:
 		return Block{&Nop{Span: sp(s), Kind: "nop"}}
 	case *ast.BreakStmt:

@@ -1,0 +1,238 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"webssari/internal/prelude"
+)
+
+// Built-in policy names.
+const (
+	DefaultName    = "default"
+	ContextXSSName = "xss-context"
+	SSRFName       = "ssrf"
+)
+
+// builtins maps names to constructors. Each call builds a fresh
+// Compiled (preludes are mutable, so policies must not be shared).
+var builtins = map[string]func() *Compiled{
+	DefaultName:    Default,
+	ContextXSSName: ContextXSS,
+	SSRFName:       SSRF,
+}
+
+// Names lists the built-in policies in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(builtins))
+	for name := range builtins {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup resolves a built-in policy by name.
+func Lookup(name string) (*Compiled, error) {
+	mk, ok := builtins[name]
+	if !ok {
+		return nil, fmt.Errorf("policy: unknown policy %q (available: %v)", name, Names())
+	}
+	return mk(), nil
+}
+
+// Default returns the classic SQLi/XSS taint policy. It wraps the seed
+// prelude directly rather than re-declaring it, so a run under the
+// default policy is byte-identical to a run with no policy at all —
+// the differential suite asserts this across the whole corpus.
+func Default() *Compiled {
+	return wrapPrelude(DefaultName,
+		"classic two-point taint policy: XSS, SQL injection, command/code injection",
+		prelude.Default(),
+		[]Guard{{Routine: "websafe", Type: "untainted"}})
+}
+
+// contextXSSDecl is the context-sensitive XSS policy. Its four-point
+// chain untainted < quoted < escaped < tainted ranks data by where it
+// may be emitted: "escaped" (htmlspecialchars without ENT_QUOTES) is
+// inert in an HTML body but still breaks out of a single-quoted
+// attribute; "quoted" (ENT_QUOTES) is safe in bodies and attributes but
+// not inside a <script> element; only "untainted" is safe everywhere.
+// The echo-family sinks are contextual: the HTML state machine over the
+// surrounding literal output decides which bound applies.
+var contextXSSDecl = Policy{
+	Name:        ContextXSSName,
+	Description: "context-sensitive XSS: sink bound depends on HTML body/attribute/script context",
+	Lattice:     []string{"untainted", "quoted", "escaped", "tainted"},
+	Vars: []Var{
+		{Name: "_GET", Type: "tainted"},
+		{Name: "_POST", Type: "tainted"},
+		{Name: "_COOKIE", Type: "tainted"},
+		{Name: "_REQUEST", Type: "tainted"},
+		{Name: "_FILES", Type: "tainted"},
+		{Name: "_SERVER", Type: "tainted"},
+		{Name: "HTTP_GET_VARS", Type: "tainted"},
+		{Name: "HTTP_POST_VARS", Type: "tainted"},
+		{Name: "HTTP_COOKIE_VARS", Type: "tainted"},
+		{Name: "HTTP_SERVER_VARS", Type: "tainted"},
+		{Name: "HTTP_REFERER", Type: "tainted"},
+		{Name: "PHP_SELF", Type: "tainted"},
+		{Name: "QUERY_STRING", Type: "tainted"},
+		{Name: "_SESSION", Type: "untainted"},
+		{Name: "GLOBALS", Type: "untainted"},
+	},
+	Sources: []Source{
+		{Name: "getenv", Type: "tainted"},
+		{Name: "file", Type: "tainted"},
+		{Name: "fgets", Type: "tainted"},
+		{Name: "fread", Type: "tainted"},
+		{Name: "file_get_contents", Type: "tainted"},
+		{Name: "mysql_fetch_array", Type: "tainted"},
+		{Name: "mysql_fetch_row", Type: "tainted"},
+		{Name: "mysql_fetch_object", Type: "tainted"},
+		{Name: "mysql_fetch_assoc", Type: "tainted"},
+		{Name: "mysql_result", Type: "tainted"},
+		{Name: "pg_fetch_array", Type: "tainted"},
+		{Name: "pg_fetch_row", Type: "tainted"},
+		{Name: "pg_fetch_object", Type: "tainted"},
+	},
+	Sinks: []Sink{
+		{Name: "echo", Bound: "tainted", Class: "cross-site scripting (XSS)", Contextual: true},
+		{Name: "print", Bound: "tainted", Class: "cross-site scripting (XSS)", Contextual: true},
+		{Name: "printf", Bound: "tainted", Class: "cross-site scripting (XSS)", Contextual: true},
+		{Name: "print_r", Bound: "tainted", Args: []int{1}, Class: "cross-site scripting (XSS)", Contextual: true},
+		{Name: "vprintf", Bound: "tainted", Class: "cross-site scripting (XSS)", Contextual: true},
+		{Name: "die", Bound: "tainted", Class: "cross-site scripting (XSS)"},
+		{Name: "exit", Bound: "tainted", Class: "cross-site scripting (XSS)"},
+	},
+	Sanitizers: []Sanitizer{
+		// htmlspecialchars escapes <>& always, quotes only with
+		// ENT_QUOTES — the canonical per-context adequacy split.
+		{Name: "htmlspecialchars", Type: "escaped",
+			Variants: []Variant{{ArgConsts: []string{"ENT_QUOTES"}, Type: "quoted"}}},
+		{Name: "htmlentities", Type: "escaped",
+			Variants: []Variant{{ArgConsts: []string{"ENT_QUOTES"}, Type: "quoted"}}},
+		// strip_tags removes elements but leaves quotes intact: body-safe
+		// only.
+		{Name: "strip_tags", Type: "escaped"},
+		// Percent/alphanumeric encodings emit no quote or angle
+		// characters: safe in bodies and attributes, not in scripts.
+		{Name: "urlencode", Type: "quoted"},
+		{Name: "rawurlencode", Type: "quoted"},
+		// Numeric casts and digest encodings are safe everywhere.
+		{Name: "intval", Type: "untainted"},
+		{Name: "floatval", Type: "untainted"},
+		{Name: "doubleval", Type: "untainted"},
+		{Name: "count", Type: "untainted"},
+		{Name: "strlen", Type: "untainted"},
+		{Name: "md5", Type: "untainted"},
+		{Name: "sha1", Type: "untainted"},
+		{Name: "crc32", Type: "untainted"},
+		{Name: "base64_encode", Type: "untainted"},
+		{Name: "bin2hex", Type: "untainted"},
+		// JSON encoding with hex flags is the JS-context escape.
+		{Name: "json_encode", Type: "untainted"},
+		{Name: "websafe", Type: "untainted"},
+		{Name: "websafe_js", Type: "untainted"},
+		{Name: "websafe_attr", Type: "quoted"},
+		{Name: "websafe_html", Type: "escaped"},
+	},
+	Contexts: []Context{
+		// Assertion bounds are strict (t < bound): in an HTML body any
+		// escaped value passes; in an attribute the value must be at
+		// most quoted; inside a script element only untainted data may
+		// appear.
+		{Name: "html", Bound: "tainted", Guard: "websafe_html"},
+		{Name: "attr", Bound: "escaped", Guard: "websafe_attr"},
+		{Name: "js", Bound: "quoted", Guard: "websafe_js"},
+	},
+	Guards: []Guard{
+		{Routine: "websafe_html", Type: "escaped"},
+		{Routine: "websafe_attr", Type: "quoted"},
+		{Routine: "websafe_js", Type: "untainted"},
+		{Routine: "websafe", Type: "untainted"},
+	},
+}
+
+// ContextXSS returns the context-sensitive XSS policy.
+func ContextXSS() *Compiled {
+	c, err := contextXSSDecl.Compile()
+	if err != nil {
+		// Unreachable: the built-in declaration is covered by tests.
+		panic(err)
+	}
+	return c
+}
+
+// ssrfDecl treats outbound request constructors as the sensitive
+// channels: a request URL an attacker controls lets the application be
+// used as a proxy into internal networks (server-side request forgery).
+// The adequate sanitizer is a host allowlist (websafe_url), not an
+// escape.
+var ssrfDecl = Policy{
+	Name:        SSRFName,
+	Description: "server-side request forgery: outbound request URLs must be allowlisted",
+	Lattice:     []string{"untainted", "tainted"},
+	Vars: []Var{
+		{Name: "_GET", Type: "tainted"},
+		{Name: "_POST", Type: "tainted"},
+		{Name: "_COOKIE", Type: "tainted"},
+		{Name: "_REQUEST", Type: "tainted"},
+		{Name: "_FILES", Type: "tainted"},
+		{Name: "_SERVER", Type: "tainted"},
+		{Name: "HTTP_GET_VARS", Type: "tainted"},
+		{Name: "HTTP_POST_VARS", Type: "tainted"},
+		{Name: "HTTP_COOKIE_VARS", Type: "tainted"},
+		{Name: "HTTP_SERVER_VARS", Type: "tainted"},
+		{Name: "HTTP_REFERER", Type: "tainted"},
+		{Name: "PHP_SELF", Type: "tainted"},
+		{Name: "QUERY_STRING", Type: "tainted"},
+		{Name: "_SESSION", Type: "untainted"},
+		{Name: "GLOBALS", Type: "untainted"},
+	},
+	Sources: []Source{
+		{Name: "getenv", Type: "tainted"},
+		{Name: "mysql_fetch_array", Type: "tainted"},
+		{Name: "mysql_fetch_row", Type: "tainted"},
+		{Name: "mysql_fetch_assoc", Type: "tainted"},
+		{Name: "mysql_result", Type: "tainted"},
+	},
+	Sinks: []Sink{
+		{Name: "curl_init", Bound: "tainted", Args: []int{1},
+			Class: "server-side request forgery (SSRF)"},
+		{Name: "curl_setopt", Bound: "tainted", Args: []int{3},
+			Class: "server-side request forgery (SSRF)"},
+		{Name: "file_get_contents", Bound: "tainted", Args: []int{1},
+			Class: "server-side request forgery (SSRF)"},
+		{Name: "fopen", Bound: "tainted", Args: []int{1},
+			Class: "server-side request forgery (SSRF)"},
+		{Name: "readfile", Bound: "tainted", Args: []int{1},
+			Class: "server-side request forgery (SSRF)"},
+		{Name: "get_headers", Bound: "tainted", Args: []int{1},
+			Class: "server-side request forgery (SSRF)"},
+		{Name: "fsockopen", Bound: "tainted", Args: []int{1},
+			Class: "server-side request forgery (SSRF)"},
+	},
+	Sanitizers: []Sanitizer{
+		// websafe_url validates the URL's host against an allowlist and
+		// returns a rebuilt URL; it is both the declared sanitizer and
+		// the patcher's guard routine.
+		{Name: "websafe_url", Type: "untainted"},
+		{Name: "intval", Type: "untainted"},
+		{Name: "floatval", Type: "untainted"},
+		{Name: "basename", Type: "untainted"},
+	},
+	Guards: []Guard{
+		{Routine: "websafe_url", Type: "untainted"},
+	},
+}
+
+// SSRF returns the server-side request forgery policy.
+func SSRF() *Compiled {
+	c, err := ssrfDecl.Compile()
+	if err != nil {
+		// Unreachable: the built-in declaration is covered by tests.
+		panic(err)
+	}
+	return c
+}

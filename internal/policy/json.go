@@ -1,0 +1,35 @@
+package policy
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// LoadJSON parses and compiles a policy from its JSON declaration. The
+// decoder is strict: unknown fields are errors, so a typo in a policy
+// file fails loudly instead of silently weakening the analysis. name
+// labels errors (usually the file path).
+func LoadJSON(name string, data []byte) (*Compiled, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var p Policy
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("policy %s: %w", name, err)
+	}
+	// Trailing garbage after the JSON document is also an error.
+	if dec.More() {
+		return nil, fmt.Errorf("policy %s: trailing data after policy document", name)
+	}
+	c, err := p.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// MarshalJSON renders the compiled policy's declaration — the form a
+// policy file round-trips through.
+func (c *Compiled) MarshalJSON() ([]byte, error) {
+	return json.Marshal(c.decl)
+}

@@ -134,8 +134,19 @@ func (r *Report) Write(w io.Writer) error {
 		fmt.Fprintf(&b, "\nGroup %d: %s\n", i+1, g.Fix.Describe())
 		fmt.Fprintf(&b, "  repairs %d error trace(s):\n", len(g.Cexs))
 		for _, cex := range g.Cexs {
+			// Policy-declared classes and output contexts win over the
+			// classic name-based table; both degrade to the seed's exact
+			// output when absent.
+			class := cex.Assert.Origin.Class
+			if class == "" {
+				class = VulnClass(cex.Assert.Origin.Fn)
+			}
+			sink := cex.Assert.Origin.Fn
+			if ctx := cex.Assert.Origin.Context; ctx != "" {
+				sink += " [" + ctx + "]"
+			}
 			fmt.Fprintf(&b, "  * %s via %s at %s\n",
-				VulnClass(cex.Assert.Origin.Fn), cex.Assert.Origin.Fn, cex.Assert.Origin.Site.Pos)
+				class, sink, cex.Assert.Origin.Site.Pos)
 			for _, step := range cex.Steps {
 				// Keep the trace readable: print only the tainted flow,
 				// i.e. steps whose value breaches the assertion bound.

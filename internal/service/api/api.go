@@ -38,6 +38,13 @@ type SubmitFileRequest struct {
 	// Dir, when set, roots include resolution at a server-local
 	// directory. Rejected when the daemon disables directory access.
 	Dir string `json:"dir,omitempty"`
+	// Policy selects a built-in security policy by name for this job
+	// (see VersionResponse.Policies); empty keeps the daemon's default
+	// trust environment. Unknown names are rejected (400).
+	Policy string `json:"policy,omitempty"`
+	// PolicyJSON carries a complete custom policy declaration instead;
+	// it wins over Policy when both are set.
+	PolicyJSON string `json:"policy_json,omitempty"`
 }
 
 // SubmitDirRequest is the POST /v1/dirs body.
@@ -57,6 +64,10 @@ type SubmitDirRequest struct {
 	// WatchIntervalMS is the snapshot poll interval in milliseconds
 	// (0 = server default).
 	WatchIntervalMS int `json:"watch_interval_ms,omitempty"`
+	// Policy / PolicyJSON select the security policy for this job, as in
+	// SubmitFileRequest.
+	Policy     string `json:"policy,omitempty"`
+	PolicyJSON string `json:"policy_json,omitempty"`
 }
 
 // SubmitResponse answers an accepted submission (HTTP 202).
@@ -117,6 +128,8 @@ type VersionResponse struct {
 	SchemaV string `json:"schema"`
 	// Version is the daemon's buildinfo banner.
 	Version string `json:"version"`
+	// Policies lists the built-in security policies jobs may select.
+	Policies []string `json:"policies,omitempty"`
 }
 
 // Health is the GET /healthz response.
@@ -208,4 +221,7 @@ type ClusterStatus struct {
 	Evictions    int64 `json:"evictions"`
 	Redispatches int64 `json:"redispatches"`
 	DegradedRuns int64 `json:"degraded_runs"`
+	// JobsByPolicy counts completed jobs per security policy over the
+	// daemon's lifetime ("default" = no policy selected).
+	JobsByPolicy map[string]int64 `json:"jobs_by_policy,omitempty"`
 }

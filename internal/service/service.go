@@ -176,6 +176,11 @@ type Config struct {
 	// trace ID) for every file whose verification wall time exceeds it,
 	// and counts it in webssari_service_slow_files_total.
 	SlowFile time.Duration
+	// Policy / PolicyJSON select the daemon's default security policy
+	// (webssari.WithPolicy / WithPolicyJSON); per-job selections in
+	// api.SubmitFileRequest / SubmitDirRequest override it.
+	Policy     string
+	PolicyJSON string
 	// Options are extra engine options appended to every job (preludes,
 	// extra sinks).
 	Options []webssari.Option
@@ -214,6 +219,14 @@ type job struct {
 	incremental *bool         // per-job override of Config.Incremental
 	watch       bool          // watch mode: re-verify on every change
 	interval    time.Duration // watch poll interval (0 = server default)
+
+	// Per-job security policy, validated at admission (set before
+	// admission, then read-only). policyLabel is the canonical policy
+	// name for counters — the declared name even for JSON policies,
+	// "default" when no policy is selected.
+	policy      string
+	policyJSON  string
+	policyLabel string
 
 	// trace is the job's distributed trace context: the submitter's
 	// traceparent, or minted at admission. Set before admission, then
@@ -317,6 +330,12 @@ type Server struct {
 	jobOrder []string // submission order, for listing and history cap
 	nextID   atomic.Int64
 
+	// jobsByPolicy counts completed jobs per policy label; mirrored on
+	// /metrics as webssari_jobs_total{policy=...} and surfaced through
+	// JobsByPolicy for the cluster status endpoint.
+	policyMu     sync.Mutex
+	jobsByPolicy map[string]int64
+
 	wg             sync.WaitGroup // running jobs
 	dispatcherDone chan struct{}
 	// stopWatch ends every watch job's poll loop; closed when Drain
@@ -360,6 +379,7 @@ func New(cfg Config) *Server {
 		maxSrc:         maxSrc,
 		deadline:       cfg.JobDeadline,
 		jobs:           make(map[string]*job),
+		jobsByPolicy:   make(map[string]int64),
 		dispatcherDone: make(chan struct{}),
 		stopWatch:      make(chan struct{}),
 		log:            cfg.Logger,
@@ -566,8 +586,10 @@ func (s *Server) admit(j *job) (ok bool, draining bool) {
 // daemon-level knobs travel as one declarative webssari.Config — the
 // round-trippable form the v1 API is built on — with any extra
 // Config.Options appended after it (later options win).
-func (s *Server) jobOptions(tel *telemetry.Telemetry) []webssari.Option {
+func (s *Server) jobOptions(tel *telemetry.Telemetry, j *job) []webssari.Option {
 	base := webssari.Config{
+		Policy:       j.policy,
+		PolicyJSON:   j.policyJSON,
 		Store:        s.cfg.Store,
 		StoreBackend: s.cfg.StoreBackend,
 		Telemetry:    tel,
@@ -575,7 +597,75 @@ func (s *Server) jobOptions(tel *telemetry.Telemetry) []webssari.Option {
 		MaxConflicts: s.cfg.MaxConflicts,
 		Parallelism:  s.cfg.JobParallelism,
 	}
+	if base.Policy == "" && base.PolicyJSON == "" {
+		// No per-job selection: fall back to the daemon default.
+		base.Policy, base.PolicyJSON = s.cfg.Policy, s.cfg.PolicyJSON
+	}
 	return append([]webssari.Option{webssari.WithConfig(base)}, s.cfg.Options...)
+}
+
+// policyLabelOf derives the canonical counter label of a policy
+// selection: the declared name (also for JSON policies), or fallback
+// when nothing is selected.
+func policyLabelOf(name, policyJSON, fallback string) string {
+	if name == "" && policyJSON == "" {
+		return fallback
+	}
+	cc, err := webssari.ExportConfig(webssari.WithConfig(webssari.Config{
+		Policy: name, PolicyJSON: policyJSON,
+	}))
+	if err != nil || cc.Policy == "" {
+		return fallback
+	}
+	return cc.Policy
+}
+
+// setPolicy validates and records a job's policy selection, deriving the
+// canonical counter label: the declared name (also for JSON policies,
+// whose wire label is their embedded name), or the daemon default's
+// label when the job selects nothing. A non-nil error is an admission
+// failure (400).
+func (s *Server) setPolicy(j *job, name, policyJSON string) error {
+	j.policy, j.policyJSON = name, policyJSON
+	fallback := policyLabelOf(s.cfg.Policy, s.cfg.PolicyJSON, "default")
+	if name == "" && policyJSON == "" {
+		j.policyLabel = fallback
+		return nil
+	}
+	if _, err := webssari.ExportConfig(webssari.WithConfig(webssari.Config{
+		Policy: name, PolicyJSON: policyJSON,
+	})); err != nil {
+		return err
+	}
+	j.policyLabel = policyLabelOf(name, policyJSON, "default")
+	return nil
+}
+
+// notePolicyJob counts one completed job against its policy label, on
+// /metrics and in the JobsByPolicy snapshot.
+func (s *Server) notePolicyJob(j *job) {
+	label := j.policyLabel
+	if label == "" {
+		label = "default"
+	}
+	s.policyMu.Lock()
+	s.jobsByPolicy[label]++
+	s.policyMu.Unlock()
+	if s.cfg.Telemetry != nil && s.cfg.Telemetry.Metrics != nil {
+		s.cfg.Telemetry.Metrics.Counter(telemetry.Name(telemetry.MetricJobsTotal, "policy", label)).Inc()
+	}
+}
+
+// JobsByPolicy snapshots the completed-job counts per policy label. The
+// cluster coordinator surfaces it on GET /v1/cluster.
+func (s *Server) JobsByPolicy() map[string]int64 {
+	s.policyMu.Lock()
+	defer s.policyMu.Unlock()
+	out := make(map[string]int64, len(s.jobsByPolicy))
+	for k, v := range s.jobsByPolicy {
+		out[k] = v
+	}
+	return out
 }
 
 // runJob executes one job on a worker slot.
@@ -624,7 +714,7 @@ func (s *Server) runJob(j *job) {
 	var err error
 	switch j.Kind {
 	case "file":
-		opts := s.jobOptions(jobTel)
+		opts := s.jobOptions(jobTel, j)
 		if j.dir != "" {
 			opts = append(opts, webssari.WithDir(j.dir))
 		}
@@ -638,7 +728,7 @@ func (s *Server) runJob(j *job) {
 			j.mu.Unlock()
 		}
 	case "dir":
-		opts := append(s.jobOptions(jobTel), webssari.WithFileObserver(func(rep *webssari.Report) {
+		opts := append(s.jobOptions(jobTel, j), webssari.WithFileObserver(func(rep *webssari.Report) {
 			_ = stream.Encode(rep)
 			s.noteSlowFile(jlog, rep)
 		}))
@@ -678,6 +768,7 @@ func (s *Server) runJob(j *job) {
 	jlog.Info("job done", "elapsed_ms", elapsed.Milliseconds())
 	s.finishJob(j, stateDone)
 	s.cDone.Inc()
+	s.notePolicyJob(j)
 }
 
 // noteSlowFile logs (and counts) a file whose verification wall time —
@@ -828,6 +919,11 @@ func (s *Server) handleSubmitFile(w http.ResponseWriter, r *http.Request) {
 		name = "input.php"
 	}
 	j := s.newJob("file", name, []byte(req.Source), req.Dir)
+	if err := s.setPolicy(j, req.Policy, req.PolicyJSON); err != nil {
+		s.dropJob(j)
+		writeError(w, http.StatusBadRequest, "invalid policy: "+err.Error())
+		return
+	}
 	j.trace = traceFromRequest(r)
 	s.enqueue(w, j)
 }
@@ -867,6 +963,11 @@ func (s *Server) handleSubmitDir(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j := s.newJob("dir", req.Dir, nil, "")
+	if err := s.setPolicy(j, req.Policy, req.PolicyJSON); err != nil {
+		s.dropJob(j)
+		writeError(w, http.StatusBadRequest, "invalid policy: "+err.Error())
+		return
+	}
 	j.incremental = req.Incremental
 	j.watch = req.Watch
 	j.trace = traceFromRequest(r)
@@ -983,8 +1084,9 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, api.VersionResponse{
-		SchemaV: api.Schema,
-		Version: buildinfo.Version("webssarid"),
+		SchemaV:  api.Schema,
+		Version:  buildinfo.Version("webssarid"),
+		Policies: webssari.Policies(),
 	})
 }
 

@@ -69,6 +69,9 @@ const (
 	MetricServiceJobsDone     = "webssari_service_jobs_completed_total"
 	MetricServiceJobsFailed   = "webssari_service_jobs_failed_total"
 	MetricServiceJobSeconds   = "webssari_service_job_seconds" // histogram
+	// MetricJobsTotal counts completed jobs per security policy
+	// (Name(MetricJobsTotal, "policy", "ssrf"); "default" = no policy).
+	MetricJobsTotal = "webssari_jobs_total" // counter, label policy
 
 	// SLO instrumentation. Request latency is a histogram family labeled
 	// by route (Name(MetricHTTPRequestSeconds, "route", "/v1/files"));

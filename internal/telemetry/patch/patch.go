@@ -36,8 +36,12 @@ type insertion struct {
 // them to source texts.
 type Patcher struct {
 	routine string
-	// spans per file, deduplicated.
-	spans map[string]map[[2]int]bool
+	// spans per file, deduplicated; the value is the guard routine for
+	// that span ("" = the Patcher's default routine). Context-sensitive
+	// policies schedule different guards for different spans — an
+	// attribute-context echo needs an ENT_QUOTES escape where a body
+	// echo does not.
+	spans map[string]map[[2]int]string
 }
 
 // New returns a Patcher wrapping patched spans in the given routine
@@ -48,21 +52,31 @@ func New(routine string) *Patcher {
 	}
 	return &Patcher{
 		routine: routine,
-		spans:   make(map[string]map[[2]int]bool),
+		spans:   make(map[string]map[[2]int]string),
 	}
 }
 
-// Add schedules a fix point's span for patching.
+// Add schedules a fix point's span for patching with the default routine.
 func (p *Patcher) Add(f *fixing.FixPoint) error {
+	return p.AddGuard(f, "")
+}
+
+// AddGuard schedules a fix point's span for patching with a specific
+// guard routine ("" = the Patcher's default). A span scheduled twice
+// keeps its first explicitly named guard.
+func (p *Patcher) AddGuard(f *fixing.FixPoint, routine string) error {
 	pos, end := f.Span()
 	if !pos.IsValid() || end <= pos.Offset {
 		return fmt.Errorf("patch: fix point %s has no patchable span", f.Describe())
 	}
 	file := pos.File
 	if p.spans[file] == nil {
-		p.spans[file] = make(map[[2]int]bool)
+		p.spans[file] = make(map[[2]int]string)
 	}
-	p.spans[file][[2]int{pos.Offset, end}] = true
+	span := [2]int{pos.Offset, end}
+	if existing, ok := p.spans[file][span]; !ok || existing == "" {
+		p.spans[file][span] = routine
+	}
 	return nil
 }
 
@@ -104,12 +118,15 @@ func (p *Patcher) Apply(file string, src []byte) []byte {
 		return src
 	}
 	ins := make([]insertion, 0, 2*len(spans))
-	for span := range spans {
+	for span, routine := range spans {
 		start, end := span[0], span[1]
 		if start < 0 || end > len(src) || start >= end {
 			continue
 		}
-		ins = append(ins, insertion{off: start, text: p.routine + "(", prio: 1})
+		if routine == "" {
+			routine = p.routine
+		}
+		ins = append(ins, insertion{off: start, text: routine + "(", prio: 1})
 		ins = append(ins, insertion{off: end, text: ")", prio: 0})
 	}
 	// Apply back to front so earlier offsets stay valid; at equal offsets,
@@ -148,14 +165,33 @@ func PatchSource(file string, src []byte, fixes []*fixing.FixPoint, routine stri
 	return p.Apply(file, src), errs
 }
 
-// RuntimeGuardPHP returns a PHP definition of the default runtime guard,
+// PatchSourceGuards patches a single source text choosing each fix
+// point's guard via routineFor (a "" result falls back to the default
+// routine). Context-sensitive policies use this to wrap each fix point
+// in the guard adequate for the contexts it repairs.
+func PatchSourceGuards(file string, src []byte, fixes []*fixing.FixPoint, routine string, routineFor func(*fixing.FixPoint) string) ([]byte, []error) {
+	p := New(routine)
+	var errs []error
+	for _, f := range fixes {
+		if err := p.AddGuard(f, routineFor(f)); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return p.Apply(file, src), errs
+}
+
+// RuntimeGuardPHP returns a PHP definition of the named runtime guard,
 // suitable for prepending to patched projects that do not define their
-// own. It HTML-escapes and SQL-escapes its argument, recursing into
-// arrays, mirroring the behaviour WebSSARI's prelude routines provided.
+// own. The policy guard routines get context-appropriate bodies
+// (ENT_QUOTES escaping for attribute contexts, JSON encoding for script
+// contexts, a host allowlist for outbound-request URLs); any other name
+// gets the classic HTML-and-SQL-escaping body, recursing into arrays,
+// mirroring the behaviour WebSSARI's prelude routines provided.
 func RuntimeGuardPHP(routine string) string {
 	if routine == "" {
 		routine = DefaultRoutine
 	}
+	body := guardBody(routine)
 	return `<?php
 if (!function_exists('` + routine + `')) {
     function ` + routine + `($v) {
@@ -163,9 +199,28 @@ if (!function_exists('` + routine + `')) {
             foreach ($v as $k => $x) { $v[$k] = ` + routine + `($x); }
             return $v;
         }
-        return htmlspecialchars(addslashes($v));
+        ` + body + `
     }
 }
 ?>
 `
+}
+
+// guardBody returns the scalar-case body of a guard routine.
+func guardBody(routine string) string {
+	switch routine {
+	case "websafe_html":
+		return `return htmlspecialchars($v);`
+	case "websafe_attr":
+		return `return htmlspecialchars($v, ENT_QUOTES);`
+	case "websafe_js":
+		return `return json_encode((string)$v, JSON_HEX_TAG | JSON_HEX_AMP | JSON_HEX_APOS | JSON_HEX_QUOT);`
+	case "websafe_url":
+		return `$host = parse_url($v, PHP_URL_HOST);
+        $allow = isset($GLOBALS['websafe_url_hosts']) ? $GLOBALS['websafe_url_hosts'] : array();
+        if ($host === null || !in_array($host, $allow, true)) { return ''; }
+        return $v;`
+	default:
+		return `return htmlspecialchars(addslashes($v));`
+	}
 }

@@ -41,11 +41,13 @@ import (
 	"sort"
 	"time"
 
+	"webssari/internal/ai"
 	"webssari/internal/core"
 	"webssari/internal/fixing"
 	"webssari/internal/flow"
 	"webssari/internal/ir"
 	"webssari/internal/lattice"
+	"webssari/internal/policy"
 	"webssari/internal/prelude"
 	"webssari/internal/report"
 	"webssari/internal/sat"
@@ -196,7 +198,14 @@ type Report struct {
 type Option func(*config) error
 
 type config struct {
-	pre          *prelude.Prelude
+	pre *prelude.Prelude
+	// policy is the active security policy (nil = bare default prelude,
+	// the seed behavior); policyName/policyJSON record how it was
+	// selected so the choice round-trips through ExportConfig and the
+	// cluster wire format.
+	policy       *policy.Compiled
+	policyName   string
+	policyJSON   string
 	loader       func(string) ([]byte, error)
 	dir          string
 	unroll       int
@@ -247,6 +256,58 @@ func WithPrelude(text string) Option {
 		return nil
 	}
 }
+
+// WithPolicy selects a built-in security policy by name (see Policies
+// for the available set). The policy supplies the trust environment —
+// lattice, sources, sinks, sanitizers — plus sink classes, per-context
+// sink bounds, constant-argument sanitizer variants, and the repair
+// guards the patcher chooses from. Later WithSink/WithSanitizer/
+// WithSource options layer on top of the policy's prelude; a later
+// WithPrelude replaces the prelude but keeps the policy's context rules.
+func WithPolicy(name string) Option {
+	return func(c *config) error {
+		p, err := policy.Lookup(name)
+		if err != nil {
+			return err
+		}
+		c.policy = p
+		c.policyName = name
+		c.policyJSON = ""
+		c.pre = p.Prelude()
+		c.preludeText = ""
+		c.extraPreludes = nil
+		c.sinkSpecs = nil
+		c.sanitizers = nil
+		c.sources = nil
+		return nil
+	}
+}
+
+// WithPolicyJSON loads a custom policy from its JSON declaration (the
+// format documented in DESIGN.md §15 and written by the built-in
+// policies' MarshalJSON). name labels errors, usually the file path.
+func WithPolicyJSON(name string, data []byte) Option {
+	return func(c *config) error {
+		p, err := policy.LoadJSON(name, data)
+		if err != nil {
+			return err
+		}
+		c.policy = p
+		c.policyName = p.Name()
+		c.policyJSON = string(data)
+		c.pre = p.Prelude()
+		c.preludeText = ""
+		c.extraPreludes = nil
+		c.sinkSpecs = nil
+		c.sanitizers = nil
+		c.sources = nil
+		return nil
+	}
+}
+
+// Policies lists the built-in security policies selectable with
+// WithPolicy, in sorted order.
+func Policies() []string { return policy.Names() }
 
 // WithExtraPrelude merges additional prelude directives (sinks, sources,
 // sanitizers, variable types) into the current environment — the
@@ -551,6 +612,7 @@ func (c *config) engineOptions(ctx context.Context) core.Options {
 	return core.Options{
 		Flow: flow.Options{
 			Prelude:    c.pre,
+			Policy:     c.policy,
 			Loader:     c.loader,
 			Dir:        c.dir,
 			LoopUnroll: c.unroll,
@@ -810,11 +872,50 @@ func PatchContext(ctx context.Context, src []byte, name string, opts ...Option) 
 	if res.Safe() {
 		return src, rep, nil
 	}
-	patched, perrs := patch.PatchSource(name, src, analysis.GreedyMinimalFix(), cfg.routine)
+	fixes := analysis.GreedyMinimalFix()
+	patched, perrs := patch.PatchSourceGuards(name, src, fixes, cfg.routine,
+		guardSelector(cfg, analysis, fixes))
 	if len(perrs) > 0 {
 		return patched, rep, &EngineError{Stage: "patch", File: name, Err: perrs[0]}
 	}
 	return patched, rep, nil
+}
+
+// guardSelector chooses a per-fix-point guard routine under the active
+// policy. Each constraint is attributed to the first chosen fix point
+// among its options (the same attribution report.Build uses to cluster
+// findings into groups); a fix point's guard must then be adequate for
+// every (context, bound) pair it repairs, so SelectGuard picks the
+// strongest-needed context guard. Without a policy — or with an
+// explicitly configured routine — every fix point keeps the default
+// behavior ("" falls back to the Patcher routine).
+func guardSelector(cfg *config, analysis *fixing.Analysis, fixes []*fixing.FixPoint) func(*fixing.FixPoint) string {
+	if cfg.policy == nil || cfg.routine != "" {
+		return func(*fixing.FixPoint) string { return "" }
+	}
+	chosen := make(map[string]bool, len(fixes))
+	for _, f := range fixes {
+		chosen[f.Key()] = true
+	}
+	violations := make(map[string][]policy.Violation)
+	for _, con := range analysis.Constraints {
+		for _, opt := range con.Options {
+			if !chosen[opt.Key()] {
+				continue
+			}
+			violations[opt.Key()] = append(violations[opt.Key()], policy.Violation{
+				Context: con.Cex.Assert.Origin.Context,
+				Bound:   con.Cex.Assert.Origin.Bound,
+			})
+			break
+		}
+	}
+	return func(f *fixing.FixPoint) string {
+		if g, ok := cfg.policy.SelectGuard(violations[f.Key()]); ok {
+			return g
+		}
+		return ""
+	}
 }
 
 // VerifyToHTML verifies the source and writes a self-contained,
@@ -892,7 +993,7 @@ func buildReport(res *core.Result, analysis *fixing.Analysis) *Report {
 		for _, cex := range g.Cexs {
 			f := Finding{
 				Sink:  cex.Assert.Origin.Fn,
-				Class: ClassOf(cex.Assert.Origin.Fn),
+				Class: findingClass(cex.Assert.Origin),
 				Location: Location{
 					File: cex.Assert.Origin.Site.Pos.File,
 					Line: cex.Assert.Origin.Site.Pos.Line,
@@ -934,4 +1035,13 @@ func buildReport(res *core.Result, analysis *fixing.Analysis) *Report {
 // injection" for mysql_query).
 func ClassOf(sink string) string {
 	return report.VulnClass(sink)
+}
+
+// findingClass prefers the class the active policy declared on the sink;
+// the classic name-based table covers asserts from plain preludes.
+func findingClass(origin *ai.Assert) string {
+	if origin.Class != "" {
+		return origin.Class
+	}
+	return ClassOf(origin.Fn)
 }
