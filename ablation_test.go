@@ -1,0 +1,72 @@
+package webssari_test
+
+// CI smoke guard for the §3.3.1 location-variable ablation: on a bounded
+// input, the xBMC0.1 encoding must stay at least WEBSSARI_ABLATION_FACTOR
+// times larger than the xBMC1.0 renaming encoding (in both CNF variables
+// and clauses) while both decide the assertion identically. The full
+// growth curve lives in BenchmarkEncodingAblation / EXPERIMENTS.md; this
+// test keeps the "broke down" reproduction from silently regressing into
+// parity (which would mean the naive encoder stopped modelling the
+// per-assignment 2|X| location variables the paper blames).
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"webssari/internal/core"
+	"webssari/internal/flow"
+	"webssari/internal/prelude"
+	"webssari/internal/sat"
+)
+
+func ablationFactor() int {
+	if v := os.Getenv("WEBSSARI_ABLATION_FACTOR"); v != "" {
+		if f, err := strconv.Atoi(v); err == nil && f > 0 {
+			return f
+		}
+	}
+	return 8
+}
+
+func TestLocationVariableAblationFactor(t *testing.T) {
+	const chainVars = 8 // bounded: milliseconds even for the naive encoding
+	factor := ablationFactor()
+	src := taintChainSrc(chainVars)
+	prog, errs := flow.BuildSource("chain.php", []byte(src), flow.Options{Prelude: prelude.Default()})
+	if len(errs) != 0 {
+		t.Fatalf("build: %v", errs)
+	}
+	asserts := prog.Asserts()
+	target := asserts[len(asserts)-1]
+
+	violated, enc, err := core.VerifyAssertNaive(prog, target, sat.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naiveVars, naiveClauses := enc.F.NumVars, len(enc.F.Clauses)
+
+	res, err := core.VerifyAI(prog, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.PerAssert[len(res.PerAssert)-1]
+	if got := len(last.Counterexamples) > 0; got != violated {
+		t.Fatalf("encodings disagree: naive violated=%v, renamed violated=%v", violated, got)
+	}
+	if !violated {
+		t.Fatal("the taint chain must be violated")
+	}
+
+	renamedVars, renamedClauses := last.EncodedVars, last.EncodedClauses
+	t.Logf("|X|=%d: xBMC0.1 %d vars / %d clauses, xBMC1.0 %d vars / %d clauses (factor floor %d)",
+		chainVars, naiveVars, naiveClauses, renamedVars, renamedClauses, factor)
+	if naiveVars < factor*renamedVars {
+		t.Errorf("naive encoding vars %d < %d× renamed %d — the ablation collapsed",
+			naiveVars, factor, renamedVars)
+	}
+	if naiveClauses < factor*renamedClauses {
+		t.Errorf("naive encoding clauses %d < %d× renamed %d — the ablation collapsed",
+			naiveClauses, factor, renamedClauses)
+	}
+}

@@ -39,6 +39,10 @@ type (
 	JobState          = api.JobState
 	VersionResponse   = api.VersionResponse
 	Health            = api.Health
+	// SolverSpec is the per-job solver configuration (dispatch mode,
+	// budgets, portfolio width, warm starting) attachable to both submit
+	// requests; see webssari.SolverConfig for the semantics.
+	SolverSpec = api.SolverSpec
 )
 
 // Job lifecycle states, re-exported from the wire package.

@@ -19,6 +19,11 @@
 //	-j N               per-job verification parallelism (0 = engine default)
 //	-timeout D         wall-clock deadline per verification unit
 //	-max-conflicts N   SAT conflict budget per solver call (0 = unlimited)
+//	-solver-mode M     default solver dispatch mode for jobs:
+//	                   per-assert|shared|portfolio (per-job "solver"
+//	                   fields override it)
+//	-portfolio N       default portfolio lane count raced per hard
+//	                   assertion (0 = engine default)
 //	-no-dirs           reject directory submissions (clients may then only
 //	                   POST source text)
 //	-incremental       default directory jobs to delta re-verification via
@@ -73,8 +78,8 @@
 //
 // API (JSON unless noted):
 //
-//	POST /v1/files            {"name","source"[,"dir","policy","policy_json"]} → 202 {job,status,result,stream}
-//	POST /v1/dirs             {"dir"[,"incremental","watch","watch_interval_ms","policy","policy_json"]} → 202
+//	POST /v1/files            {"name","source"[,"dir","policy","policy_json","solver"]} → 202 {job,status,result,stream}
+//	POST /v1/dirs             {"dir"[,"incremental","watch","watch_interval_ms","policy","policy_json","solver"]} → 202
 //	GET  /v1/jobs             recent jobs, newest first
 //	GET  /v1/jobs/{id}        one job's status
 //	DELETE /v1/jobs/{id}      cancel a queued, running, or watch job
@@ -141,6 +146,8 @@ func run(args []string, ready chan<- string) int {
 		jobs        = fs.Int("j", 0, "per-job verification parallelism (0 = engine default)")
 		timeout     = fs.Duration("timeout", 0, "wall-clock deadline per verification unit (0 = none)")
 		maxConf     = fs.Uint64("max-conflicts", 0, "SAT conflict budget per solver call (0 = unlimited)")
+		solverMode  = fs.String("solver-mode", "", "default solver dispatch mode: per-assert|shared|portfolio (per-job solver spec overrides)")
+		portfolio   = fs.Int("portfolio", 0, "default portfolio lane count raced per hard assertion (0 = engine default)")
 		noDirs      = fs.Bool("no-dirs", false, "reject directory submissions")
 		incr        = fs.Bool("incremental", false, "default directory jobs to delta re-verification (requires -store)")
 		watchIvl    = fs.Duration("watch-interval", service.DefaultWatchInterval, "snapshot poll interval for watch-mode jobs")
@@ -229,17 +236,35 @@ func run(args []string, ready chan<- string) int {
 		return 2
 	}
 
+	// The daemon-default solver configuration; per-job solver specs
+	// overlay it field-wise. Validated at startup so a typo'd mode fails
+	// here instead of on the first submission.
+	solverCfg := webssari.SolverConfig{
+		Mode:      webssari.SolverMode(*solverMode),
+		Portfolio: *portfolio,
+	}
+	if solverCfg != (webssari.SolverConfig{}) {
+		if _, err := webssari.ExportConfig(webssari.WithSolverConfig(solverCfg)); err != nil {
+			fmt.Fprintf(os.Stderr, "webssarid: %v\n", err)
+			return 2
+		}
+	}
+
 	// The verdict-shaping daemon configuration, fingerprinted so cluster
 	// registration can reject a worker whose options differ from the
 	// coordinator's (mismatched options would break verdict identity).
 	// The policy is part of it: a worker running a different default
-	// policy must not join.
+	// policy must not join. Fingerprint itself erases the verdict-neutral
+	// solver fields (mode, portfolio width, warm start), so passing the
+	// full solver config here is safe: workers may race portfolios while
+	// the coordinator runs per-assert and still fingerprint identically.
 	fingerprint := cluster.Fingerprint(webssari.WithConfig(webssari.Config{
 		Policy:       policyName,
 		PolicyJSON:   policyJSON,
 		Deadline:     *timeout,
 		MaxConflicts: *maxConf,
 		Parallelism:  *jobs,
+		Solver:       solverCfg,
 	}))
 
 	svcCfg := service.Config{
@@ -255,6 +280,7 @@ func run(args []string, ready chan<- string) int {
 		QueueSize:        *queueSize,
 		JobDeadline:      *timeout,
 		MaxConflicts:     *maxConf,
+		Solver:           solverCfg,
 		DisableDirs:      *noDirs,
 		Incremental:      *incr,
 		WatchInterval:    *watchIvl,

@@ -21,6 +21,12 @@
 // independent assertions out across a worker pool, and -v prints the
 // run profile (per-stage wall time and solver effort) to stderr.
 //
+// The -solver-mode flag selects the solver dispatch mode — per-assert
+// (default), shared (one incremental solver per file, learnt clauses
+// carried across assertions), or portfolio (race -portfolio solver
+// configurations per hard assertion) — in every local mode, and the
+// selection travels with -remote submissions as the job's solver spec.
+//
 // Observability: -trace FILE writes a Chrome trace-event JSON of every
 // pipeline span (load it in chrome://tracing or Perfetto) — the file is
 // written even when the run exits early on an error; -metrics-addr ADDR
@@ -89,6 +95,8 @@ func run(args []string) int {
 		outDir      = fs.String("o", "", "directory for DIMACS dumps (with -stage cnf)")
 		timeout     = fs.Duration("timeout", 0, "wall-clock deadline for verification (0 = none)")
 		maxConf     = fs.Uint64("max-conflicts", 0, "SAT conflict budget per solver call (0 = unlimited)")
+		solverMode  = fs.String("solver-mode", "", "solver dispatch mode: per-assert|shared|portfolio")
+		portfolio   = fs.Int("portfolio", 0, "portfolio lane count raced per hard assertion (0 = engine default)")
 		jobs        = fs.Int("j", 0, "assertion-level worker count (0 = sequential)")
 		verbose     = fs.Bool("v", false, "print the run profile to stderr")
 		traceFile   = fs.String("trace", "", "write Chrome trace-event JSON to this file")
@@ -137,12 +145,23 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "xbmc: -policy %s: %v\n", *policyArg, err)
 		return 2
 	}
+	// Resolved up front so an unknown mode errors identically in local,
+	// directory, and remote modes.
+	coreMode, err := resolveSolverMode(*solverMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
+		return 2
+	}
+	var solverSpec *client.SolverSpec
+	if *solverMode != "" || *portfolio != 0 {
+		solverSpec = &client.SolverSpec{Mode: *solverMode, Portfolio: *portfolio}
+	}
 	if *remoteURL != "" {
 		if *stage != "" || *naive {
 			fmt.Fprintln(os.Stderr, "xbmc: -stage and -naive are local-only; they cannot combine with -remote")
 			return 2
 		}
-		return runRemote(fs.Arg(0), *remoteURL, policyName, policyJSON, *incremental, *watchMode, *ndjsonOut, *timeout)
+		return runRemote(fs.Arg(0), *remoteURL, policyName, policyJSON, solverSpec, *incremental, *watchMode, *ndjsonOut, *timeout)
 	}
 	if *incremental && *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "xbmc: -incremental requires -store (the dependency graph lives in the result store)")
@@ -206,6 +225,12 @@ func run(args []string) int {
 		}
 		if *maxConf > 0 {
 			opts = append(opts, webssari.WithBudget(*maxConf))
+		}
+		if *solverMode != "" || *portfolio != 0 {
+			opts = append(opts, webssari.WithSolverConfig(webssari.SolverConfig{
+				Mode:      webssari.SolverMode(*solverMode),
+				Portfolio: *portfolio,
+			}))
 		}
 		if tel != nil {
 			opts = append(opts, webssari.WithTelemetry(tel))
@@ -325,10 +350,12 @@ func run(args []string) int {
 	ctx = telemetry.WithTelemetry(ctx, tel)
 	ctx, fsp := telemetry.StartRootSpan(ctx, "verify_file", "file", target)
 	copts := core.Options{
-		Flow:        fopts,
-		Ctx:         ctx,
-		Solver:      sat.Options{MaxConflicts: *maxConf},
-		Parallelism: *jobs,
+		Flow:           fopts,
+		Ctx:            ctx,
+		Solver:         sat.Options{MaxConflicts: *maxConf},
+		Parallelism:    *jobs,
+		Mode:           coreMode,
+		PortfolioWidth: *portfolio,
 	}
 	compileStart := time.Now()
 	compiled, errs := core.Compile(target, src, copts)
@@ -441,12 +468,27 @@ func verdictExit(verdict string) int {
 	}
 }
 
+// resolveSolverMode maps the -solver-mode flag to the engine's dispatch
+// mode, rejecting unknown names with the list of valid ones.
+func resolveSolverMode(mode string) (core.SolveMode, error) {
+	switch webssari.SolverMode(mode) {
+	case "", webssari.SolverPerAssert:
+		return core.ModePerAssert, nil
+	case webssari.SolverShared:
+		return core.ModeShared, nil
+	case webssari.SolverPortfolio:
+		return core.ModePortfolio, nil
+	default:
+		return 0, fmt.Errorf("unknown -solver-mode %q (valid: %v)", mode, webssari.SolverModes())
+	}
+}
+
 // runRemote verifies the target through a webssarid daemon via the
 // typed client package, preserving the local exit-code contract. A file
 // target has its source uploaded; a directory target must exist on the
 // daemon's filesystem. Watch jobs stream until interrupted; Ctrl-C
 // cancels the remote job before exiting.
-func runRemote(target, base, policyName, policyJSON string, incremental, watch, ndjson bool, timeout time.Duration) int {
+func runRemote(target, base, policyName, policyJSON string, solver *client.SolverSpec, incremental, watch, ndjson bool, timeout time.Duration) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if timeout > 0 && !watch {
@@ -460,7 +502,7 @@ func runRemote(target, base, policyName, policyJSON string, incremental, watch, 
 
 	info, statErr := os.Stat(target)
 	if watch || (statErr == nil && info.IsDir()) {
-		return runRemoteDir(ctx, c, target, policyName, policyJSON, incremental, watch, ndjson)
+		return runRemoteDir(ctx, c, target, policyName, policyJSON, solver, incremental, watch, ndjson)
 	}
 
 	src, err := os.ReadFile(target)
@@ -470,6 +512,7 @@ func runRemote(target, base, policyName, policyJSON string, incremental, watch, 
 	}
 	sub, err := c.SubmitFile(ctx, client.SubmitFileRequest{
 		Name: target, Source: string(src), Policy: policyName, PolicyJSON: policyJSON,
+		Solver: solver,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xbmc: %v\n", err)
@@ -495,8 +538,8 @@ func runRemote(target, base, policyName, policyJSON string, incremental, watch, 
 
 // runRemoteDir submits one daemon-side directory job (one-shot or
 // watch) and renders its outcome.
-func runRemoteDir(ctx context.Context, c *client.Client, dir, policyName, policyJSON string, incremental, watch, ndjson bool) int {
-	req := client.SubmitDirRequest{Dir: dir, Watch: watch, Policy: policyName, PolicyJSON: policyJSON}
+func runRemoteDir(ctx context.Context, c *client.Client, dir, policyName, policyJSON string, solver *client.SolverSpec, incremental, watch, ndjson bool) int {
+	req := client.SubmitDirRequest{Dir: dir, Watch: watch, Policy: policyName, PolicyJSON: policyJSON, Solver: solver}
 	if incremental {
 		on := true
 		req.Incremental = &on

@@ -21,6 +21,101 @@ type SinkSpec struct {
 	Args []int  `json:"args,omitempty"`
 }
 
+// SolverMode selects how the SAT back end dispatches the assertions of
+// one verification unit. The zero value ("" — equivalent to
+// SolverPerAssert) is the classic behavior: every assertion gets a
+// fresh solver over its own encoding. All modes produce byte-identical
+// reports (profiles aside); they differ only in cost.
+type SolverMode string
+
+const (
+	// SolverPerAssert solves each assertion on a fresh solver instance
+	// over a per-assertion encoding — the default, and the mode with the
+	// best per-assertion parallelism.
+	SolverPerAssert SolverMode = "per-assert"
+	// SolverShared solves every assertion under selector assumptions on
+	// ONE incremental CDCL instance, so learnt clauses accumulate across
+	// assertions (and, with SolverConfig.WarmStart, across runs). Best
+	// for files with many assertions over shared program structure.
+	SolverShared SolverMode = "shared"
+	// SolverPortfolio keeps per-assertion dispatch but races K solver
+	// configurations on each assertion the cheap probe cannot decide;
+	// the first complete answer wins. Best against adversarial or
+	// hard instances under a conflict budget.
+	SolverPortfolio SolverMode = "portfolio"
+)
+
+// SolverModes lists the valid SolverMode values, in preference order —
+// also the capability list the daemon advertises on /v1/version.
+func SolverModes() []string {
+	return []string{string(SolverPerAssert), string(SolverShared), string(SolverPortfolio)}
+}
+
+// SolverConfig is the unified solver configuration: dispatch mode,
+// search budgets, portfolio width, and warm starting, applied together
+// with WithSolverConfig. The zero value means "all defaults" (per-assert
+// mode, unlimited budgets, no warm start). It is carried verbatim by
+// Config.Solver, by the v1 wire schema's "solver" job field, and by the
+// typed client.
+//
+// Mode, Portfolio, and WarmStart are verdict-neutral: they change cost,
+// never report content, and are therefore excluded from result-store
+// keys. MaxConflicts and MaxRestarts are verdict-shaping (an exhausted
+// budget degrades assertions to Unknown) and participate in keys.
+type SolverConfig struct {
+	// Mode selects the dispatch strategy ("" = per-assert).
+	Mode SolverMode `json:"mode,omitempty"`
+	// MaxConflicts caps SAT effort per solver call in conflicts
+	// (0 = unlimited). Supersedes the deprecated WithBudget /
+	// Config.MaxConflicts, which remain as forwarding shims.
+	MaxConflicts uint64 `json:"max_conflicts,omitempty"`
+	// MaxRestarts caps SAT effort per solver call in restarts
+	// (0 = unlimited).
+	MaxRestarts uint64 `json:"max_restarts,omitempty"`
+	// Portfolio is the lane count raced per hard assertion in portfolio
+	// mode (0 = the default width; capped at the preset table size).
+	Portfolio int `json:"portfolio,omitempty"`
+	// WarmStart persists the shared solver's learnt clauses in the
+	// attached result store and re-imports them when the same program is
+	// verified again under the same configuration. Requires Mode ==
+	// SolverShared and a WithStore/WithStoreBackend store; otherwise it
+	// is inert.
+	WarmStart bool `json:"warm_start,omitempty"`
+}
+
+// WithSolverConfig applies a SolverConfig. Zero fields leave the
+// corresponding setting unchanged, so the option composes with earlier
+// WithBudget/WithSolverConfig applications (later options win).
+func WithSolverConfig(sc SolverConfig) Option {
+	return func(c *config) error {
+		if sc.Mode != "" {
+			switch sc.Mode {
+			case SolverPerAssert, SolverShared, SolverPortfolio:
+				c.solverMode = sc.Mode
+			default:
+				return fmt.Errorf("webssari: unknown solver mode %q (valid: %v)", sc.Mode, SolverModes())
+			}
+		}
+		if sc.MaxConflicts != 0 {
+			c.solver.MaxConflicts = sc.MaxConflicts
+			c.budgetViaSolver = true
+		}
+		if sc.MaxRestarts != 0 {
+			c.solver.MaxRestarts = sc.MaxRestarts
+		}
+		if sc.Portfolio != 0 {
+			if sc.Portfolio < 1 {
+				return fmt.Errorf("webssari: portfolio width must be ≥ 1, got %d", sc.Portfolio)
+			}
+			c.portfolioWidth = sc.Portfolio
+		}
+		if sc.WarmStart {
+			c.warmStart = true
+		}
+		return nil
+	}
+}
+
 // Config is the declarative form of the verification options. The zero
 // value means "all defaults" — identical to calling Verify with no
 // options. Fields mirror the corresponding With* option; WithConfig
@@ -66,7 +161,13 @@ type Config struct {
 	// Deadline bounds each verification unit's wall time (WithDeadline).
 	Deadline time.Duration `json:"deadline,omitempty"`
 	// MaxConflicts caps SAT effort per solver call (WithBudget).
+	//
+	// Deprecated: set Solver.MaxConflicts instead; this field remains a
+	// forwarding shim (Solver.MaxConflicts wins when both are set).
 	MaxConflicts uint64 `json:"max_conflicts,omitempty"`
+	// Solver is the unified solver configuration (WithSolverConfig):
+	// dispatch mode, search budgets, portfolio width, warm starting.
+	Solver SolverConfig `json:"solver,omitempty"`
 	// Limits caps model and formula sizes (WithResourceLimits).
 	Limits ResourceLimits `json:"limits,omitempty"`
 	// Parallelism bounds the worker pool (WithParallelism).
@@ -139,6 +240,9 @@ func WithConfig(cc Config) Option {
 		if cc.MaxConflicts != 0 {
 			opts = append(opts, WithBudget(cc.MaxConflicts))
 		}
+		if cc.Solver != (SolverConfig{}) {
+			opts = append(opts, WithSolverConfig(cc.Solver))
+		}
 		if cc.Limits != (ResourceLimits{}) {
 			opts = append(opts, WithResourceLimits(cc.Limits))
 		}
@@ -193,11 +297,24 @@ func (c *config) export() Config {
 		Routine:            c.routine,
 		MaxCounterexamples: c.maxCEX,
 		Deadline:           c.deadline,
-		MaxConflicts:       c.solver.MaxConflicts,
-		Limits:             c.limits,
+		Solver: SolverConfig{
+			Mode:        c.solverMode,
+			MaxRestarts: c.solver.MaxRestarts,
+			Portfolio:   c.portfolioWidth,
+			WarmStart:   c.warmStart,
+		},
+		Limits: c.limits,
 		Parallelism:        c.parallelism,
 		Incremental:        c.incremental,
 		Telemetry:          c.telemetry,
+	}
+	// The conflict budget exports under whichever field last set it, so
+	// both the deprecated WithBudget/Config.MaxConflicts path and the
+	// SolverConfig path round-trip exactly.
+	if c.budgetViaSolver {
+		cc.Solver.MaxConflicts = c.solver.MaxConflicts
+	} else {
+		cc.MaxConflicts = c.solver.MaxConflicts
 	}
 	// The store handle exports under the most specific field that holds
 	// it: a local *ResultStore as Store, anything else as StoreBackend.

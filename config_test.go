@@ -35,6 +35,12 @@ func TestConfigRoundTrip(t *testing.T) {
 	cc.MaxCounterexamples = 7
 	cc.Deadline = 42 * time.Second
 	cc.MaxConflicts = 9999
+	cc.Solver = webssari.SolverConfig{
+		Mode:        webssari.SolverShared,
+		MaxRestarts: 11,
+		Portfolio:   3,
+		WarmStart:   true,
+	}
 	cc.Parallelism = 2
 	cc.Incremental = true
 	cc.Store = st

@@ -164,6 +164,17 @@ func Fingerprint(opts ...webssari.Option) string {
 	if err != nil {
 		return ""
 	}
+	// Verdict-neutral solver settings (dispatch mode, portfolio width,
+	// warm starting) are erased before hashing: a shared-mode worker and
+	// a per-assert coordinator produce byte-identical verdicts, and
+	// gating registration on them would split clusters for no reason.
+	// The conflict budget is normalized into the legacy field so the two
+	// spellings (Config.MaxConflicts vs Config.Solver.MaxConflicts) of
+	// the same verdict-shaping setting fingerprint identically.
+	if cc.Solver.MaxConflicts != 0 {
+		cc.MaxConflicts = cc.Solver.MaxConflicts
+	}
+	cc.Solver = webssari.SolverConfig{MaxRestarts: cc.Solver.MaxRestarts}
 	// Config is a plain struct (no maps), so its JSON field order is
 	// fixed and the encoding canonical.
 	payload, err := json.Marshal(cc)
@@ -520,6 +531,25 @@ func (c *Coordinator) dispatchFile(ctx context.Context, src []byte, name string,
 		sreq.Dir = cc.Dir
 		sreq.Policy = cc.Policy
 		sreq.PolicyJSON = cc.PolicyJSON
+		// The solver spec rides along so a worker solves under the
+		// coordinator's exact configuration — budgets are verdict-shaping
+		// (they decide whether assertions degrade to Unknown), and the
+		// verdict-neutral mode fields keep cost behavior consistent
+		// across placements. The legacy budget spelling is normalized
+		// into the spec.
+		spec := api.SolverSpec{
+			Mode:         string(cc.Solver.Mode),
+			MaxConflicts: cc.Solver.MaxConflicts,
+			MaxRestarts:  cc.Solver.MaxRestarts,
+			Portfolio:    cc.Solver.Portfolio,
+			WarmStart:    cc.Solver.WarmStart,
+		}
+		if spec.MaxConflicts == 0 {
+			spec.MaxConflicts = cc.MaxConflicts
+		}
+		if spec != (api.SolverSpec{}) {
+			sreq.Solver = &spec
+		}
 	}
 	// Prefer the job-scoped logger from the request context (carries
 	// job_id and trace_id); fall back to the coordinator's own.

@@ -27,6 +27,13 @@ type EncodedAll struct {
 	// Selectors holds one activation literal per check, indexed by check
 	// position; assuming Selectors[i] activates ¬C(assert_i, g).
 	Selectors []sat.Lit
+	// HoldSelectors holds one activation literal per check, indexed by
+	// check position; assuming HoldSelectors[j] activates C(assert_j, g)
+	// positively — "assertion j holds". Populated only under
+	// Options.AssumePriorAsserts: checking assertion i under the paper's
+	// incremental restriction assumes Selectors[i] plus HoldSelectors[j]
+	// for every j < i.
+	HoldSelectors []sat.Lit
 	// TrivialUnsat marks checks decided at encode time (never violable).
 	TrivialUnsat []bool
 	// prefixBranches lists, per check, the branch IDs in its prefix (for
@@ -34,8 +41,12 @@ type EncodedAll struct {
 	prefixBranches [][]int
 }
 
-// EncodeAllChecks builds the shared encoding for every check of the system.
-func EncodeAllChecks(sys *constraint.System) *EncodedAll {
+// EncodeAllChecks builds the shared encoding for every check of the
+// system. Only opts.AssumePriorAsserts is consulted (resource ceilings
+// are enforced by the per-assertion encoder; the shared encoding is
+// built once and is no larger than the largest single check's CNF plus
+// the gated negations).
+func EncodeAllChecks(sys *constraint.System, opts Options) *EncodedAll {
 	e := &encoder{
 		sys:        sys,
 		lat:        sys.Renamed.AI.Lat,
@@ -68,8 +79,65 @@ func EncodeAllChecks(sys *constraint.System) *EncodedAll {
 			out.TrivialUnsat[i] = true
 		}
 	}
+	if opts.AssumePriorAsserts {
+		out.HoldSelectors = make([]sat.Lit, len(sys.Checks))
+		for j, ch := range sys.Checks {
+			hold := sat.Lit(e.f.NewVar())
+			out.HoldSelectors[j] = hold
+			e.encodeGatedHold(ch, hold)
+		}
+	}
 	out.F = e.f
 	return out
+}
+
+// PriorAssumptions returns the assumption set for checking assertion i
+// under the paper's incremental restriction: the check's own selector
+// plus the hold selector of every prior assertion. Without hold
+// selectors (AssumePriorAsserts off) it is just the selector.
+func (ea *EncodedAll) PriorAssumptions(check int) []sat.Lit {
+	if ea.HoldSelectors == nil {
+		return []sat.Lit{ea.Selectors[check]}
+	}
+	out := make([]sat.Lit, 0, check+1)
+	out = append(out, ea.Selectors[check])
+	out = append(out, ea.HoldSelectors[:check]...)
+	return out
+}
+
+// encodeGatedHold adds hold ⇒ C(check): under the hold selector, the
+// check's guard implies every argument stays below the bound — the
+// gated mirror of the per-assertion encoder's assumeCheckHolds. A check
+// that fails unconditionally yields the unit ¬hold, so assuming it
+// makes the instance Unsat, matching the ungated encoder's
+// TrivialUnsat outcome.
+func (e *encoder) encodeGatedHold(ch constraint.Check, hold sat.Lit) {
+	g := e.encodeGuard(ch.Guard)
+	if g.isConst && !g.b {
+		return // unreachable check: holds vacuously
+	}
+	bad := e.badElems(ch.Origin.Bound)
+	for _, arg := range ch.Origin.Args {
+		v := e.encodeExpr(arg.Expr)
+		if v.isConst {
+			if bad[v.c] && !g.isConst {
+				e.addClause(hold.Not(), g.lit.Not())
+			} else if bad[v.c] && g.isConst && g.b {
+				e.addClause(hold.Not())
+			}
+			continue
+		}
+		for a, av := range v.vars {
+			if !bad[lattice.Elem(a)] {
+				continue
+			}
+			if g.isConst {
+				e.addClause(hold.Not(), sat.Lit(-av))
+			} else {
+				e.addClause(hold.Not(), g.lit.Not(), sat.Lit(-av))
+			}
+		}
+	}
 }
 
 // encodeGatedNegation adds sel ⇒ ¬C(check): under the selector, the

@@ -1,0 +1,210 @@
+package core
+
+// Portfolio mode: race K solver configurations (distinct restart,
+// decision, and phase heuristics — sat.PortfolioPreset) per hard
+// assertion, first canonical answer wins.
+//
+// Determinism argument. A complete, untruncated enumeration discovers
+// the full set of violating trace classes, which is a property of the
+// program alone — heuristics only permute discovery order, and
+// sortCounterexamples erases that. So every lane that finishes
+// completely produces the same AssertResult content, and taking
+// whichever complete lane reports first is deterministic in content at
+// any parallelism. A truncated or Unknown lane result is NOT canonical
+// (which prefix of the enumeration it saw depends on the heuristics),
+// so such lanes never win; when no lane produces a canonical answer,
+// the race deterministically falls back to lane 0 — the caller's own
+// configuration run to its own completion — which is exactly what the
+// per-assertion mode would have reported.
+//
+// Pool discipline: lane 0 always runs inline on the caller's slot;
+// extra lanes take shared-pool slots with TryAcquire only (never
+// blocking), or plain goroutines when no pool is configured, so racing
+// composes with the file-level and assertion-level fan-outs without
+// circular waits.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"webssari/internal/cnf"
+	"webssari/internal/constraint"
+	"webssari/internal/sat"
+	"webssari/internal/telemetry"
+)
+
+// portfolioProbeConflicts is the conflict budget of the cheap probe run
+// that separates easy assertions (decided immediately, no race) from
+// hard ones (escalated to the full-width race). Probe outcomes are
+// deterministic: the solver's search is a pure function of its options,
+// so "decided within the probe budget" is a property of the instance.
+// A variable (not a const) only so tests can force escalation on small
+// instances; production code never writes it.
+var portfolioProbeConflicts uint64 = 2000
+
+// portfolioWidth resolves the effective lane count.
+func (o *Options) portfolioWidth() int {
+	w := o.PortfolioWidth
+	if w <= 0 {
+		w = DefaultPortfolioWidth
+	}
+	if w > sat.PortfolioWidthMax {
+		w = sat.PortfolioWidthMax
+	}
+	return w
+}
+
+// collectPortfolioStats folds the race outcomes stamped on the results
+// (AssertResult.racedLane) into a PortfolioStats and emits the
+// telemetry counters. Runs on the single-threaded assembly path.
+func collectPortfolioStats(ctx context.Context, results []*AssertResult) *PortfolioStats {
+	ps := &PortfolioStats{WinsByLane: make(map[int]int)}
+	for _, ar := range results {
+		if ar != nil && ar.racedLane != nil {
+			ps.Races++
+			ps.WinsByLane[*ar.racedLane]++
+		}
+	}
+	if reg := telemetry.From(ctx); reg != nil && reg.Metrics != nil && ps.Races > 0 {
+		reg.Metrics.Counter(telemetry.MetricPortfolioRaces).Add(int64(ps.Races))
+		for lane, n := range ps.WinsByLane {
+			reg.Metrics.Counter(telemetry.Name(telemetry.MetricPortfolioWins,
+				"lane", fmt.Sprintf("%d", lane))).Add(int64(n))
+		}
+	}
+	return ps
+}
+
+// checkAssertionPortfolio checks one assertion in portfolio mode:
+// encode once, probe cheaply, and race the lanes only when the probe
+// could not decide the instance.
+func checkAssertionPortfolio(ctx context.Context, sys *constraint.System, idx int, opts Options) (ar *AssertResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ar, err = nil, &StageError{Stage: "solve", Err: fmt.Errorf("panic: %v", r)}
+		}
+	}()
+	if opts.Hooks.BeforeAssert != nil {
+		opts.Hooks.BeforeAssert(idx)
+	}
+	check := sys.Checks[idx]
+	ar = &AssertResult{Assert: check.Origin}
+
+	ctx, asp := telemetry.StartRootSpan(ctx, "assert", "index", idx, "mode", "portfolio")
+	defer asp.End()
+
+	encStart := time.Now()
+	_, esp := telemetry.StartSpan(ctx, "encode")
+	encoded, err := cnf.EncodeCheck(sys, idx, opts.cnfOptions())
+	esp.End()
+	ar.EncodeTime = time.Since(encStart)
+	observeStage(ctx, "encode", ar.EncodeTime.Nanoseconds())
+	var lim *cnf.LimitError
+	if errors.As(err, &lim) {
+		ar.Unknown = true
+		ar.Cause = fmt.Sprintf("%s (%s)", CauseCNFCeiling, lim.Error())
+		return ar, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	ar.EncodedVars = encoded.F.NumVars
+	ar.EncodedClauses = len(encoded.F.Clauses)
+	if encoded.Trivial == cnf.TrivialUnsat {
+		return ar, nil
+	}
+
+	// Probe: the caller's own configuration under a small conflict
+	// budget. Most assertions of real corpora decide here, and a decided
+	// probe is bit-identical to what the unbounded run would return
+	// (the budget only cuts off searches it never got to finish).
+	probeOpts := opts.Solver
+	if probeOpts.MaxConflicts == 0 || probeOpts.MaxConflicts > portfolioProbeConflicts {
+		probeOpts.MaxConflicts = portfolioProbeConflicts
+	}
+	probe := &AssertResult{Assert: check.Origin, EncodedVars: ar.EncodedVars, EncodedClauses: ar.EncodedClauses, EncodeTime: ar.EncodeTime}
+	enumerateAssert(ctx, sys, idx, encoded, opts, probeOpts, probe)
+	if !(probe.Unknown && probe.Cause == CauseConflictBudget) {
+		return probe, nil
+	}
+
+	width := opts.portfolioWidth()
+	if width <= 1 {
+		return probe, nil
+	}
+
+	// Race. Lane i runs the full enumeration under preset i; a canceled
+	// lane observes its stop flag through the solver interrupt.
+	type laneAnswer struct {
+		lane int
+		res  *AssertResult
+	}
+	stops := make([]atomic.Bool, width)
+	answers := make(chan laneAnswer, width)
+	runLane := func(lane int) {
+		lar := &AssertResult{Assert: check.Origin, EncodedVars: ar.EncodedVars, EncodedClauses: ar.EncodedClauses, EncodeTime: ar.EncodeTime}
+		sopts := sat.PortfolioPreset(lane, opts.Solver)
+		prev := sopts.Interrupt
+		st := &stops[lane]
+		sopts.Interrupt = func() bool {
+			return st.Load() || (prev != nil && prev())
+		}
+		enumerateAssert(ctx, sys, idx, encoded, opts, sopts, lar)
+		answers <- laneAnswer{lane: lane, res: lar}
+	}
+
+	// Extra lanes: pool slots when a shared pool exists (TryAcquire
+	// only), plain goroutines otherwise. Lanes that get no slot simply
+	// do not run — the race degrades toward plain lane 0.
+	launched := 1
+	for lane := 1; lane < width; lane++ {
+		if opts.Workers != nil {
+			if !opts.Workers.TryAcquire() {
+				break
+			}
+			go func(lane int) {
+				defer opts.Workers.Release()
+				runLane(lane)
+			}(lane)
+		} else {
+			go runLane(lane)
+		}
+		launched++
+	}
+	runLane(0)
+
+	var lane0 *AssertResult
+	var winner *AssertResult
+	winnerLane := -1
+	for i := 0; i < launched; i++ {
+		a := <-answers
+		if a.lane == 0 {
+			lane0 = a.res
+		}
+		if winner == nil && !a.res.Unknown && !a.res.Truncated {
+			winner = a.res
+			winnerLane = a.lane
+			// First canonical answer: stop every other lane. (Slower
+			// canonical lanes would have produced identical content, so
+			// which one "wins" never shows in the report.)
+			for j := range stops {
+				stops[j].Store(true)
+			}
+		}
+	}
+
+	if winner == nil {
+		// No lane decided the instance: fall back to lane 0, the
+		// caller's own configuration run to its own completion, which is
+		// what per-assertion mode reports. Lane 0 can only be Unknown
+		// here via its budget, its deadline, or a late cancellation; a
+		// cancellation-tainted Unknown is impossible because stops are
+		// only set when a winner exists.
+		winner = lane0
+	}
+	winner.racedLane = &winnerLane
+	return winner, nil
+}

@@ -1,0 +1,180 @@
+package core
+
+// Portfolio-mode tests. Run them with -race: the interesting failure
+// modes here are data races between lanes, the winner's cancellation
+// broadcast, and the shared-pool slot discipline.
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"webssari/internal/flow"
+	"webssari/internal/prelude"
+	"webssari/internal/sat"
+)
+
+// forceEscalation drops the probe budget to 1 conflict for the duration
+// of a test so even tiny instances race the full lane width.
+func forceEscalation(t *testing.T) {
+	t.Helper()
+	saved := portfolioProbeConflicts
+	portfolioProbeConflicts = 1
+	t.Cleanup(func() { portfolioProbeConflicts = saved })
+}
+
+func verifyPortfolio(t *testing.T, src string, mutate ...func(*Options)) *Result {
+	t.Helper()
+	return verify(t, src, append([]func(*Options){func(o *Options) {
+		o.Mode = ModePortfolio
+		o.PortfolioWidth = 4
+	}}, mutate...)...)
+}
+
+// TestPortfolioMatchesPerAssert races every assertion (probe forced to
+// escalate) and checks the winning lanes' content is byte-identical to
+// the per-assertion baseline — the determinism argument of
+// checkAssertionPortfolio, exercised with real cancellations. Run under
+// -race this doubles as the lane/cancellation data-race test.
+func TestPortfolioMatchesPerAssert(t *testing.T) {
+	forceEscalation(t)
+	sources := []string{
+		`<?php echo $_GET['x'];`,
+		`<?php $x = 'safe'; echo $x;`,
+		`<?php if ($a) { $x = $_GET['q']; } else { $x = 'ok'; } echo $x; mysql_query($x);`,
+		// Branchy enumerations: enough trace classes that blocking-clause
+		// conflicts exhaust a 1-conflict probe, forcing the race.
+		`<?php
+$x = $_GET['a'];
+if ($b1) { $x = $x . '1'; }
+if ($b2) { $x = $x . '2'; }
+if ($b3) { $x = $x . '3'; }
+echo $x;
+mysql_query($x);`,
+		`<?php
+$x = $_COOKIE['c'];
+if ($a) { $x = htmlspecialchars($x); }
+if ($b) { $x = $x . '!'; }
+if ($c) { $x = $x . '?'; }
+echo $x;
+echo 'const';`,
+	}
+	races := 0
+	for i, src := range sources {
+		pf := verifyPortfolio(t, src)
+		baseline := verify(t, src)
+		got, want := cexKeys(pf), cexKeys(baseline)
+		if strings.Join(got, "\n") != strings.Join(want, "\n") {
+			t.Errorf("source %d:\nportfolio: %v\nbaseline:  %v", i, got, want)
+		}
+		for j, ar := range pf.PerAssert {
+			if ar.Unknown != baseline.PerAssert[j].Unknown {
+				t.Errorf("source %d assert %d: unknown=%v, baseline %v",
+					i, j, ar.Unknown, baseline.PerAssert[j].Unknown)
+			}
+		}
+		if pf.Portfolio != nil {
+			races += pf.Portfolio.Races
+		}
+	}
+	if races == 0 {
+		t.Fatal("probe budget 1 should have escalated at least one assertion into a race")
+	}
+}
+
+// TestPortfolioMatchesOnRandomPrograms fuzzes the differential claim
+// across the random-program corpus with racing forced on.
+func TestPortfolioMatchesOnRandomPrograms(t *testing.T) {
+	forceEscalation(t)
+	r := rand.New(rand.NewSource(846))
+	races := 0
+	for i := 0; i < 60; i++ {
+		src := randomProgram(r)
+		prog, errs := flow.BuildSource("test.php", []byte(src), flow.Options{Prelude: prelude.Default()})
+		if len(errs) != 0 {
+			t.Fatalf("iter %d: %v", i, errs)
+		}
+		if prog.Branches > 12 {
+			continue
+		}
+		pf, err := VerifyAI(prog, Options{Mode: ModePortfolio, PortfolioWidth: 3})
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		baseline, err := VerifyAI(prog, Options{})
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		got, want := cexKeys(pf), cexKeys(baseline)
+		if strings.Join(got, "\n") != strings.Join(want, "\n") {
+			t.Errorf("iter %d:\nportfolio: %v\nbaseline:  %v\nsource:\n%s", i, got, want, src)
+		}
+		if pf.Portfolio != nil {
+			races += pf.Portfolio.Races
+		}
+	}
+	if races == 0 {
+		t.Fatal("no assertion escalated across the corpus; the race path went untested")
+	}
+}
+
+// TestPortfolioBudgetFallback pins the no-winner path: when every lane
+// inherits a 1-conflict budget nothing can produce a canonical answer,
+// so the race deterministically falls back to lane 0 (recorded as lane
+// -1) and the result matches what per-assertion mode reports under the
+// same budget.
+func TestPortfolioBudgetFallback(t *testing.T) {
+	src := `<?php
+$x = $_GET['a'];
+if ($b1) { $x = $x . '1'; }
+if ($b2) { $x = $x . '2'; }
+if ($b3) { $x = $x . '3'; }
+echo $x;
+mysql_query($x);`
+	budget := func(o *Options) { o.Solver = sat.Options{MaxConflicts: 1} }
+	pf := verifyPortfolio(t, src, budget)
+	baseline := verify(t, src, budget)
+	if len(pf.PerAssert) != len(baseline.PerAssert) {
+		t.Fatalf("assert counts differ: %d vs %d", len(pf.PerAssert), len(baseline.PerAssert))
+	}
+	fellBack := false
+	for i, ar := range pf.PerAssert {
+		b := baseline.PerAssert[i]
+		if ar.Unknown != b.Unknown || ar.Cause != b.Cause {
+			t.Errorf("assert %d: unknown=%v cause=%q, baseline unknown=%v cause=%q",
+				i, ar.Unknown, ar.Cause, b.Unknown, b.Cause)
+		}
+		if ar.racedLane != nil {
+			if *ar.racedLane != -1 {
+				t.Errorf("assert %d: winner lane %d under an unwinnable budget", i, *ar.racedLane)
+			}
+			fellBack = true
+		}
+	}
+	if !fellBack {
+		t.Fatal("budget 1 should have forced at least one raced fallback")
+	}
+	if got, want := cexKeys(pf), cexKeys(baseline); strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("fallback content diverges:\nportfolio: %v\nbaseline:  %v", got, want)
+	}
+}
+
+// TestPortfolioPoolDiscipline races with a single-slot shared pool: the
+// extra lanes must degrade to fewer (or zero) racers via TryAcquire
+// without deadlocking or changing content.
+func TestPortfolioPoolDiscipline(t *testing.T) {
+	forceEscalation(t)
+	src := `<?php
+$x = $_COOKIE['c'];
+if ($a) { $x = htmlspecialchars($x); }
+if ($b) { $x = $x . '!'; }
+if ($c) { $x = $x . '?'; }
+echo $x;
+mysql_query($x);`
+	pool := NewPool(1)
+	pf := verifyPortfolio(t, src, func(o *Options) { o.Workers = pool })
+	baseline := verify(t, src)
+	if got, want := cexKeys(pf), cexKeys(baseline); strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("pooled portfolio diverges:\nportfolio: %v\nbaseline:  %v", got, want)
+	}
+}

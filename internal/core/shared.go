@@ -2,24 +2,41 @@ package core
 
 import (
 	"context"
-	"fmt"
 
 	"webssari/internal/ai"
 	"webssari/internal/cnf"
 	"webssari/internal/constraint"
 	"webssari/internal/sat"
+	"webssari/internal/telemetry"
 )
 
 // This file implements the shared-solver verification mode: one
 // incremental CDCL solver holds the whole program's encoding, and each
 // assertion is checked by solving under its selector assumption (see
-// internal/cnf/shared.go). An extension beyond the paper's per-assertion
-// rebuild loop, measured in BenchmarkSharedSolver.
+// internal/cnf/shared.go). Learnt clauses accumulate across assertions
+// on the one instance, and — via Options.LearntBlob / LearntSink —
+// across runs.
+//
+// Soundness of cross-run clause reuse rests on epoch gating. Blocking
+// clauses added during counterexample enumeration are NOT implied by
+// the program formula (they exclude real models), so clauses learnt
+// from them must never leak into the exported set. Every blocking
+// clause therefore carries the negation of a per-run epoch literal,
+// which is assumed true during enumeration. The epoch variable occurs
+// only negatively in the clause database, so (a) it can never be
+// propagated at decision level 0, and (b) resolution can never
+// eliminate ¬epoch from a derived clause — any learnt clause tainted by
+// a blocking clause syntactically mentions the epoch variable. The
+// export filter drops exactly those clauses. As a belt-and-braces
+// guard, if the epoch variable somehow does end up assigned at the top
+// level (where conflict analysis skips literals and the syntactic
+// argument no longer applies), the export is abandoned entirely.
 
 // VerifyAIShared verifies every assertion with a single incremental
 // solver: CompileAI followed by SolveShared. It produces the same
-// counterexample sets as VerifyAI in its default configuration;
-// AssumePriorAsserts is not supported in this mode.
+// counterexample sets as VerifyAI in its default configuration, and —
+// unlike earlier revisions — also supports AssumePriorAsserts, realized
+// as hold-selector assumptions rather than re-encoded constraints.
 func VerifyAIShared(prog *ai.Program, opts Options) (*Result, error) {
 	p, err := CompileAI(prog)
 	if err != nil {
@@ -32,10 +49,14 @@ func VerifyAIShared(prog *ai.Program, opts Options) (*Result, error) {
 // Unlike Solve it is inherently sequential — the incremental solver's
 // learnt-clause state is serial — but like Solve it never writes into the
 // Program, so it can run beside concurrent Solves of the same artifact.
+//
+// AssumePriorAsserts is honored through prior-check hold selectors: the
+// shared encoding carries a gated positive encoding of every assertion,
+// and checking assertion i assumes the hold selector of every j < i
+// alongside i's own negation selector — the paper's C(c,g) ∧
+// C(assert_j, g) restriction without mutating the clause database
+// between checks.
 func SolveShared(ctx context.Context, p *Program, opts Options) (*Result, error) {
-	if opts.AssumePriorAsserts {
-		return nil, fmt.Errorf("core: shared-solver mode does not support AssumePriorAsserts")
-	}
 	if ctx == nil {
 		ctx = opts.context()
 	}
@@ -48,18 +69,68 @@ func SolveShared(ctx context.Context, p *Program, opts Options) (*Result, error)
 		AI:      p.AI,
 		Renamed: p.Renamed,
 		System:  sys,
+		Unit:    p.Unit,
 		// Copied, not aliased: the Program may be shared across solves.
 		Warnings:    append([]string(nil), p.AI.Warnings...),
 		ParseErrors: append([]string(nil), p.ParseErrors...),
 	}
 
-	encoded := cnf.EncodeAllChecks(sys)
+	ctx, ssp := telemetry.StartSpan(ctx, "solve_shared", "asserts", len(sys.Checks))
+	defer ssp.End()
+
+	encoded := cnf.EncodeAllChecks(sys, opts.cnfOptions())
 	sopts := opts.Solver
 	sopts.Interrupt = interruptFor(ctx, opts.Solver.Interrupt)
 	solver := sat.NewWith(sopts)
 	loaded := encoded.F.LoadInto(solver)
 
+	// Warm start: bind to the exact CNF just loaded. Hashing is skipped
+	// entirely when neither import nor export is requested.
+	var ws *WarmStartStats
+	var cnfHash uint64
+	if opts.LearntBlob != nil || opts.LearntSink != nil {
+		ws = &WarmStartStats{}
+		res.WarmStart = ws
+		cnfHash = sat.HashCNF(encoded.F)
+	}
+	if opts.LearntBlob != nil && loaded {
+		ws.Attempted = true
+		if blobHash, clauses, err := sat.DecodeLearntBlob(opts.LearntBlob); err == nil && blobHash == cnfHash {
+			ws.Hit = true
+			for _, cl := range clauses {
+				if !solver.AddClause(cl...) {
+					// Implied clauses cannot make a satisfiable formula
+					// unsatisfiable; reaching here means the base formula
+					// itself is trivially unsat, which loaded would have
+					// caught — but stay defensive.
+					loaded = false
+					break
+				}
+				ws.ImportedClauses++
+			}
+		}
+	}
+
+	// The epoch literal gating this run's blocking clauses. Allocated
+	// after the base load and the (filtered, epoch-free) import, so its
+	// index is deterministic across runs over the same CNF.
+	epoch := sat.Lit(solver.NewVar())
+
+	// When the caller seeded prior SAFE verdicts, fingerprint every
+	// check once up front, exactly as Solve does.
+	var fps []string
+	if len(opts.KnownSafeChecks) > 0 {
+		fps = p.CheckFingerprints()
+	}
+
 	for i := range sys.Checks {
+		if fps != nil && opts.KnownSafeChecks[fps[i]] {
+			res.PerAssert = append(res.PerAssert, &AssertResult{
+				Assert: sys.Checks[i].Origin,
+				Reused: true,
+			})
+			continue
+		}
 		ar := &AssertResult{
 			Assert:         sys.Checks[i].Origin,
 			EncodedVars:    encoded.F.NumVars,
@@ -74,11 +145,43 @@ func SolveShared(ctx context.Context, p *Program, opts Options) (*Result, error)
 			ar.Cause = CauseDeadline
 			continue
 		}
-		if err := enumerateShared(sys, encoded, solver, i, opts, ar); err != nil {
+		if err := enumerateShared(sys, encoded, solver, epoch, i, opts, ar); err != nil {
 			return res, err
 		}
+		sortCounterexamples(ar)
 	}
+
+	if opts.LearntSink != nil && loaded && !solver.AssignedAtTopLevel(epoch.Var()) {
+		epochVar := epoch.Var()
+		clauses := solver.ExportLearnts(func(v int) bool { return v == epochVar })
+		ws.ExportedClauses = len(clauses)
+		opts.LearntSink(sat.EncodeLearntBlob(cnfHash, clauses))
+	}
+	recordSolveMetrics(ctx, res)
+	recordWarmStartMetrics(ctx, ws)
 	return res, nil
+}
+
+// recordWarmStartMetrics rolls one run's warm-start counters into the
+// context's metrics registry.
+func recordWarmStartMetrics(ctx context.Context, ws *WarmStartStats) {
+	if ws == nil {
+		return
+	}
+	reg := telemetry.From(ctx)
+	if reg == nil || reg.Metrics == nil {
+		return
+	}
+	m := reg.Metrics
+	if ws.Attempted {
+		if ws.Hit {
+			m.Counter(telemetry.MetricWarmStartHits).Inc()
+		} else {
+			m.Counter(telemetry.MetricWarmStartMisses).Inc()
+		}
+	}
+	m.Counter(telemetry.MetricWarmStartImported).Add(int64(ws.ImportedClauses))
+	m.Counter(telemetry.MetricWarmStartExported).Add(int64(ws.ExportedClauses))
 }
 
 func ctxErr(opts Options) error { return opts.context().Err() }
@@ -87,12 +190,13 @@ func enumerateShared(
 	sys *constraint.System,
 	encoded *cnf.EncodedAll,
 	solver *sat.Solver,
+	epoch sat.Lit,
 	idx int,
 	opts Options,
 	ar *AssertResult,
 ) error {
 	target := sys.Checks[idx].Origin
-	assumptions := []sat.Lit{encoded.Selectors[idx]}
+	assumptions := append(encoded.PriorAssumptions(idx), epoch)
 	seen := make(map[string]bool)
 	for {
 		verdict := solver.SolveAssuming(assumptions)
@@ -132,6 +236,10 @@ func enumerateShared(
 		if blocking == nil {
 			return nil // single trace class exhausted
 		}
+		// Epoch gating: the blocking clause is not implied by the program
+		// formula, so it only exists inside this run's epoch (see the
+		// file comment on export soundness).
+		blocking = append(blocking, epoch.Not())
 		if !solver.AddClause(blocking...) {
 			return nil
 		}

@@ -79,14 +79,43 @@ func TestSharedSolverMatchesOnRandomPrograms(t *testing.T) {
 	}
 }
 
-func TestSharedSolverRejectsAssumePrior(t *testing.T) {
-	prog, errs := flow.BuildSource("t.php", []byte(`<?php echo 1;`),
-		flow.Options{Prelude: prelude.Default()})
-	if len(errs) != 0 {
-		t.Fatalf("build: %v", errs)
+func TestSharedSolverAssumePriorMatchesPerAssert(t *testing.T) {
+	// AssumePriorAsserts in shared mode is realized through hold-selector
+	// assumptions; the counterexample sets must match the per-assertion
+	// encoder, which re-encodes the prior checks as hard constraints.
+	sources := []string{
+		`<?php echo 1;`,
+		`<?php echo $_GET['x']; mysql_query($_GET['x']);`,
+		`<?php $x = $_GET['a']; echo $x; echo $x; mysql_query($x);`,
+		`<?php
+if ($a) { $x = $_GET['q']; } else { $x = 'ok'; }
+echo $x;
+if ($b) { $y = $_POST['p']; } else { $y = $x; }
+mysql_query($y);`,
+		`<?php
+$x = $_COOKIE['c'];
+if ($a) { $x = htmlspecialchars($x); }
+echo $x;
+mysql_query($x);`,
 	}
-	if _, err := VerifyAIShared(prog, Options{AssumePriorAsserts: true}); err == nil {
-		t.Fatalf("shared mode must reject AssumePriorAsserts")
+	for i, src := range sources {
+		prog, errs := flow.BuildSource("test.php", []byte(src), flow.Options{Prelude: prelude.Default()})
+		if len(errs) != 0 {
+			t.Fatalf("source %d: %v", i, errs)
+		}
+		shared, err := VerifyAIShared(prog, Options{AssumePriorAsserts: true})
+		if err != nil {
+			t.Fatalf("source %d: shared verify: %v", i, err)
+		}
+		baseline, err := VerifyAI(prog, Options{AssumePriorAsserts: true})
+		if err != nil {
+			t.Fatalf("source %d: baseline verify: %v", i, err)
+		}
+		got := cexKeys(shared)
+		want := cexKeys(baseline)
+		if strings.Join(got, "\n") != strings.Join(want, "\n") {
+			t.Errorf("source %d:\nshared:   %v\nbaseline: %v", i, got, want)
+		}
 	}
 }
 

@@ -42,6 +42,13 @@ func Solve(ctx context.Context, p *Program, opts Options) *Result {
 	if ctx == nil {
 		ctx = opts.context()
 	}
+	if opts.Mode == ModeShared {
+		// The shared incremental solver has its own (sequential) loop;
+		// verdicts and counterexample order are identical by the
+		// canonical-ordering argument (see sortCounterexamples).
+		res, _ := SolveShared(ctx, p, opts)
+		return res
+	}
 	if opts.MaxCounterexamples <= 0 {
 		opts.MaxCounterexamples = DefaultMaxCEX
 	}
@@ -107,7 +114,7 @@ func Solve(ctx context.Context, p *Program, opts Options) *Result {
 				}
 				continue
 			}
-			ar, err := checkAssertion(ctx, sys, idx, opts)
+			ar, err := checkOne(ctx, sys, idx, opts)
 			if err != nil {
 				// Fault isolation: a panic or internal error in one
 				// assertion's encode/solve degrades it to Unknown.
@@ -159,8 +166,20 @@ func Solve(ctx context.Context, p *Program, opts Options) *Result {
 		res.Warnings = append(res.Warnings, fmt.Sprintf(
 			"deadline expired before assert_%d: %d assertion(s) unchecked", firstSkipped, skippedCount))
 	}
+	if opts.Mode == ModePortfolio {
+		res.Portfolio = collectPortfolioStats(ctx, results)
+	}
 	recordSolveMetrics(ctx, res)
 	return res
+}
+
+// checkOne routes one assertion to the mode's checker: the plain
+// per-assertion loop, or the portfolio race.
+func checkOne(ctx context.Context, sys *constraint.System, idx int, opts Options) (*AssertResult, error) {
+	if opts.Mode == ModePortfolio {
+		return checkAssertionPortfolio(ctx, sys, idx, opts)
+	}
+	return checkAssertion(ctx, sys, idx, opts)
 }
 
 // recordSolveMetrics rolls one Result's counters into the context's
@@ -267,8 +286,19 @@ func checkAssertion(ctx context.Context, sys *constraint.System, idx int, opts O
 		return ar, nil
 	}
 
-	sopts := opts.Solver
-	sopts.Interrupt = interruptFor(ctx, opts.Solver.Interrupt)
+	enumerateAssert(ctx, sys, idx, encoded, opts, opts.Solver, ar)
+	return ar, nil
+}
+
+// enumerateAssert runs the counterexample enumeration loop of §3.3.2
+// over an already encoded check, on a fresh solver built from sopts
+// (the context interrupt is merged in here). It fills ar's search-side
+// fields and leaves the counterexamples in canonical trace-key order.
+// The encoded artifact is only read, never written, so any number of
+// enumerations — portfolio lanes — may share one Encoded concurrently.
+func enumerateAssert(ctx context.Context, sys *constraint.System, idx int, encoded *cnf.Encoded, opts Options, sopts sat.Options, ar *AssertResult) {
+	check := sys.Checks[idx]
+	sopts.Interrupt = interruptFor(ctx, sopts.Interrupt)
 	solver := sat.NewWith(sopts)
 
 	// The search below has several exit paths (including clause loading
@@ -279,14 +309,13 @@ func checkAssertion(ctx context.Context, sys *constraint.System, idx int, opts O
 	_, srsp := telemetry.StartSpan(ctx, "search")
 	defer func() {
 		srsp.End()
-		if ar != nil {
-			ar.SearchTime = time.Since(searchStart)
-			observeStage(ctx, "search", ar.SearchTime.Nanoseconds())
-		}
+		ar.SearchTime = time.Since(searchStart)
+		observeStage(ctx, "search", ar.SearchTime.Nanoseconds())
+		sortCounterexamples(ar)
 	}()
 
 	if !encoded.F.LoadInto(solver) {
-		return ar, nil
+		return
 	}
 
 	seen := make(map[string]bool)
@@ -297,12 +326,12 @@ func checkAssertion(ctx context.Context, sys *constraint.System, idx int, opts O
 		if ctx.Err() != nil {
 			ar.Unknown = true
 			ar.Cause = CauseDeadline
-			return ar, nil
+			return
 		}
 		verdict := solver.Solve()
 		ar.SolverStats = solver.Stats()
 		if verdict == sat.Unsat {
-			return ar, nil
+			return
 		}
 		if verdict != sat.Sat {
 			// The solver gave up: either the wall-clock deadline fired
@@ -315,7 +344,7 @@ func checkAssertion(ctx context.Context, sys *constraint.System, idx int, opts O
 			} else {
 				ar.Cause = CauseConflictBudget
 			}
-			return ar, nil
+			return
 		}
 		model := solver.Model()
 		branches := encoded.DecodeBranches(model)
@@ -326,7 +355,7 @@ func checkAssertion(ctx context.Context, sys *constraint.System, idx int, opts O
 			ar.Counterexamples = append(ar.Counterexamples, cex)
 			if len(ar.Counterexamples) >= opts.MaxCounterexamples {
 				ar.Truncated = true
-				return ar, nil
+				return
 			}
 		}
 
@@ -339,10 +368,10 @@ func checkAssertion(ctx context.Context, sys *constraint.System, idx int, opts O
 		}
 		if len(blocking) == 0 {
 			// No branch variables: the single model class is exhausted.
-			return ar, nil
+			return
 		}
 		if !solver.AddClause(blocking...) {
-			return ar, nil
+			return
 		}
 	}
 }

@@ -1,0 +1,119 @@
+package sat
+
+// Learnt-clause persistence: the wire form under which a solver's
+// exported learnt clauses are stored (internal/store) and re-imported to
+// warm-start a later run over the same formula. The blob binds itself to
+// the exact CNF it was learnt from via HashCNF — literal indices are
+// meaningful only under that formula's variable numbering — and carries
+// its own schema version so a format change degrades to a cache miss,
+// never a misread. Decode validates everything it touches; any
+// truncation, overflow, or version mismatch returns an error and the
+// caller falls back to a cold solve.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+)
+
+// learntBlobMagic and learntBlobVersion frame a learnt-clause blob.
+// Bump the version whenever the payload layout changes: old blobs then
+// fail Decode and are treated as misses.
+const (
+	learntBlobMagic   = "WSLC"
+	learntBlobVersion = 1
+)
+
+// ErrLearntBlob is wrapped by every DecodeLearntBlob failure.
+var ErrLearntBlob = errors.New("sat: malformed learnt-clause blob")
+
+// HashCNF fingerprints a formula — variable count plus every clause's
+// literals in order — for use as a learnt-blob binding. Two CNFs with
+// equal hashes share variable numbering for all practical purposes, so
+// clauses learnt over one are sound over the other.
+func HashCNF(f *CNF) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(f.NumVars))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(f.Clauses)))
+	h.Write(buf[:])
+	for _, cl := range f.Clauses {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(cl)))
+		h.Write(buf[:])
+		for _, l := range cl {
+			binary.LittleEndian.PutUint64(buf[:], uint64(int64(l)))
+			h.Write(buf[:])
+		}
+	}
+	return h.Sum64()
+}
+
+// EncodeLearntBlob serializes learnt clauses against the formula hash
+// they were derived under. Layout: magic, version byte, CNF hash,
+// clause count, then each clause as a length-prefixed run of zig-zag
+// varint literals.
+func EncodeLearntBlob(cnfHash uint64, clauses [][]Lit) []byte {
+	out := make([]byte, 0, 16+8*len(clauses))
+	out = append(out, learntBlobMagic...)
+	out = append(out, learntBlobVersion)
+	out = binary.LittleEndian.AppendUint64(out, cnfHash)
+	out = binary.AppendUvarint(out, uint64(len(clauses)))
+	for _, cl := range clauses {
+		out = binary.AppendUvarint(out, uint64(len(cl)))
+		for _, l := range cl {
+			out = binary.AppendVarint(out, int64(l))
+		}
+	}
+	return out
+}
+
+// DecodeLearntBlob parses a blob produced by EncodeLearntBlob,
+// returning the CNF hash it is bound to and the clauses. Every decode
+// failure wraps ErrLearntBlob; callers treat it as a store miss.
+func DecodeLearntBlob(blob []byte) (cnfHash uint64, clauses [][]Lit, err error) {
+	fail := func(what string) (uint64, [][]Lit, error) {
+		return 0, nil, fmt.Errorf("%w: %s", ErrLearntBlob, what)
+	}
+	if len(blob) < len(learntBlobMagic)+1+8 {
+		return fail("truncated header")
+	}
+	if string(blob[:len(learntBlobMagic)]) != learntBlobMagic {
+		return fail("bad magic")
+	}
+	rest := blob[len(learntBlobMagic):]
+	if rest[0] != learntBlobVersion {
+		return fail(fmt.Sprintf("unsupported version %d", rest[0]))
+	}
+	rest = rest[1:]
+	cnfHash = binary.LittleEndian.Uint64(rest[:8])
+	rest = rest[8:]
+	n, sz := binary.Uvarint(rest)
+	if sz <= 0 || n > uint64(len(blob)) { // each clause costs ≥1 byte
+		return fail("bad clause count")
+	}
+	rest = rest[sz:]
+	clauses = make([][]Lit, 0, n)
+	for i := uint64(0); i < n; i++ {
+		cn, csz := binary.Uvarint(rest)
+		if csz <= 0 || cn == 0 || cn > uint64(len(rest)) {
+			return fail("bad clause length")
+		}
+		rest = rest[csz:]
+		cl := make([]Lit, 0, cn)
+		for j := uint64(0); j < cn; j++ {
+			v, vsz := binary.Varint(rest)
+			if vsz <= 0 || v == 0 || v > 1<<31-1 || v < -(1<<31-1) {
+				return fail("bad literal")
+			}
+			rest = rest[vsz:]
+			cl = append(cl, Lit(v))
+		}
+		clauses = append(clauses, cl)
+	}
+	if len(rest) != 0 {
+		return fail("trailing bytes")
+	}
+	return cnfHash, clauses, nil
+}

@@ -1,0 +1,47 @@
+package sat
+
+// Portfolio presets: fixed solver configurations with deliberately
+// different restart, decision, and phase heuristics, raced against each
+// other on hard instances (core's portfolio mode). Preset 0 is always
+// the caller's own configuration untouched — the deterministic
+// tie-break anchor — so a portfolio of width 1 degenerates to the plain
+// solve. The remaining presets cycle through heuristic variations that
+// keep completeness (no preset ever drops learning wholesale or answers
+// differently on a decided instance; only search order changes).
+
+// PortfolioWidthMax bounds the useful portfolio width: beyond the
+// distinct presets, further lanes would duplicate configurations.
+const PortfolioWidthMax = 1 + len(portfolioVariants)
+
+// portfolioVariants are the deltas applied on top of the base options
+// for lanes 1..N. Ordering is part of the wire-visible determinism
+// contract: lane i always means the same heuristics.
+var portfolioVariants = [...]func(o *Options){
+	// Lane 1: opposite initial phase — explores the complementary side
+	// of the search tree first.
+	func(o *Options) { o.InitialPhase = !o.InitialPhase },
+	// Lane 2: aggressive restarts with a fast-decaying VSIDS — chases
+	// recent conflicts hard.
+	func(o *Options) { o.RestartBase = 32; o.VarDecay = 0.85 },
+	// Lane 3: slow restarts with a long activity memory — commits to
+	// deep dives.
+	func(o *Options) { o.RestartBase = 512; o.VarDecay = 0.99 },
+	// Lane 4: no restarts at all, opposite phase — the classic
+	// completeness lane for satisfiable instances.
+	func(o *Options) { o.DisableRestarts = true; o.InitialPhase = !o.InitialPhase },
+}
+
+// PortfolioPreset derives lane i's solver options from the base
+// configuration. Lane 0 is the base itself; lanes beyond the distinct
+// variants wrap around (callers should clamp width to
+// PortfolioWidthMax). Budgets (MaxConflicts, MaxRestarts) and the
+// Interrupt hook are inherited unchanged so every lane honors the same
+// resource ceilings.
+func PortfolioPreset(i int, base Options) Options {
+	o := base
+	if i <= 0 {
+		return o
+	}
+	portfolioVariants[(i-1)%len(portfolioVariants)](&o)
+	return o
+}

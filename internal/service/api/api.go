@@ -29,6 +29,29 @@ const (
 // Terminal reports whether the state is final.
 func (s JobState) Terminal() bool { return s == StateDone || s == StateFailed }
 
+// SolverSpec is a job's solver configuration — the wire form of
+// webssari.SolverConfig, carried under the "solver" key of both submit
+// bodies. Zero fields keep the daemon's defaults; an unknown mode is
+// rejected at admission (400). Mode, portfolio width, and warm starting
+// are verdict-neutral (they change cost, never report content), so two
+// jobs differing only in them still share cached results.
+type SolverSpec struct {
+	// Mode is the dispatch mode: "per-assert" (default), "shared", or
+	// "portfolio" (see VersionResponse.SolverModes).
+	Mode string `json:"mode,omitempty"`
+	// MaxConflicts / MaxRestarts cap SAT effort per solver call
+	// (0 = daemon default).
+	MaxConflicts uint64 `json:"max_conflicts,omitempty"`
+	MaxRestarts  uint64 `json:"max_restarts,omitempty"`
+	// Portfolio is the lane count raced per hard assertion in portfolio
+	// mode (0 = engine default).
+	Portfolio int `json:"portfolio,omitempty"`
+	// WarmStart re-imports the shared solver's learnt clauses from the
+	// daemon's result store on repeat verification (shared mode + store
+	// required; inert otherwise).
+	WarmStart bool `json:"warm_start,omitempty"`
+}
+
 // SubmitFileRequest is the POST /v1/files body.
 type SubmitFileRequest struct {
 	// Name labels the source in reports (defaults to "input.php").
@@ -45,6 +68,9 @@ type SubmitFileRequest struct {
 	// PolicyJSON carries a complete custom policy declaration instead;
 	// it wins over Policy when both are set.
 	PolicyJSON string `json:"policy_json,omitempty"`
+	// Solver overrides the daemon's solver configuration for this job
+	// (nil keeps the daemon defaults).
+	Solver *SolverSpec `json:"solver,omitempty"`
 }
 
 // SubmitDirRequest is the POST /v1/dirs body.
@@ -68,6 +94,9 @@ type SubmitDirRequest struct {
 	// SubmitFileRequest.
 	Policy     string `json:"policy,omitempty"`
 	PolicyJSON string `json:"policy_json,omitempty"`
+	// Solver overrides the daemon's solver configuration for this job
+	// (nil keeps the daemon defaults), as in SubmitFileRequest.
+	Solver *SolverSpec `json:"solver,omitempty"`
 }
 
 // SubmitResponse answers an accepted submission (HTTP 202).
@@ -130,6 +159,9 @@ type VersionResponse struct {
 	Version string `json:"version"`
 	// Policies lists the built-in security policies jobs may select.
 	Policies []string `json:"policies,omitempty"`
+	// SolverModes lists the solver dispatch modes jobs may request via
+	// SolverSpec.Mode — the daemon's capability advertisement.
+	SolverModes []string `json:"solver_modes,omitempty"`
 }
 
 // Health is the GET /healthz response.

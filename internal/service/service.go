@@ -149,7 +149,15 @@ type Config struct {
 	JobDeadline time.Duration
 	// MaxConflicts is the per-solver-call SAT budget (WithBudget); 0
 	// means unlimited.
+	//
+	// Deprecated: set Solver.MaxConflicts instead; this field remains a
+	// forwarding shim (Solver.MaxConflicts wins when both are set).
 	MaxConflicts uint64
+	// Solver is the daemon's default solver configuration
+	// (webssari.WithSolverConfig): dispatch mode, search budgets,
+	// portfolio width, warm starting. Per-job SolverSpec fields in
+	// api.SubmitFileRequest / SubmitDirRequest override it field-wise.
+	Solver webssari.SolverConfig
 	// MaxSourceBytes caps a submitted source (<= 0: DefaultMaxSourceBytes).
 	MaxSourceBytes int64
 	// DisableDirs rejects directory submissions — for deployments where
@@ -227,6 +235,10 @@ type job struct {
 	policy      string
 	policyJSON  string
 	policyLabel string
+
+	// Per-job solver override, validated at admission (nil keeps the
+	// daemon default).
+	solver *webssari.SolverConfig
 
 	// trace is the job's distributed trace context: the submitter's
 	// traceparent, or minted at admission. Set before admission, then
@@ -601,7 +613,62 @@ func (s *Server) jobOptions(tel *telemetry.Telemetry, j *job) []webssari.Option 
 		// No per-job selection: fall back to the daemon default.
 		base.Policy, base.PolicyJSON = s.cfg.Policy, s.cfg.PolicyJSON
 	}
+	base.Solver = s.cfg.Solver
+	if j.solver != nil {
+		// Field-wise override: zero fields of the job's spec keep the
+		// daemon default, matching WithSolverConfig's sparse semantics.
+		base.Solver = mergeSolver(base.Solver, *j.solver)
+	}
 	return append([]webssari.Option{webssari.WithConfig(base)}, s.cfg.Options...)
+}
+
+// mergeSolver overlays the non-zero fields of over onto base.
+func mergeSolver(base, over webssari.SolverConfig) webssari.SolverConfig {
+	if over.Mode != "" {
+		base.Mode = over.Mode
+	}
+	if over.MaxConflicts != 0 {
+		base.MaxConflicts = over.MaxConflicts
+	}
+	if over.MaxRestarts != 0 {
+		base.MaxRestarts = over.MaxRestarts
+	}
+	if over.Portfolio != 0 {
+		base.Portfolio = over.Portfolio
+	}
+	if over.WarmStart {
+		base.WarmStart = true
+	}
+	return base
+}
+
+// solverConfigOf converts a wire SolverSpec into the engine's form.
+func solverConfigOf(sp *api.SolverSpec) webssari.SolverConfig {
+	if sp == nil {
+		return webssari.SolverConfig{}
+	}
+	return webssari.SolverConfig{
+		Mode:         webssari.SolverMode(sp.Mode),
+		MaxConflicts: sp.MaxConflicts,
+		MaxRestarts:  sp.MaxRestarts,
+		Portfolio:    sp.Portfolio,
+		WarmStart:    sp.WarmStart,
+	}
+}
+
+// setSolver validates and records a job's solver override. A non-nil
+// error is an admission failure (400) — unknown modes and invalid
+// widths are rejected before the job ever queues.
+func (s *Server) setSolver(j *job, sp *api.SolverSpec) error {
+	if sp == nil {
+		return nil
+	}
+	sc := solverConfigOf(sp)
+	if _, err := webssari.ExportConfig(webssari.WithSolverConfig(sc)); err != nil {
+		return err
+	}
+	j.solver = &sc
+	return nil
 }
 
 // policyLabelOf derives the canonical counter label of a policy
@@ -924,6 +991,11 @@ func (s *Server) handleSubmitFile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid policy: "+err.Error())
 		return
 	}
+	if err := s.setSolver(j, req.Solver); err != nil {
+		s.dropJob(j)
+		writeError(w, http.StatusBadRequest, "invalid solver spec: "+err.Error())
+		return
+	}
 	j.trace = traceFromRequest(r)
 	s.enqueue(w, j)
 }
@@ -966,6 +1038,11 @@ func (s *Server) handleSubmitDir(w http.ResponseWriter, r *http.Request) {
 	if err := s.setPolicy(j, req.Policy, req.PolicyJSON); err != nil {
 		s.dropJob(j)
 		writeError(w, http.StatusBadRequest, "invalid policy: "+err.Error())
+		return
+	}
+	if err := s.setSolver(j, req.Solver); err != nil {
+		s.dropJob(j)
+		writeError(w, http.StatusBadRequest, "invalid solver spec: "+err.Error())
 		return
 	}
 	j.incremental = req.Incremental
@@ -1084,9 +1161,10 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, api.VersionResponse{
-		SchemaV:  api.Schema,
-		Version:  buildinfo.Version("webssarid"),
-		Policies: webssari.Policies(),
+		SchemaV:     api.Schema,
+		Version:     buildinfo.Version("webssarid"),
+		Policies:    webssari.Policies(),
+		SolverModes: webssari.SolverModes(),
 	})
 }
 

@@ -213,7 +213,15 @@ type config struct {
 	blockAll     bool
 	routine      string
 	solver       sat.Options
-	maxCEX       int
+	// solverMode, portfolioWidth, and warmStart are the verdict-neutral
+	// halves of the SolverConfig surface; budgetViaSolver records whether
+	// the conflict budget was last set through SolverConfig (vs the
+	// deprecated WithBudget), so ExportConfig round-trips both spellings.
+	solverMode      SolverMode
+	portfolioWidth  int
+	warmStart       bool
+	budgetViaSolver bool
+	maxCEX          int
 	deadline     time.Duration
 	limits       ResourceLimits
 	parallelism  int
@@ -491,9 +499,15 @@ func WithDeadline(d time.Duration) Option {
 // call (0 restores the default: unlimited). An exhausted budget degrades
 // the assertion to Unknown and the report to VerdictIncomplete; it never
 // silently reads as "no counterexample".
+//
+// Deprecated: use WithSolverConfig(SolverConfig{MaxConflicts: n}) — the
+// unified solver surface that also selects the dispatch mode, restart
+// budget, portfolio width, and warm starting. WithBudget remains a
+// forwarding shim and the two compose (later options win).
 func WithBudget(maxConflicts uint64) Option {
 	return func(c *config) error {
 		c.solver.MaxConflicts = maxConflicts
+		c.budgetViaSolver = false
 		return nil
 	}
 }
@@ -625,8 +639,22 @@ func (c *config) engineOptions(ctx context.Context) core.Options {
 		BlockAllBN:         c.blockAll,
 		MaxCounterexamples: c.maxCEX,
 		Solver:             c.solver,
+		Mode:               c.coreMode(),
+		PortfolioWidth:     c.portfolioWidth,
 		Parallelism:        c.parallelism,
 		Workers:            c.workers,
+	}
+}
+
+// coreMode maps the public SolverMode onto the engine's dispatch enum.
+func (c *config) coreMode() core.SolveMode {
+	switch c.solverMode {
+	case SolverShared:
+		return core.ModeShared
+	case SolverPortfolio:
+		return core.ModePortfolio
+	default:
+		return core.ModePerAssert
 	}
 }
 
@@ -672,6 +700,7 @@ type analysisStats struct {
 	solveTime    time.Duration
 	cacheHit     bool
 	compileStats core.CompileStats
+	solverMode   SolverMode
 }
 
 // runAnalysis drives the core pipeline — a cached Compile followed by
@@ -694,6 +723,7 @@ func runAnalysis(ctx context.Context, src []byte, name string, cfg *config) (res
 	ctx, fsp := telemetry.StartRootSpan(ctx, "verify_file", "file", name)
 	defer fsp.End()
 	eopts := cfg.engineOptions(ctx)
+	st.solverMode = cfg.solverMode
 	start := time.Now()
 	prog, errs, hit := defaultCompileCache.Compile(name, src, eopts)
 	st.compileTime = time.Since(start)
@@ -706,6 +736,7 @@ func runAnalysis(ctx context.Context, src []byte, name string, cfg *config) (res
 	if hint, ok := cfg.priorHints[name]; ok {
 		eopts.KnownSafeChecks = hint.knownSafeChecks(prog)
 	}
+	cfg.wireWarmStart(&eopts, name, src)
 	start = time.Now()
 	res = core.Solve(ctx, prog, eopts)
 	st.solveTime = time.Since(start)
@@ -744,6 +775,24 @@ func (st analysisStats) profile(res *core.Result) *RunProfile {
 	}
 	if res == nil {
 		return p
+	}
+	if st.solverMode != "" && st.solverMode != SolverPerAssert {
+		p.SolverMode = string(st.solverMode)
+	}
+	if ws := res.WarmStart; ws != nil {
+		p.WarmStart = &telemetry.WarmStartProfile{
+			Attempted:       ws.Attempted,
+			Hit:             ws.Hit,
+			ImportedClauses: ws.ImportedClauses,
+			ExportedClauses: ws.ExportedClauses,
+		}
+	}
+	if pf := res.Portfolio; pf != nil && pf.Races > 0 {
+		pp := &telemetry.PortfolioProfile{Races: pf.Races, WinsByLane: make(map[string]int, len(pf.WinsByLane))}
+		for lane, n := range pf.WinsByLane {
+			pp.WinsByLane[fmt.Sprintf("%d", lane)] = n
+		}
+		p.Portfolio = pp
 	}
 	for i, ar := range res.PerAssert {
 		// A reused assertion ran neither encoder nor solver; counting it
